@@ -1,0 +1,121 @@
+// Command platod2gl-loadgen generates synthetic dynamic graph workloads
+// (the Table III dataset stand-ins) and either summarizes them locally or
+// streams them into a running platod2gl-server cluster.
+//
+// Usage:
+//
+//	platod2gl-loadgen -dataset wechat -edges 100000                  # dry run, print stats
+//	platod2gl-loadgen -dataset ogbn -edges 100000 -servers :7090,:7091
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/rpc"
+	"os"
+	"strings"
+	"time"
+
+	"platod2gl/internal/cluster"
+	"platod2gl/internal/dataset"
+	"platod2gl/internal/graph"
+	"platod2gl/internal/stats"
+)
+
+func specByName(name string) (*dataset.Spec, error) {
+	switch strings.ToLower(name) {
+	case "ogbn":
+		return dataset.OGBNSim(), nil
+	case "reddit":
+		return dataset.RedditSim(), nil
+	case "wechat":
+		return dataset.WeChatSim(), nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q (ogbn, reddit, wechat)", name)
+	}
+}
+
+func main() {
+	var (
+		ds      = flag.String("dataset", "wechat", "dataset: ogbn, reddit, wechat")
+		edges   = flag.Int64("edges", 100_000, "logical edges to generate")
+		batch   = flag.Int("batch", 8192, "events per batch")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		mixName = flag.String("mix", "build", "event mix: build (inserts only) or dynamic")
+		servers = flag.String("servers", "", "comma-separated server addresses; empty = dry run")
+		degrees = flag.Bool("degrees", false, "print the generated out-degree distribution")
+	)
+	flag.Parse()
+
+	spec, err := specByName(*ds)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	spec = spec.Scale(float64(*edges) / float64(spec.TotalEvents()))
+	mix := dataset.BuildMix
+	if *mixName == "dynamic" {
+		mix = dataset.DynamicMix
+	}
+	gen := dataset.NewGenerator(spec, mix, *seed)
+
+	var client *cluster.Client
+	if *servers != "" {
+		var peers []*rpc.Client
+		for _, addr := range strings.Split(*servers, ",") {
+			c, err := rpc.Dial("tcp", strings.TrimSpace(addr))
+			if err != nil {
+				log.Fatalf("dial %s: %v", addr, err)
+			}
+			peers = append(peers, c)
+		}
+		client = cluster.NewClient(peers)
+		defer client.Close()
+	}
+
+	start := time.Now()
+	var sent int64
+	var kinds [3]int64
+	degreeOf := map[graph.VertexID]int64{}
+	for remaining := *edges; remaining > 0; {
+		n := int64(*batch)
+		if n > remaining {
+			n = remaining
+		}
+		events := gen.Next(int(n))
+		for _, ev := range events {
+			kinds[ev.Kind]++
+			if *degrees && ev.Kind == graph.AddEdge && ev.Edge.Type < dataset.ReverseOffset {
+				degreeOf[ev.Edge.Src]++
+			}
+		}
+		if client != nil {
+			if err := client.ApplyBatch(events); err != nil {
+				log.Fatalf("apply batch: %v", err)
+			}
+		}
+		sent += int64(len(events))
+		remaining -= n
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("dataset %s: %d events (%d add, %d delete, %d update) in %v (%.0f ev/s)\n",
+		spec.Name, sent, kinds[graph.AddEdge], kinds[graph.DeleteEdge], kinds[graph.UpdateWeight],
+		elapsed.Round(time.Millisecond), float64(sent)/elapsed.Seconds())
+	if *degrees {
+		var h stats.Histogram
+		for _, d := range degreeOf {
+			h.Add(d)
+		}
+		fmt.Printf("out-degree distribution (forward relations): %s\n", h.String())
+		fmt.Printf("p50~%d p99~%d\n", h.QuantileApprox(0.5), h.QuantileApprox(0.99))
+	}
+	if client != nil {
+		st, err := client.Stats()
+		if err != nil {
+			log.Fatalf("stats: %v", err)
+		}
+		fmt.Printf("cluster: %d edges, %.2f MB across %d servers\n",
+			st.NumEdges, float64(st.MemoryBytes)/(1<<20), client.NumServers())
+	}
+}

@@ -1,0 +1,131 @@
+// Command platod2gl-server runs one PlatoD2GL graph server: a samtree-backed
+// dynamic topology store plus an attribute store, served over net/rpc. A
+// cluster is N of these processes; clients partition sources across them
+// hash-by-source (see internal/cluster).
+//
+// Usage:
+//
+//	platod2gl-server -addr :7090 -capacity 256
+package main
+
+import (
+	"expvar"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"platod2gl/internal/cluster"
+	"platod2gl/internal/core"
+	"platod2gl/internal/eventlog"
+	"platod2gl/internal/graph"
+	"platod2gl/internal/kvstore"
+	"platod2gl/internal/storage"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":7090", "listen address")
+		capacity = flag.Int("capacity", core.DefaultCapacity, "samtree node capacity")
+		alpha    = flag.Int("alpha", 0, "alpha-split slackness")
+		noCP     = flag.Bool("no-compress", false, "disable CP-IDs prefix compression")
+		workers  = flag.Int("workers", 0, "batch update workers (0 = all CPUs)")
+		snapshot = flag.String("snapshot", "", "snapshot file: loaded at startup if present, written on SIGINT/SIGTERM")
+		metrics  = flag.String("metrics-addr", "", "HTTP address serving /debug/vars metrics (empty = disabled)")
+		walPath  = flag.String("wal", "", "write-ahead log: replayed at startup, appended per batch")
+	)
+	flag.Parse()
+
+	store := storage.NewDynamicStore(storage.Options{
+		Tree: core.Options{
+			Capacity: *capacity,
+			Alpha:    *alpha,
+			Compress: !*noCP,
+		},
+		Workers: *workers,
+	})
+	if *snapshot != "" {
+		if f, err := os.Open(*snapshot); err == nil {
+			if err := store.Load(f); err != nil {
+				log.Fatalf("load snapshot %s: %v", *snapshot, err)
+			}
+			f.Close()
+			log.Printf("loaded snapshot %s: %d edges", *snapshot, store.NumEdges())
+		} else if !os.IsNotExist(err) {
+			log.Fatalf("open snapshot %s: %v", *snapshot, err)
+		}
+	}
+	svc := cluster.NewService(store, kvstore.New())
+	if *walPath != "" {
+		// Recovery: replay every complete batch (the snapshot, if any,
+		// already restored a prefix; replaying it again is idempotent for
+		// inserts and weight updates but not deletes of re-added edges, so
+		// with both -snapshot and -wal the snapshot should be taken with a
+		// fresh/truncated WAL — see README).
+		if _, err := os.Stat(*walPath); err == nil {
+			n, err := eventlog.Replay(*walPath, func(_ uint64, events []graph.Event) error {
+				store.ApplyBatch(events)
+				return nil
+			})
+			if err != nil {
+				log.Fatalf("replay wal %s: %v", *walPath, err)
+			}
+			log.Printf("replayed %d wal batches: %d edges", n, store.NumEdges())
+		}
+		wal, err := eventlog.Create(*walPath)
+		if err != nil {
+			log.Fatalf("open wal %s: %v", *walPath, err)
+		}
+		svc.SetBatchHook(func(events []graph.Event) error {
+			_, err := wal.Append(events)
+			return err
+		})
+	}
+	srv := cluster.NewServer(svc)
+
+	if *snapshot != "" {
+		sigs := make(chan os.Signal, 1)
+		signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sigs
+			tmp := *snapshot + ".tmp"
+			f, err := os.Create(tmp)
+			if err != nil {
+				log.Fatalf("create snapshot %s: %v", tmp, err)
+			}
+			if err := store.Save(f); err != nil {
+				log.Fatalf("save snapshot: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatalf("close snapshot: %v", err)
+			}
+			if err := os.Rename(tmp, *snapshot); err != nil {
+				log.Fatalf("rename snapshot: %v", err)
+			}
+			log.Printf("saved snapshot %s: %d edges", *snapshot, store.NumEdges())
+			os.Exit(0)
+		}()
+	}
+
+	if *metrics != "" {
+		expvar.Publish("platod2gl_edges", expvar.Func(func() any { return store.NumEdges() }))
+		expvar.Publish("platod2gl_memory_bytes", expvar.Func(func() any { return store.MemoryBytes() }))
+		go func() {
+			if err := http.ListenAndServe(*metrics, nil); err != nil {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+		log.Printf("metrics at http://%s/debug/vars", *metrics)
+	}
+
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen %s: %v", *addr, err)
+	}
+	log.Printf("platod2gl-server listening on %s (capacity=%d alpha=%d compress=%v)",
+		lis.Addr(), *capacity, *alpha, !*noCP)
+	srv.Serve(lis)
+}

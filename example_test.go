@@ -1,0 +1,80 @@
+package platod2gl_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"platod2gl"
+)
+
+// Example demonstrates the core workflow: build a weighted dynamic graph,
+// sample neighbors, apply updates, observe the change.
+func Example() {
+	g := platod2gl.New(platod2gl.WithSeed(1))
+	g.AddEdge(platod2gl.Edge{Src: 1, Dst: 2, Weight: 0.1})
+	g.AddEdge(platod2gl.Edge{Src: 1, Dst: 3, Weight: 0.4})
+	g.AddEdge(platod2gl.Edge{Src: 1, Dst: 5, Weight: 0.2})
+	fmt.Println("edges:", g.NumEdges())
+	fmt.Println("degree of 1:", g.Degree(1, 0))
+
+	g.DeleteEdge(1, 3, 0)
+	fmt.Println("after delete:", g.Degree(1, 0))
+
+	// Output:
+	// edges: 3
+	// degree of 1: 3
+	// after delete: 2
+}
+
+// ExampleGraph_Apply shows batched (PALM-style) update application.
+func ExampleGraph_Apply() {
+	g := platod2gl.New()
+	events := []platod2gl.Event{
+		{Kind: platod2gl.AddEdge, Edge: platod2gl.Edge{Src: 7, Dst: 1, Weight: 1}, Timestamp: 1},
+		{Kind: platod2gl.AddEdge, Edge: platod2gl.Edge{Src: 7, Dst: 2, Weight: 2}, Timestamp: 2},
+		{Kind: platod2gl.UpdateWeight, Edge: platod2gl.Edge{Src: 7, Dst: 1, Weight: 9}, Timestamp: 3},
+		{Kind: platod2gl.DeleteEdge, Edge: platod2gl.Edge{Src: 7, Dst: 2}, Timestamp: 4},
+	}
+	g.Apply(events)
+	w, _ := g.EdgeWeight(7, 1, 0)
+	fmt.Println("edges:", g.NumEdges(), "weight(7->1):", w)
+
+	// Output:
+	// edges: 1 weight(7->1): 9
+}
+
+// ExampleGraph_SampleNeighborsDistinct draws neighbors without replacement.
+func ExampleGraph_SampleNeighborsDistinct() {
+	g := platod2gl.New(platod2gl.WithSeed(3))
+	for i := uint64(10); i < 15; i++ {
+		g.AddEdge(platod2gl.Edge{Src: 1, Dst: platod2gl.VertexID(i), Weight: 1})
+	}
+	got := g.SampleNeighborsDistinct(1, 0, 5, newRand())
+	ids := make([]int, len(got))
+	for i, v := range got {
+		ids[i] = int(v)
+	}
+	sort.Ints(ids)
+	fmt.Println(ids)
+
+	// Output:
+	// [10 11 12 13 14]
+}
+
+// ExampleMakeVertexID shows heterogeneous vertex ID packing.
+func ExampleMakeVertexID() {
+	const vtUser, vtLive = 0, 1
+	u := platod2gl.MakeVertexID(vtUser, 42)
+	l := platod2gl.MakeVertexID(vtLive, 42)
+	fmt.Println(u.Type(), u.Local())
+	fmt.Println(l.Type(), l.Local())
+	fmt.Println("distinct:", u != l)
+
+	// Output:
+	// 0 42
+	// 1 42
+	// distinct: true
+}
+
+func newRand() *rand.Rand { return rand.New(rand.NewSource(9)) }

@@ -1,0 +1,3 @@
+module platod2gl
+
+go 1.22

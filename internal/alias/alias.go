@@ -1,0 +1,105 @@
+// Package alias implements Vose's alias method for weighted sampling in O(1)
+// per draw after O(n) construction.
+//
+// The paper (Sec. V, "Challenges") notes that most existing deep graph
+// learning systems — AliGraph among them — adopt the memory-expensive Alias
+// method, which materializes an extra sampling table (a probability and an
+// alias index per element, 2n words on top of the weights). Because the
+// table encodes global normalization, any weight change forces a full O(n)
+// rebuild, which is why alias tables are confined to static stores. We use
+// this package inside the AliGraph baseline (internal/baseline/aligraph).
+package alias
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Table is an immutable alias sampling table. Build once, sample forever.
+type Table struct {
+	prob  []float64 // probability of keeping column i
+	alias []int32   // fallback column
+	total float64
+}
+
+// New constructs an alias table from the weights using Vose's algorithm.
+// All weights must be non-negative and at least one must be positive.
+func New(weights []float64) (*Table, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("alias: empty weight list")
+	}
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("alias: negative weight %v at index %d", w, i)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("alias: all weights are zero")
+	}
+	t := &Table{
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+		total: total,
+	}
+	// Scale weights so the average column holds probability 1.
+	scaled := make([]float64, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+	}
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, s := range scaled {
+		if s < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		l := small[len(small)-1]
+		small = small[:len(small)-1]
+		g := large[len(large)-1]
+		large = large[:len(large)-1]
+		t.prob[l] = scaled[l]
+		t.alias[l] = g
+		scaled[g] = (scaled[g] + scaled[l]) - 1
+		if scaled[g] < 1 {
+			small = append(small, g)
+		} else {
+			large = append(large, g)
+		}
+	}
+	for _, g := range large {
+		t.prob[g] = 1
+		t.alias[g] = g
+	}
+	for _, l := range small { // numerical residue
+		t.prob[l] = 1
+		t.alias[l] = l
+	}
+	return t, nil
+}
+
+// Len returns the number of elements in the table.
+func (t *Table) Len() int { return len(t.prob) }
+
+// Total returns the sum of the weights the table was built from.
+func (t *Table) Total() float64 { return t.total }
+
+// Sample draws an index with probability proportional to its weight, in O(1).
+func (t *Table) Sample(rng *rand.Rand) int {
+	i := rng.Intn(len(t.prob))
+	if rng.Float64() < t.prob[i] {
+		return i
+	}
+	return int(t.alias[i])
+}
+
+// MemoryBytes returns the structural footprint: the two auxiliary arrays the
+// paper calls out as the Alias method's extra memory cost.
+func (t *Table) MemoryBytes() int64 {
+	return int64(2*24 + 8*cap(t.prob) + 4*cap(t.alias))
+}

@@ -1,0 +1,125 @@
+package alias
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestErrors(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("expected error on empty weights")
+	}
+	if _, err := New([]float64{0, 0}); err == nil {
+		t.Fatal("expected error on all-zero weights")
+	}
+	if _, err := New([]float64{1, -1}); err == nil {
+		t.Fatal("expected error on negative weight")
+	}
+}
+
+func TestSingleElement(t *testing.T) {
+	tab, err := New([]float64{3.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		if got := tab.Sample(rng); got != 0 {
+			t.Fatalf("Sample = %d, want 0", got)
+		}
+	}
+}
+
+func TestDistribution(t *testing.T) {
+	weights := []float64{1, 2, 3, 4, 10, 0.5}
+	tab, err := New(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	const trials = 300000
+	counts := make([]int, len(weights))
+	for i := 0; i < trials; i++ {
+		counts[tab.Sample(rng)]++
+	}
+	chi2 := 0.0
+	for i, w := range weights {
+		expected := float64(trials) * w / tab.Total()
+		d := float64(counts[i]) - expected
+		chi2 += d * d / expected
+	}
+	// 5 dof, p=0.001 critical value 20.52.
+	if chi2 > 20.52 {
+		t.Fatalf("chi-square = %v, counts=%v", chi2, counts)
+	}
+}
+
+func TestZeroWeightNeverSampled(t *testing.T) {
+	tab, err := New([]float64{0, 1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		got := tab.Sample(rng)
+		if got != 1 && got != 3 {
+			t.Fatalf("sampled zero-weight index %d", got)
+		}
+	}
+}
+
+func TestUniformWeights(t *testing.T) {
+	n := 64
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = 2.0
+	}
+	tab, err := New(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	counts := make([]int, n)
+	const trials = 128000
+	for i := 0; i < trials; i++ {
+		counts[tab.Sample(rng)]++
+	}
+	expected := float64(trials) / float64(n)
+	for i, c := range counts {
+		if float64(c) < expected*0.8 || float64(c) > expected*1.2 {
+			t.Fatalf("index %d count %d deviates >20%% from %v", i, c, expected)
+		}
+	}
+}
+
+func BenchmarkSample(b *testing.B) {
+	const n = 1 << 12
+	weights := make([]float64, n)
+	rng := rand.New(rand.NewSource(1))
+	for i := range weights {
+		weights[i] = rng.Float64()
+	}
+	tab, err := New(weights)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Sample(rng)
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	const n = 1 << 12
+	weights := make([]float64, n)
+	rng := rand.New(rand.NewSource(1))
+	for i := range weights {
+		weights[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(weights); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,5 @@
+package aligraph
+
+import "math/rand"
+
+func newRng() *rand.Rand { return rand.New(rand.NewSource(7)) }

@@ -1,0 +1,103 @@
+package platogl
+
+import (
+	"testing"
+
+	"platod2gl/internal/graph"
+	"platod2gl/internal/storage"
+	"platod2gl/internal/storetest"
+)
+
+func TestConformance(t *testing.T) {
+	storetest.Run(t, func() storage.TopologyStore { return New(Options{}) })
+}
+
+func TestConformanceSmallBlocks(t *testing.T) {
+	storetest.Run(t, func() storage.TopologyStore { return New(Options{BlockCap: 4}) })
+}
+
+func TestBlockChainGrowth(t *testing.T) {
+	s := New(Options{BlockCap: 8})
+	for i := uint64(0); i < 100; i++ {
+		s.AddEdge(graph.Edge{Src: 1, Dst: graph.VertexID(i), Weight: 1})
+	}
+	if s.Degree(1, 0) != 100 {
+		t.Fatalf("degree = %d", s.Degree(1, 0))
+	}
+	ids, weights := s.Neighbors(1, 0)
+	if len(ids) != 100 || len(weights) != 100 {
+		t.Fatalf("Neighbors = %d/%d", len(ids), len(weights))
+	}
+	seen := map[graph.VertexID]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate neighbor %v", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestFixedBlockSlackDominatesForLowDegree(t *testing.T) {
+	// One edge per source: every source still pays a full 64-slot block —
+	// the skew-driven blowup the paper's Table IV measures.
+	lowDeg := New(Options{})
+	highDeg := New(Options{})
+	for i := uint64(0); i < 1000; i++ {
+		lowDeg.AddEdge(graph.Edge{Src: graph.VertexID(i), Dst: 1, Weight: 1})
+		highDeg.AddEdge(graph.Edge{Src: 1, Dst: graph.VertexID(i), Weight: 1})
+	}
+	if lowDeg.MemoryBytes() <= 2*highDeg.MemoryBytes() {
+		t.Fatalf("low-degree store (%d B) should cost far more than high-degree (%d B)",
+			lowDeg.MemoryBytes(), highDeg.MemoryBytes())
+	}
+}
+
+func TestDeleteWithinBlockPreservesLocators(t *testing.T) {
+	s := New(Options{BlockCap: 8})
+	for i := uint64(0); i < 8; i++ {
+		s.AddEdge(graph.Edge{Src: 1, Dst: graph.VertexID(i), Weight: float64(i) + 1})
+	}
+	// Delete from the middle: locators of shifted edges must stay valid.
+	if !s.DeleteEdge(1, 3, 0) {
+		t.Fatal("delete failed")
+	}
+	for i := uint64(0); i < 8; i++ {
+		w, ok := s.EdgeWeight(1, graph.VertexID(i), 0)
+		if i == 3 {
+			if ok {
+				t.Fatal("deleted edge still present")
+			}
+			continue
+		}
+		if !ok || w != float64(i)+1 {
+			t.Fatalf("edge %d: %v,%v", i, w, ok)
+		}
+	}
+	// Update an edge that was shifted.
+	if !s.UpdateWeight(1, 7, 0, 99) {
+		t.Fatal("update of shifted edge failed")
+	}
+	if w, _ := s.EdgeWeight(1, 7, 0); w != 99 {
+		t.Fatalf("weight = %v", w)
+	}
+}
+
+func BenchmarkAddEdge(b *testing.B) {
+	s := New(Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.AddEdge(graph.Edge{Src: graph.VertexID(i % 1000), Dst: graph.VertexID(i), Weight: 1})
+	}
+}
+
+func BenchmarkInPlaceUpdate(b *testing.B) {
+	s := New(Options{})
+	const deg = 4096
+	for i := 0; i < deg; i++ {
+		s.AddEdge(graph.Edge{Src: 1, Dst: graph.VertexID(i), Weight: 1})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.UpdateWeight(1, graph.VertexID(i%deg), 0, 2)
+	}
+}

@@ -1,0 +1,167 @@
+// Package bench is the experiment harness that regenerates every table and
+// figure of the PlatoD2GL paper's evaluation (Sec. VII) against the
+// reimplemented systems. Each experiment prints rows in the shape the paper
+// reports (time per batch, memory after building, operation shares, ...);
+// absolute values differ from the paper's testbed, the comparisons are what
+// must hold. cmd/platod2gl-bench drives it; EXPERIMENTS.md records
+// paper-vs-measured values.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"text/tabwriter"
+	"time"
+
+	"platod2gl/internal/baseline/aligraph"
+	"platod2gl/internal/baseline/platogl"
+	"platod2gl/internal/core"
+	"platod2gl/internal/dataset"
+	"platod2gl/internal/graph"
+	"platod2gl/internal/storage"
+)
+
+// Config controls experiment scale. The defaults finish a full run in a few
+// minutes on a laptop; the paper's full-scale graphs are scaled down per the
+// substitution rules in DESIGN.md.
+type Config struct {
+	// TargetEdges is the per-dataset logical edge budget (the generator
+	// doubles it with reverse edges).
+	TargetEdges int64
+	// BatchSize is the event batch size used while building graphs.
+	BatchSize int
+	// Workers bounds update parallelism during builds.
+	Workers int
+	// Seed drives every generator.
+	Seed int64
+	// Out receives the formatted tables.
+	Out io.Writer
+}
+
+// WithDefaults fills zero fields.
+func (c Config) WithDefaults() Config {
+	if c.TargetEdges == 0 {
+		c.TargetEdges = 150_000
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 8192
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// SystemName identifies a storage engine under test.
+type SystemName string
+
+// The four engines of the paper's comparison.
+const (
+	SysAliGraph SystemName = "AliGraph"
+	SysPlatoGL  SystemName = "PlatoGL"
+	SysD2GL     SystemName = "PlatoD2GL"
+	SysD2GLNoCP SystemName = "w/o CP"
+)
+
+// NewStore builds a fresh store for the named system.
+func NewStore(name SystemName, workers int) storage.TopologyStore {
+	switch name {
+	case SysAliGraph:
+		return aligraph.New(aligraph.Options{Workers: workers})
+	case SysPlatoGL:
+		return platogl.New(platogl.Options{Workers: workers})
+	case SysD2GL:
+		return storage.NewDynamicStore(storage.Options{
+			Tree: core.Options{Compress: true}, Workers: workers})
+	case SysD2GLNoCP:
+		return storage.NewDynamicStore(storage.Options{
+			Tree: core.Options{Compress: false}, Workers: workers})
+	default:
+		panic(fmt.Sprintf("bench: unknown system %q", name))
+	}
+}
+
+// AllSystems is the paper's comparison order.
+var AllSystems = []SystemName{SysAliGraph, SysPlatoGL, SysD2GL, SysD2GLNoCP}
+
+// Datasets returns the three evaluation specs scaled to the edge budget.
+func Datasets(target int64) []*dataset.Spec {
+	specs := []*dataset.Spec{dataset.OGBNSim(), dataset.RedditSim(), dataset.WeChatSim()}
+	out := make([]*dataset.Spec, len(specs))
+	for i, s := range specs {
+		out[i] = s.Scale(float64(target) / float64(s.TotalEvents()))
+		out[i].Name = specs[i].Name // keep the clean label
+	}
+	return out
+}
+
+// WeChatScaled returns the WeChat spec scaled to the edge budget.
+func WeChatScaled(target int64) *dataset.Spec {
+	s := dataset.WeChatSim()
+	out := s.Scale(float64(target) / float64(s.TotalEvents()))
+	out.Name = "WeChat"
+	return out
+}
+
+// Load streams spec events into the store in batches, returning the build
+// wall time. Generation happens outside the timed region.
+func Load(store storage.TopologyStore, spec *dataset.Spec, mix dataset.Mix, target int64, batch int, seed int64) time.Duration {
+	gen := dataset.NewGenerator(spec, mix, seed)
+	var total time.Duration
+	remaining := target
+	for remaining > 0 {
+		n := int64(batch)
+		if n > remaining {
+			n = remaining
+		}
+		events := gen.Next(int(n))
+		start := time.Now()
+		store.ApplyBatch(events)
+		total += time.Since(start)
+		remaining -= n
+	}
+	return total
+}
+
+// PrepareBatches pre-generates event batches so timed regions exclude
+// generation.
+func PrepareBatches(spec *dataset.Spec, mix dataset.Mix, nBatches, batchSize int, seed int64) [][]graph.Event {
+	gen := dataset.NewGenerator(spec, mix, seed)
+	out := make([][]graph.Event, nBatches)
+	for i := range out {
+		out[i] = gen.Next(batchSize)
+	}
+	return out
+}
+
+// tab returns a tabwriter over the config output.
+func tab(cfg Config) *tabwriter.Writer {
+	return tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+}
+
+func header(cfg Config, title string) {
+	fmt.Fprintf(cfg.Out, "\n=== %s ===\n", title)
+}
+
+// fmtDur renders a duration in ms with sub-ms precision.
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+}
+
+// fmtBytes renders a byte count human-readably.
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2fKB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

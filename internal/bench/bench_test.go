@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"platod2gl/internal/dataset"
+)
+
+// tinyConfig keeps harness smoke tests fast.
+func tinyConfig(buf *bytes.Buffer) Config {
+	return Config{TargetEdges: 4000, BatchSize: 1024, Workers: 2, Seed: 1, Out: buf}.WithDefaults()
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.TargetEdges == 0 || c.BatchSize == 0 || c.Workers == 0 || c.Seed == 0 {
+		t.Fatalf("defaults not filled: %+v", c)
+	}
+}
+
+func TestNewStoreAllSystems(t *testing.T) {
+	for _, sys := range AllSystems {
+		st := NewStore(sys, 1)
+		if st == nil {
+			t.Fatalf("NewStore(%s) = nil", sys)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown system")
+		}
+	}()
+	NewStore("nope", 1)
+}
+
+func TestDatasetsScaledToBudget(t *testing.T) {
+	for _, spec := range Datasets(10000) {
+		total := spec.TotalEvents()
+		if total < 5000 || total > 20000 {
+			t.Fatalf("%s scaled to %d events, want ~10000", spec.Name, total)
+		}
+	}
+}
+
+func TestLoadBuildsGraph(t *testing.T) {
+	spec := WeChatScaled(5000)
+	st := NewStore(SysD2GL, 2)
+	dur := Load(st, spec, dataset.BuildMix, 5000, 512, 1)
+	if dur <= 0 {
+		t.Fatal("Load reported non-positive duration")
+	}
+	// Bi-directed: close to 2x logical edges (repeat interactions collapse
+	// some).
+	if st.NumEdges() < 5000 {
+		t.Fatalf("loaded only %d edges", st.NumEdges())
+	}
+}
+
+func TestRunTable2Smoke(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	RunTable2(cfg)
+	out := buf.String()
+	if !strings.Contains(out, "Table II") || !strings.Contains(out, "FTS upd") {
+		t.Fatalf("unexpected output: %s", out)
+	}
+}
+
+func TestRunFig8Table4Smoke(t *testing.T) {
+	var buf bytes.Buffer
+	RunFig8Table4(tinyConfig(&buf))
+	out := buf.String()
+	for _, want := range []string{"Fig. 8", "Table IV", "OGBN", "Reddit", "WeChat", "PlatoD2GL"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFig9Smoke(t *testing.T) {
+	var buf bytes.Buffer
+	RunFig9(tinyConfig(&buf))
+	if !strings.Contains(buf.String(), "Fig. 9") {
+		t.Fatalf("output: %s", buf.String())
+	}
+}
+
+func TestRunTable5Smoke(t *testing.T) {
+	var buf bytes.Buffer
+	RunTable5(tinyConfig(&buf))
+	out := buf.String()
+	if !strings.Contains(out, "1024") {
+		t.Fatalf("output: %s", out)
+	}
+}
+
+func TestRunFig10Smoke(t *testing.T) {
+	var buf bytes.Buffer
+	RunFig10(tinyConfig(&buf))
+	out := buf.String()
+	if !strings.Contains(out, "Fig. 10(a-c)") || !strings.Contains(out, "Fig. 10(d-f)") {
+		t.Fatalf("output: %s", out)
+	}
+}
+
+func TestRunFig11Smoke(t *testing.T) {
+	var buf bytes.Buffer
+	RunFig11(tinyConfig(&buf))
+	out := buf.String()
+	for _, want := range []string{"11(a)", "11(b)", "11(c)", "11(d)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunGNNSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	RunGNN(tinyConfig(&buf))
+	if !strings.Contains(buf.String(), "SAGE acc") {
+		t.Fatalf("output: %s", buf.String())
+	}
+}
+
+func TestFmtHelpers(t *testing.T) {
+	if got := fmtBytes(2 << 30); got != "2.00GB" {
+		t.Fatalf("fmtBytes = %q", got)
+	}
+	if got := fmtBytes(512); got != "512B" {
+		t.Fatalf("fmtBytes = %q", got)
+	}
+	if log2(1<<14) != 14 {
+		t.Fatal("log2 wrong")
+	}
+}
+
+func TestRunAblationsSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	RunAblations(tinyConfig(&buf))
+	out := buf.String()
+	for _, want := range []string{"Ablation 1", "Ablation 2", "Ablation 3", "Ablation 4", "FTS", "alpha", "batched"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunClusterSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	RunCluster(tinyConfig(&buf))
+	out := buf.String()
+	if !strings.Contains(out, "Cluster scaling") || !strings.Contains(out, "servers") {
+		t.Fatalf("output: %s", out)
+	}
+}

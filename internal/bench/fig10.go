@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"platod2gl/internal/dataset"
+	"platod2gl/internal/graph"
+	"platod2gl/internal/sampler"
+	"platod2gl/internal/storage"
+)
+
+// RunFig10 regenerates Fig. 10: (a-c) neighbor-sampling latency (50
+// neighbors per seed) and (d-f) 2-hop subgraph-sampling latency, per batch
+// size, on the three datasets, across systems.
+func RunFig10(cfg Config) {
+	cfg = cfg.WithDefaults()
+	for _, spec := range Datasets(cfg.TargetEdges) {
+		// Build every system once per dataset.
+		systems := []SystemName{SysAliGraph, SysPlatoGL, SysD2GL, SysD2GLNoCP}
+		stores := map[SystemName]storage.TopologyStore{}
+		for _, sys := range systems {
+			st := NewStore(sys, cfg.Workers)
+			Load(st, spec, dataset.BuildMix, cfg.TargetEdges, cfg.BatchSize, cfg.Seed)
+			stores[sys] = st
+		}
+		seedsPool := stores[SysD2GL].Sources(0)
+		if len(seedsPool) == 0 {
+			continue
+		}
+
+		header(cfg, fmt.Sprintf("Fig. 10(a-c) — neighbor sampling (50/seed), %s", spec.Name))
+		w := tab(cfg)
+		fmt.Fprintln(w, "batch\tAliGraph\tPlatoGL\tPlatoD2GL\tw/o CP\tspeedup vs PlatoGL")
+		for _, batch := range []int{1 << 8, 1 << 10, 1 << 12, 1 << 14} {
+			seeds := pickSeeds(seedsPool, batch)
+			times := map[SystemName]time.Duration{}
+			for _, sys := range systems {
+				smp := sampler.New(stores[sys], sampler.Options{Parallelism: cfg.Workers, Seed: cfg.Seed})
+				start := time.Now()
+				smp.SampleNeighbors(seeds, 0, 50)
+				times[sys] = time.Since(start)
+			}
+			fmt.Fprintf(w, "2^%d\t%s\t%s\t%s\t%s\t%.1fx\n",
+				log2(batch), fmtDur(times[SysAliGraph]), fmtDur(times[SysPlatoGL]),
+				fmtDur(times[SysD2GL]), fmtDur(times[SysD2GLNoCP]),
+				float64(times[SysPlatoGL])/float64(times[SysD2GL]))
+		}
+		w.Flush()
+
+		header(cfg, fmt.Sprintf("Fig. 10(d-f) — 2-hop subgraph sampling (25,10), %s", spec.Name))
+		w = tab(cfg)
+		fmt.Fprintln(w, "batch\tAliGraph\tPlatoGL\tPlatoD2GL\tw/o CP\tspeedup vs PlatoGL")
+		// The reverse relation exists for every dataset (bi-directed), so a
+		// 2-hop forward/backward meta-path always has fan-out at hop 2.
+		path := graph.MetaPath{0, dataset.ReverseOffset}
+		for _, batch := range []int{1 << 8, 1 << 10, 1 << 12} {
+			seeds := pickSeeds(seedsPool, batch)
+			times := map[SystemName]time.Duration{}
+			for _, sys := range systems {
+				smp := sampler.New(stores[sys], sampler.Options{Parallelism: cfg.Workers, Seed: cfg.Seed})
+				start := time.Now()
+				smp.SampleSubgraph(seeds, path, []int{25, 10})
+				times[sys] = time.Since(start)
+			}
+			fmt.Fprintf(w, "2^%d\t%s\t%s\t%s\t%s\t%.1fx\n",
+				log2(batch), fmtDur(times[SysAliGraph]), fmtDur(times[SysPlatoGL]),
+				fmtDur(times[SysD2GL]), fmtDur(times[SysD2GLNoCP]),
+				float64(times[SysPlatoGL])/float64(times[SysD2GL]))
+		}
+		w.Flush()
+	}
+	fmt.Fprintln(cfg.Out, "expected shape: time grows with batch size; PlatoD2GL at least on par with PlatoGL (paper: up to 2.9x neighbor, 10.1x subgraph).")
+}
+
+func pickSeeds(pool []graph.VertexID, n int) []graph.VertexID {
+	out := make([]graph.VertexID, n)
+	for i := range out {
+		out[i] = pool[i%len(pool)]
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"platod2gl/internal/core"
+	"platod2gl/internal/dataset"
+	"platod2gl/internal/storage"
+)
+
+// RunFig11 regenerates the four parameter-sensitivity plots of Fig. 11 on
+// the WeChat workload: (a) update time vs batch size, (b) vs samtree node
+// capacity, (c) concurrent update time vs thread count, (d) insertion time
+// vs α-Split slackness.
+func RunFig11(cfg Config) {
+	cfg = cfg.WithDefaults()
+	spec := WeChatScaled(cfg.TargetEdges)
+
+	// (a) batch size sweep.
+	header(cfg, "Fig. 11(a) — PlatoD2GL dynamic insertion time vs batch size (WeChat)")
+	{
+		st := NewStore(SysD2GL, cfg.Workers)
+		Load(st, spec, dataset.BuildMix, cfg.TargetEdges, cfg.BatchSize, cfg.Seed)
+		w := tab(cfg)
+		fmt.Fprintln(w, "batch\ttime/batch\ttime/edge")
+		for _, batch := range []int{1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 17} {
+			if int64(batch) > 4*cfg.TargetEdges {
+				break
+			}
+			batches := PrepareBatches(spec, dataset.DynamicMix, 3, batch, cfg.Seed+11)
+			var total time.Duration
+			for _, events := range batches {
+				start := time.Now()
+				st.ApplyBatch(events)
+				total += time.Since(start)
+			}
+			per := total / time.Duration(len(batches))
+			fmt.Fprintf(w, "2^%d\t%s\t%dns\n", log2(batch), fmtDur(per),
+				per.Nanoseconds()/int64(batch*2)) // *2: bi-directed mirror events
+		}
+		w.Flush()
+		fmt.Fprintln(cfg.Out, "expected shape: per-batch time grows with batch size, per-edge time roughly flat (paper: <25ms at 2^17).")
+	}
+
+	// (b) node capacity sweep.
+	header(cfg, "Fig. 11(b) — insertion time vs samtree node capacity")
+	{
+		w := tab(cfg)
+		fmt.Fprintln(w, "capacity\tbuild time")
+		for _, capacity := range []int{1 << 6, 1 << 7, 1 << 8, 1 << 9, 1 << 10} {
+			st := storage.NewDynamicStore(storage.Options{
+				Tree:    core.Options{Capacity: capacity, Compress: true},
+				Workers: cfg.Workers,
+			})
+			dur := Load(st, spec, dataset.DynamicMix, cfg.TargetEdges, cfg.BatchSize, cfg.Seed)
+			fmt.Fprintf(w, "2^%d\t%.3fs\n", log2(capacity), dur.Seconds())
+		}
+		w.Flush()
+		fmt.Fprintln(cfg.Out, "expected shape: a shallow optimum around 2^8 (the paper's default).")
+	}
+
+	// (c) thread sweep × batch size.
+	header(cfg, "Fig. 11(c) — concurrent update time vs worker threads")
+	{
+		w := tab(cfg)
+		fmt.Fprintln(w, "threads\tbatch 2^12\tbatch 2^13\tbatch 2^14")
+		for _, threads := range []int{1, 2, 4, 8, 16, 32} {
+			fmt.Fprintf(w, "%d", threads)
+			for _, batch := range []int{1 << 12, 1 << 13, 1 << 14} {
+				st := storage.NewDynamicStore(storage.Options{
+					Tree:    core.Options{Compress: true},
+					Workers: threads,
+				})
+				Load(st, spec, dataset.BuildMix, cfg.TargetEdges/2, cfg.BatchSize, cfg.Seed)
+				batches := PrepareBatches(spec, dataset.DynamicMix, 4, batch, cfg.Seed+13)
+				var total time.Duration
+				for _, events := range batches {
+					start := time.Now()
+					st.ApplyBatch(events)
+					total += time.Since(start)
+				}
+				fmt.Fprintf(w, "\t%s", fmtDur(total/time.Duration(len(batches))))
+			}
+			fmt.Fprintln(w)
+		}
+		w.Flush()
+		fmt.Fprintln(cfg.Out, "expected shape: time decreases with threads until core count, consistent at each batch size.")
+	}
+
+	// (d) α-Split slackness sweep.
+	header(cfg, "Fig. 11(d) — insertion time vs α-Split slackness")
+	{
+		w := tab(cfg)
+		fmt.Fprintln(w, "alpha\tbuild time")
+		for _, alpha := range []int{0, 2, 8, 32, 128} {
+			st := storage.NewDynamicStore(storage.Options{
+				Tree:    core.Options{Alpha: alpha, Compress: true},
+				Workers: cfg.Workers,
+			})
+			dur := Load(st, spec, dataset.BuildMix, cfg.TargetEdges, cfg.BatchSize, cfg.Seed)
+			fmt.Fprintf(w, "%d\t%.3fs\n", alpha, dur.Seconds())
+		}
+		w.Flush()
+		fmt.Fprintln(cfg.Out, "expected shape: larger alpha -> slightly less time (softer pivots, fewer partition rounds).")
+	}
+}

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"platod2gl/internal/dataset"
+	"platod2gl/internal/storage"
+)
+
+// BuildResult records one system's graph-building run on one dataset.
+type BuildResult struct {
+	System SystemName
+	Build  time.Duration
+	Memory int64
+	Edges  int64
+	Store  storage.TopologyStore
+}
+
+// BuildAll streams the dataset into every system and reports build time and
+// memory — the measurements behind Fig. 8 and Table IV.
+func BuildAll(cfg Config, spec *dataset.Spec, keepStores bool) []BuildResult {
+	cfg = cfg.WithDefaults()
+	out := make([]BuildResult, 0, len(AllSystems))
+	for _, sys := range AllSystems {
+		store := NewStore(sys, cfg.Workers)
+		dur := Load(store, spec, dataset.BuildMix, cfg.TargetEdges, cfg.BatchSize, cfg.Seed)
+		r := BuildResult{System: sys, Build: dur, Memory: store.MemoryBytes(), Edges: store.NumEdges()}
+		if keepStores {
+			r.Store = store
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// RunFig8 regenerates Fig. 8 (graph building time) and Fig. 9's companion
+// Table IV (memory after building) in one pass over the three datasets.
+func RunFig8Table4(cfg Config) {
+	cfg = cfg.WithDefaults()
+	header(cfg, fmt.Sprintf("Fig. 8 — graph building time (%d logical edges/dataset, batch %d)",
+		cfg.TargetEdges, cfg.BatchSize))
+	specs := Datasets(cfg.TargetEdges)
+	results := make(map[string][]BuildResult, len(specs))
+	w := tab(cfg)
+	fmt.Fprintln(w, "dataset\tAliGraph\tPlatoGL\tPlatoD2GL\tw/o CP\tspeedup vs PlatoGL")
+	for _, spec := range specs {
+		rs := BuildAll(cfg, spec, false)
+		results[spec.Name] = rs
+		byName := indexResults(rs)
+		speed := float64(byName[SysPlatoGL].Build) / float64(byName[SysD2GL].Build)
+		fmt.Fprintf(w, "%s\t%.2fs\t%.2fs\t%.2fs\t%.2fs\t%.1fx\n",
+			spec.Name,
+			byName[SysAliGraph].Build.Seconds(),
+			byName[SysPlatoGL].Build.Seconds(),
+			byName[SysD2GL].Build.Seconds(),
+			byName[SysD2GLNoCP].Build.Seconds(),
+			speed)
+	}
+	w.Flush()
+	fmt.Fprintln(cfg.Out, "expected shape: PlatoD2GL fastest (paper: up to 6.3x over AliGraph, up to 2.5x over PlatoGL on WeChat).")
+
+	header(cfg, "Table IV — memory cost after graph building")
+	w = tab(cfg)
+	fmt.Fprintln(w, "dataset\tAliGraph\tPlatoGL\tPlatoD2GL\tw/o CP\tvs 2nd-best\tvs w/o CP")
+	for _, spec := range specs {
+		byName := indexResults(results[spec.Name])
+		d2gl := byName[SysD2GL].Memory
+		// "Second-best" compares against the competing systems, not our own
+		// ablation (the paper lists w/o CP separately).
+		secondBest := byName[SysPlatoGL].Memory
+		if m := byName[SysAliGraph].Memory; m < secondBest {
+			secondBest = m
+		}
+		impSecond := 100 * (1 - float64(d2gl)/float64(secondBest))
+		impNoCP := 100 * (1 - float64(d2gl)/float64(byName[SysD2GLNoCP].Memory))
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t↓%.1f%%\t↓%.1f%%\n",
+			spec.Name,
+			fmtBytes(byName[SysAliGraph].Memory),
+			fmtBytes(byName[SysPlatoGL].Memory),
+			fmtBytes(d2gl),
+			fmtBytes(byName[SysD2GLNoCP].Memory),
+			impSecond, impNoCP)
+	}
+	w.Flush()
+	fmt.Fprintln(cfg.Out, "expected shape: PlatoD2GL smallest (paper: up to 79.8% below 2nd-best; CP saves 18-48.6%).")
+
+	// Extrapolate the measured bytes/edge to the paper's production scale
+	// (WeChat: 63.9B logical edges, stored bi-directed) for a direct
+	// absolute comparison with the paper's 4.2TB -> 1TB claim.
+	wc := indexResults(results["WeChat"])
+	const paperStoredEdges = 2 * 63.9e9
+	if wc[SysD2GL].Edges > 0 && wc[SysPlatoGL].Edges > 0 {
+		projD2GL := float64(wc[SysD2GL].Memory) / float64(wc[SysD2GL].Edges) * paperStoredEdges
+		projPGL := float64(wc[SysPlatoGL].Memory) / float64(wc[SysPlatoGL].Edges) * paperStoredEdges
+		fmt.Fprintf(cfg.Out,
+			"projection to paper scale (127.8B stored edges): PlatoGL %.1fTB, PlatoD2GL %.1fTB (paper: 4.2TB -> 1TB).\n",
+			projPGL/(1<<40), projD2GL/(1<<40))
+	}
+}
+
+func indexResults(rs []BuildResult) map[SystemName]BuildResult {
+	m := make(map[SystemName]BuildResult, len(rs))
+	for _, r := range rs {
+		m[r.System] = r
+	}
+	return m
+}

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"platod2gl/internal/dataset"
+	"platod2gl/internal/storage"
+)
+
+// RunFig9 regenerates Fig. 9: dynamic-update latency per batch on the
+// WeChat workload as the batch size grows, PlatoGL vs PlatoD2GL (plus the
+// w/o CP ablation). Each store is pre-loaded with a base graph, then timed
+// on DynamicMix batches (inserts + repeat interactions + weight updates +
+// deletions — the traffic that punishes O(n) CSTable maintenance).
+func RunFig9(cfg Config) {
+	cfg = cfg.WithDefaults()
+	header(cfg, "Fig. 9 — dynamic update time per batch vs batch size (WeChat)")
+	spec := WeChatScaled(cfg.TargetEdges)
+	systems := []SystemName{SysPlatoGL, SysD2GL, SysD2GLNoCP}
+	stores := make(map[SystemName]storage.TopologyStore, len(systems))
+	for _, sys := range systems {
+		st := NewStore(sys, cfg.Workers)
+		Load(st, spec, dataset.BuildMix, cfg.TargetEdges, cfg.BatchSize, cfg.Seed)
+		stores[sys] = st
+	}
+	w := tab(cfg)
+	fmt.Fprintln(w, "batch\tPlatoGL\tPlatoD2GL\tw/o CP\tspeedup")
+	for _, batch := range []int{1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16} {
+		if int64(batch) > cfg.TargetEdges {
+			break
+		}
+		times := make(map[SystemName]time.Duration, len(systems))
+		for _, sys := range systems {
+			// Fresh deterministic traffic per system so each store sees the
+			// same logical updates.
+			batches := PrepareBatches(spec, dataset.DynamicMix, 4, batch, cfg.Seed+7)
+			var total time.Duration
+			for _, events := range batches {
+				start := time.Now()
+				stores[sys].ApplyBatch(events)
+				total += time.Since(start)
+			}
+			times[sys] = total / time.Duration(len(batches))
+		}
+		fmt.Fprintf(w, "2^%d\t%s\t%s\t%s\t%.1fx\n",
+			log2(batch), fmtDur(times[SysPlatoGL]), fmtDur(times[SysD2GL]),
+			fmtDur(times[SysD2GLNoCP]),
+			float64(times[SysPlatoGL])/float64(times[SysD2GL]))
+	}
+	w.Flush()
+	fmt.Fprintln(cfg.Out, "expected shape: PlatoD2GL faster at every batch size (paper: up to 5.4x; <20ms at 2^16 vs >120ms).")
+}
+
+func log2(n int) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"platod2gl/internal/core"
+	"platod2gl/internal/dataset"
+	"platod2gl/internal/gnn"
+	"platod2gl/internal/graph"
+	"platod2gl/internal/kvstore"
+	"platod2gl/internal/storage"
+)
+
+// RunGNN demonstrates end-to-end dynamic GNN training (Fig. 1's workload):
+// a 2-layer GraphSAGE classifier trained on neighborhoods sampled live from
+// the samtree store, while the graph keeps receiving updates between
+// epochs — the "dynamic GNN model M^(t) works on dynamic graph G^(t)"
+// setting of Sec. II-A.
+func RunGNN(cfg Config) {
+	cfg = cfg.WithDefaults()
+	header(cfg, "End-to-end dynamic GNN training (2-layer GraphSAGE on OGBN-sim)")
+	const (
+		n       = 2000
+		classes = 4
+		dim     = 16
+	)
+	store := storage.NewDynamicStore(storage.Options{
+		Tree: core.Options{Compress: true}, Workers: cfg.Workers})
+	attrs := kvstore.New()
+	dataset.AssignFeatures(attrs, 0, n, dim, classes, 2.0, cfg.Seed)
+
+	// Homophilous topology: each vertex links to 8 same-class peers.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	byClass := make([][]graph.VertexID, classes)
+	ids := make([]graph.VertexID, n)
+	for i := 0; i < n; i++ {
+		id := graph.MakeVertexID(0, uint64(i))
+		ids[i] = id
+		l, _ := attrs.Label(id)
+		byClass[l] = append(byClass[l], id)
+	}
+	for _, id := range ids {
+		l, _ := attrs.Label(id)
+		peers := byClass[l]
+		for j := 0; j < 8; j++ {
+			// 25% noise edges keep the task from being linearly separable.
+			dst := peers[rng.Intn(len(peers))]
+			if rng.Intn(4) == 0 {
+				dst = ids[rng.Intn(n)]
+			}
+			store.AddEdge(graph.Edge{Src: id, Dst: dst, Weight: 1})
+		}
+	}
+
+	model := gnn.NewModel(dim, 32, classes, rng)
+	tr := gnn.NewTrainer(model, store, attrs, 0, 8, 5, 0.02)
+	gat := gnn.NewGATTrainer(gnn.NewGATModel(dim, 32, classes, rng), store, attrs, 0, 6, 0.02)
+	train, test := ids[:1600], ids[1600:]
+	w := tab(cfg)
+	fmt.Fprintln(w, "epoch\tSAGE loss\tSAGE acc\tGAT loss\tGAT acc\tgraph edges")
+	for e := 0; e < 6; e++ {
+		res := tr.TrainEpoch(e, train, 64, rng)
+		gatRes := gat.TrainEpoch(e, train, 64, rng)
+		// Dynamic updates between epochs: new same-class edges arrive, the
+		// trainer's next samples see them immediately.
+		for k := 0; k < 200; k++ {
+			id := ids[rng.Intn(n)]
+			l, _ := attrs.Label(id)
+			peers := byClass[l]
+			store.AddEdge(graph.Edge{Src: id, Dst: peers[rng.Intn(len(peers))], Weight: 1})
+		}
+		fmt.Fprintf(w, "%d\t%.4f\t%.3f\t%.4f\t%.3f\t%d\n",
+			e, res.MeanLoss, tr.Accuracy(test), gatRes.MeanLoss, gat.Accuracy(test), store.NumEdges())
+	}
+	w.Flush()
+	fmt.Fprintln(cfg.Out, "expected shape: both losses decrease, accuracies well above the 0.25 random baseline, edges grow between epochs.")
+}

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"platod2gl/internal/cstable"
+	"platod2gl/internal/fenwick"
+)
+
+// RunTable2 validates Table II empirically: per-operation latency of the
+// ITS CSTable vs the FTS FSTable as the element count grows. ITS update and
+// delete are O(n) — their per-op cost grows linearly — while every FSTable
+// operation and both samplers stay O(log n).
+func RunTable2(cfg Config) {
+	cfg = cfg.WithDefaults()
+	header(cfg, "Table II — per-op latency, ITS (CSTable) vs FTS (FSTable)")
+	w := tab(cfg)
+	fmt.Fprintln(w, "n\tITS upd\tFTS upd\tITS del\tFTS del\tITS sample\tFTS sample\tupd speedup")
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, n := range []int{1 << 6, 1 << 8, 1 << 10, 1 << 12, 1 << 14} {
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = rng.Float64() + 0.1
+		}
+		cs := cstable.New(weights)
+		fs := fenwick.New(weights)
+		iters := 1 << 22 / n // scale iterations down with n for bounded runtime
+		if iters < 1024 {
+			iters = 1024
+		}
+
+		itsUpd := perOp(iters, func(i int) { cs.Update(i%n, 1.5) })
+		ftsUpd := perOp(iters, func(i int) { fs.Update(i%n, 1.5) })
+		// Delete+append pairs keep the size constant.
+		itsDel := perOp(iters, func(i int) { cs.Delete(i % (n - 1)); cs.Append(1) }) / 2
+		ftsDel := perOp(iters, func(i int) { fs.Delete(i % (n - 1)); fs.Append(1) }) / 2
+		totalC := cs.Total()
+		itsSmp := perOp(iters, func(i int) { cs.Sample(float64(i%997) / 997 * totalC) })
+		totalF := fs.Total()
+		ftsSmp := perOp(iters, func(i int) { fs.Sample(float64(i%997) / 997 * totalF) })
+
+		speedup := float64(itsUpd) / float64(ftsUpd)
+		fmt.Fprintf(w, "%d\t%s\t%s\t%s\t%s\t%s\t%s\t%.1fx\n",
+			n, fmtNs(itsUpd), fmtNs(ftsUpd), fmtNs(itsDel), fmtNs(ftsDel),
+			fmtNs(itsSmp), fmtNs(ftsSmp), speedup)
+	}
+	w.Flush()
+	fmt.Fprintln(cfg.Out, "expected shape: ITS upd/del grow ~linearly with n; FTS stays ~flat (O(log n)); sampling comparable.")
+}
+
+// perOp runs fn iters times and returns the mean per-op duration.
+func perOp(iters int, fn func(i int)) time.Duration {
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn(i)
+	}
+	return time.Since(start) / time.Duration(iters)
+}
+
+func fmtNs(d time.Duration) string {
+	return fmt.Sprintf("%dns", d.Nanoseconds())
+}

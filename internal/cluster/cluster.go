@@ -1,0 +1,466 @@
+// Package cluster implements PlatoD2GL's distributed deployment (Sec. I:
+// billion-edge graphs "cannot be stored in a single machine"): a set of
+// graph servers, each owning the samtrees of the sources hashed to it
+// (hash-by-source partitioning, the same scheme the paper configures for
+// AliGraph), plus a fan-out client that partitions update batches and
+// reassembles sampling results.
+//
+// Transport is net/rpc over any net.Conn: TCP for the standalone server
+// binary, in-memory pipes for tests and single-process clusters — the
+// paper's cluster of 54 storage servers is simulated as N in-process servers
+// (see DESIGN.md, substitutions).
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+
+	"platod2gl/internal/graph"
+	"platod2gl/internal/kvstore"
+	"platod2gl/internal/storage"
+)
+
+// ServiceName is the registered RPC receiver name.
+const ServiceName = "PlatoD2GL"
+
+// BatchArgs carries a topology update batch.
+type BatchArgs struct {
+	Events []graph.Event
+}
+
+// BatchReply reports the resulting edge count on the server.
+type BatchReply struct {
+	NumEdges int64
+}
+
+// SampleArgs requests fanout weighted neighbor samples for each seed.
+type SampleArgs struct {
+	Seeds  []graph.VertexID
+	Type   graph.EdgeType
+	Fanout int
+	Seed   int64
+}
+
+// SampleReply returns, per seed, its samples flattened: seed i owns
+// Neighbors[i*Fanout:(i+1)*Fanout]. Slots that could not be filled hold the
+// seed itself.
+type SampleReply struct {
+	Neighbors []graph.VertexID
+}
+
+// DegreeArgs queries out-degrees.
+type DegreeArgs struct {
+	Nodes []graph.VertexID
+	Type  graph.EdgeType
+}
+
+// DegreeReply returns the degrees aligned with the request.
+type DegreeReply struct {
+	Degrees []int
+}
+
+// FeatureArgs requests dense feature rows.
+type FeatureArgs struct {
+	Nodes []graph.VertexID
+	Dim   int
+}
+
+// FeatureReply returns a row-major (len(Nodes) × Dim) matrix.
+type FeatureReply struct {
+	Data []float32
+}
+
+// SetFeaturesArgs pushes dense feature rows and labels to a server.
+type SetFeaturesArgs struct {
+	Nodes  []graph.VertexID
+	Dim    int
+	Data   []float32 // row-major (len(Nodes) x Dim)
+	Labels []int32   // optional, aligned with Nodes (empty = none)
+}
+
+// SetFeaturesReply is empty.
+type SetFeaturesReply struct{}
+
+// StatsArgs is empty.
+type StatsArgs struct{}
+
+// StatsReply reports server-level statistics.
+type StatsReply struct {
+	NumEdges    int64
+	MemoryBytes int64
+	NumSources  int
+}
+
+// Service is the RPC receiver for one graph server.
+type Service struct {
+	store   storage.TopologyStore
+	attrs   *kvstore.Store
+	onBatch func([]graph.Event) error
+}
+
+// NewService wraps a topology store and an attribute store.
+func NewService(store storage.TopologyStore, attrs *kvstore.Store) *Service {
+	return &Service{store: store, attrs: attrs}
+}
+
+// SetBatchHook installs a durability hook invoked before every applied
+// batch (e.g. a write-ahead log append). A hook error rejects the batch.
+func (s *Service) SetBatchHook(fn func([]graph.Event) error) { s.onBatch = fn }
+
+// ApplyBatch applies a topology update batch, invoking the durability hook
+// first.
+func (s *Service) ApplyBatch(args *BatchArgs, reply *BatchReply) error {
+	if s.onBatch != nil {
+		if err := s.onBatch(args.Events); err != nil {
+			return fmt.Errorf("cluster: batch hook: %w", err)
+		}
+	}
+	s.store.ApplyBatch(args.Events)
+	reply.NumEdges = s.store.NumEdges()
+	return nil
+}
+
+// SampleNeighbors draws weighted neighbor samples for each seed.
+func (s *Service) SampleNeighbors(args *SampleArgs, reply *SampleReply) error {
+	if args.Fanout < 0 {
+		return fmt.Errorf("cluster: negative fanout %d", args.Fanout)
+	}
+	smp := newServerSampler(s.store, args.Seed)
+	reply.Neighbors = smp.sample(args.Seeds, args.Type, args.Fanout)
+	return nil
+}
+
+// Degree returns out-degrees.
+func (s *Service) Degree(args *DegreeArgs, reply *DegreeReply) error {
+	reply.Degrees = make([]int, len(args.Nodes))
+	for i, n := range args.Nodes {
+		reply.Degrees[i] = s.store.Degree(n, args.Type)
+	}
+	return nil
+}
+
+// Features gathers feature rows.
+func (s *Service) Features(args *FeatureArgs, reply *FeatureReply) error {
+	if s.attrs == nil {
+		return fmt.Errorf("cluster: server has no attribute store")
+	}
+	reply.Data = s.attrs.GatherFeatures(args.Nodes, args.Dim)
+	return nil
+}
+
+// SetFeatures stores feature rows (and optional labels) on this server.
+func (s *Service) SetFeatures(args *SetFeaturesArgs, _ *SetFeaturesReply) error {
+	if s.attrs == nil {
+		return fmt.Errorf("cluster: server has no attribute store")
+	}
+	if len(args.Data) != len(args.Nodes)*args.Dim {
+		return fmt.Errorf("cluster: feature payload %d != %d nodes x %d dim",
+			len(args.Data), len(args.Nodes), args.Dim)
+	}
+	if len(args.Labels) != 0 && len(args.Labels) != len(args.Nodes) {
+		return fmt.Errorf("cluster: %d labels for %d nodes", len(args.Labels), len(args.Nodes))
+	}
+	for i, n := range args.Nodes {
+		row := make([]float32, args.Dim)
+		copy(row, args.Data[i*args.Dim:(i+1)*args.Dim])
+		s.attrs.SetFeatures(n, row)
+		if len(args.Labels) != 0 {
+			s.attrs.SetLabel(n, args.Labels[i])
+		}
+	}
+	return nil
+}
+
+// Stats reports server statistics.
+func (s *Service) Stats(_ *StatsArgs, reply *StatsReply) error {
+	reply.NumEdges = s.store.NumEdges()
+	reply.MemoryBytes = s.store.MemoryBytes()
+	return nil
+}
+
+// Server serves the RPC service over accepted connections.
+type Server struct {
+	rpcServer *rpc.Server
+}
+
+// NewServer registers the service.
+func NewServer(svc *Service) *Server {
+	rs := rpc.NewServer()
+	if err := rs.RegisterName(ServiceName, svc); err != nil {
+		panic(fmt.Sprintf("cluster: register: %v", err))
+	}
+	return &Server{rpcServer: rs}
+}
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve(lis net.Listener) {
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		go s.rpcServer.ServeConn(conn)
+	}
+}
+
+// ServeConn serves a single connection (blocking).
+func (s *Server) ServeConn(conn net.Conn) { s.rpcServer.ServeConn(conn) }
+
+// Client is the fan-out client over a set of graph servers. Sources are
+// partitioned hash-by-source: server(src) = h(src) mod N.
+type Client struct {
+	peers []*rpc.Client
+}
+
+// NewClient wraps established per-server RPC connections.
+func NewClient(peers []*rpc.Client) *Client {
+	if len(peers) == 0 {
+		panic("cluster: client needs at least one peer")
+	}
+	return &Client{peers: peers}
+}
+
+// NumServers returns the cluster size.
+func (c *Client) NumServers() int { return len(c.peers) }
+
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+func (c *Client) serverFor(src graph.VertexID) int {
+	return int(mix(uint64(src)) % uint64(len(c.peers)))
+}
+
+// ApplyBatch partitions events by source and applies the per-server
+// sub-batches in parallel.
+func (c *Client) ApplyBatch(events []graph.Event) error {
+	parts := make([][]graph.Event, len(c.peers))
+	for _, ev := range events {
+		p := c.serverFor(ev.Edge.Src)
+		parts[p] = append(parts[p], ev)
+	}
+	return c.fanOut(func(p int) error {
+		if len(parts[p]) == 0 {
+			return nil
+		}
+		var reply BatchReply
+		return c.peers[p].Call(ServiceName+".ApplyBatch", &BatchArgs{Events: parts[p]}, &reply)
+	})
+}
+
+// SampleNeighbors draws fanout samples per seed across the cluster,
+// reassembling results in seed order. Missing slots hold the seed itself.
+func (c *Client) SampleNeighbors(seeds []graph.VertexID, et graph.EdgeType, fanout int, seed int64) ([]graph.VertexID, error) {
+	if fanout < 0 {
+		return nil, fmt.Errorf("cluster: negative fanout %d", fanout)
+	}
+	out := make([]graph.VertexID, len(seeds)*fanout)
+	partSeeds := make([][]graph.VertexID, len(c.peers))
+	partIdx := make([][]int, len(c.peers))
+	for i, s := range seeds {
+		p := c.serverFor(s)
+		partSeeds[p] = append(partSeeds[p], s)
+		partIdx[p] = append(partIdx[p], i)
+	}
+	err := c.fanOut(func(p int) error {
+		if len(partSeeds[p]) == 0 {
+			return nil
+		}
+		args := &SampleArgs{Seeds: partSeeds[p], Type: et, Fanout: fanout, Seed: seed + int64(p)}
+		var reply SampleReply
+		if err := c.peers[p].Call(ServiceName+".SampleNeighbors", args, &reply); err != nil {
+			return err
+		}
+		if len(reply.Neighbors) != len(partSeeds[p])*fanout {
+			return fmt.Errorf("cluster: server %d returned %d samples, want %d",
+				p, len(reply.Neighbors), len(partSeeds[p])*fanout)
+		}
+		for j, origIdx := range partIdx[p] {
+			copy(out[origIdx*fanout:(origIdx+1)*fanout], reply.Neighbors[j*fanout:(j+1)*fanout])
+		}
+		return nil
+	})
+	return out, err
+}
+
+// SampleSubgraph expands seeds along a meta-path hop by hop across the
+// cluster.
+func (c *Client) SampleSubgraph(seeds []graph.VertexID, path graph.MetaPath, fanouts []int, seed int64) ([][]graph.VertexID, error) {
+	if len(path) != len(fanouts) {
+		return nil, fmt.Errorf("cluster: meta-path length %d != fanouts %d", len(path), len(fanouts))
+	}
+	layers := make([][]graph.VertexID, len(path))
+	frontier := seeds
+	for hop, et := range path {
+		next, err := c.SampleNeighbors(frontier, et, fanouts[hop], seed+int64(hop)*7919)
+		if err != nil {
+			return nil, err
+		}
+		layers[hop] = next
+		frontier = next
+	}
+	return layers, nil
+}
+
+// Degree queries out-degrees across the cluster.
+func (c *Client) Degree(nodes []graph.VertexID, et graph.EdgeType) ([]int, error) {
+	out := make([]int, len(nodes))
+	partNodes := make([][]graph.VertexID, len(c.peers))
+	partIdx := make([][]int, len(c.peers))
+	for i, n := range nodes {
+		p := c.serverFor(n)
+		partNodes[p] = append(partNodes[p], n)
+		partIdx[p] = append(partIdx[p], i)
+	}
+	err := c.fanOut(func(p int) error {
+		if len(partNodes[p]) == 0 {
+			return nil
+		}
+		var reply DegreeReply
+		if err := c.peers[p].Call(ServiceName+".Degree", &DegreeArgs{Nodes: partNodes[p], Type: et}, &reply); err != nil {
+			return err
+		}
+		for j, origIdx := range partIdx[p] {
+			out[origIdx] = reply.Degrees[j]
+		}
+		return nil
+	})
+	return out, err
+}
+
+// SetFeatures pushes features (and optional labels) to the servers owning
+// each node under hash-by-source partitioning.
+func (c *Client) SetFeatures(nodes []graph.VertexID, dim int, data []float32, labels []int32) error {
+	if len(data) != len(nodes)*dim {
+		return fmt.Errorf("cluster: feature payload %d != %d nodes x %d dim", len(data), len(nodes), dim)
+	}
+	type part struct {
+		nodes  []graph.VertexID
+		data   []float32
+		labels []int32
+	}
+	parts := make([]part, len(c.peers))
+	for i, n := range nodes {
+		p := c.serverFor(n)
+		parts[p].nodes = append(parts[p].nodes, n)
+		parts[p].data = append(parts[p].data, data[i*dim:(i+1)*dim]...)
+		if len(labels) != 0 {
+			parts[p].labels = append(parts[p].labels, labels[i])
+		}
+	}
+	return c.fanOut(func(p int) error {
+		if len(parts[p].nodes) == 0 {
+			return nil
+		}
+		args := &SetFeaturesArgs{Nodes: parts[p].nodes, Dim: dim, Data: parts[p].data, Labels: parts[p].labels}
+		var reply SetFeaturesReply
+		return c.peers[p].Call(ServiceName+".SetFeatures", args, &reply)
+	})
+}
+
+// Features gathers feature rows for nodes from their owning servers into a
+// dense row-major (len(nodes) x dim) matrix.
+func (c *Client) Features(nodes []graph.VertexID, dim int) ([]float32, error) {
+	out := make([]float32, len(nodes)*dim)
+	partNodes := make([][]graph.VertexID, len(c.peers))
+	partIdx := make([][]int, len(c.peers))
+	for i, n := range nodes {
+		p := c.serverFor(n)
+		partNodes[p] = append(partNodes[p], n)
+		partIdx[p] = append(partIdx[p], i)
+	}
+	err := c.fanOut(func(p int) error {
+		if len(partNodes[p]) == 0 {
+			return nil
+		}
+		var reply FeatureReply
+		if err := c.peers[p].Call(ServiceName+".Features", &FeatureArgs{Nodes: partNodes[p], Dim: dim}, &reply); err != nil {
+			return err
+		}
+		if len(reply.Data) != len(partNodes[p])*dim {
+			return fmt.Errorf("cluster: server %d returned %d floats", p, len(reply.Data))
+		}
+		for j, origIdx := range partIdx[p] {
+			copy(out[origIdx*dim:(origIdx+1)*dim], reply.Data[j*dim:(j+1)*dim])
+		}
+		return nil
+	})
+	return out, err
+}
+
+// Stats aggregates statistics across all servers.
+func (c *Client) Stats() (StatsReply, error) {
+	var mu sync.Mutex
+	var agg StatsReply
+	err := c.fanOut(func(p int) error {
+		var reply StatsReply
+		if err := c.peers[p].Call(ServiceName+".Stats", &StatsArgs{}, &reply); err != nil {
+			return err
+		}
+		mu.Lock()
+		agg.NumEdges += reply.NumEdges
+		agg.MemoryBytes += reply.MemoryBytes
+		mu.Unlock()
+		return nil
+	})
+	return agg, err
+}
+
+// Close closes all peer connections.
+func (c *Client) Close() error {
+	var first error
+	for _, p := range c.peers {
+		if err := p.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// fanOut runs fn(p) for every peer concurrently, returning the first error.
+func (c *Client) fanOut(fn func(p int) error) error {
+	errs := make([]error, len(c.peers))
+	var wg sync.WaitGroup
+	for p := range c.peers {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			errs[p] = fn(p)
+		}(p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NewLocalCluster spins up n in-process graph servers connected through
+// in-memory pipes and returns a client plus a shutdown function. factory
+// builds each server's topology store.
+func NewLocalCluster(n int, factory func(i int) (storage.TopologyStore, *kvstore.Store)) (*Client, func()) {
+	peers := make([]*rpc.Client, n)
+	var conns []net.Conn
+	for i := 0; i < n; i++ {
+		store, attrs := factory(i)
+		srv := NewServer(NewService(store, attrs))
+		cliConn, srvConn := net.Pipe()
+		go srv.ServeConn(srvConn)
+		peers[i] = rpc.NewClient(cliConn)
+		conns = append(conns, cliConn, srvConn)
+	}
+	client := NewClient(peers)
+	return client, func() {
+		client.Close()
+		for _, c := range conns {
+			c.Close()
+		}
+	}
+}

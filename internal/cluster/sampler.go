@@ -1,0 +1,33 @@
+package cluster
+
+import (
+	"math/rand"
+
+	"platod2gl/internal/graph"
+	"platod2gl/internal/storage"
+)
+
+// serverSampler performs the server-side half of distributed neighbor
+// sampling: fixed-fanout weighted draws with self-loop fallback for seeds
+// without out-neighbors, matching internal/sampler semantics so local and
+// distributed results are interchangeable.
+type serverSampler struct {
+	store storage.TopologyStore
+	rng   *rand.Rand
+}
+
+func newServerSampler(store storage.TopologyStore, seed int64) *serverSampler {
+	return &serverSampler{store: store, rng: rand.New(rand.NewSource(seed + 1))}
+}
+
+func (s *serverSampler) sample(seeds []graph.VertexID, et graph.EdgeType, fanout int) []graph.VertexID {
+	out := make([]graph.VertexID, len(seeds)*fanout)
+	for i, seed := range seeds {
+		base := i * fanout
+		got := s.store.SampleNeighbors(seed, et, fanout, s.rng, out[base:base])
+		for j := len(got); j < fanout; j++ {
+			out[base+j] = seed
+		}
+	}
+	return out
+}

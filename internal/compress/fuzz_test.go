@@ -1,0 +1,54 @@
+package compress
+
+import "testing"
+
+// FuzzIDVec drives mutation tapes against a plain slice reference,
+// exercising prefix demotion across arbitrary ID patterns.
+func FuzzIDVec(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 200, 1, 0, 2, 1}, uint64(0x0100000000000000))
+	f.Add([]byte{0, 0, 0, 255, 3, 0}, uint64(0xFFFFFFFF00000000))
+	f.Fuzz(func(t *testing.T, tape []byte, base uint64) {
+		var v IDVec
+		var ref []uint64
+		mkID := func(b byte) uint64 {
+			if b%5 == 0 {
+				return base ^ (uint64(b) << 56) // distant IDs force demotion
+			}
+			return base | uint64(b)
+		}
+		for i := 0; i+1 < len(tape); i += 2 {
+			op, arg := tape[i]%4, tape[i+1]
+			switch {
+			case op == 0 || len(ref) == 0:
+				id := mkID(arg)
+				v.Append(id)
+				ref = append(ref, id)
+			case op == 1:
+				idx := int(arg) % len(ref)
+				id := mkID(arg ^ 0x5a)
+				v.Set(idx, id)
+				ref[idx] = id
+			case op == 2:
+				i1 := int(arg) % len(ref)
+				i2 := (int(arg) / 3) % len(ref)
+				v.Swap(i1, i2)
+				ref[i1], ref[i2] = ref[i2], ref[i1]
+			case op == 3:
+				v.RemoveLast()
+				ref = ref[:len(ref)-1]
+			}
+		}
+		if v.Len() != len(ref) {
+			t.Fatalf("len %d vs %d", v.Len(), len(ref))
+		}
+		got := v.All()
+		for i, id := range ref {
+			if got[i] != id {
+				t.Fatalf("[%d] %#x vs %#x (z=%d)", i, got[i], id, v.Z())
+			}
+			if v.IndexOf(id) < 0 {
+				t.Fatalf("IndexOf(%#x) = -1 but present", id)
+			}
+		}
+	})
+}

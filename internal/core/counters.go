@@ -1,0 +1,67 @@
+package core
+
+import "sync/atomic"
+
+// Counters accumulates update-operation accounting across many samtrees.
+// The paper's Table V reports the share of topology-update work landing on
+// leaf vs non-leaf nodes: every insert/update/delete touches exactly one
+// leaf's FSTable, while non-leaf touches (CSTable adjustments along the
+// descent path, plus structural split/merge modifications) only occur in
+// trees taller than one level. All methods are safe for concurrent use and
+// tolerate a nil receiver.
+type Counters struct {
+	// LeafUpdates counts FSTable modifications (one per update op).
+	LeafUpdates atomic.Int64
+	// NonLeafUpdates counts internal nodes structurally modified by splits
+	// and merges. Ancestor CSTable weight propagation is part of the one
+	// triggering update, not a separate operation (Table V counts
+	// operations, and >98% of them never change an internal node).
+	NonLeafUpdates atomic.Int64
+	// SplitCount counts node splits (leaf and internal).
+	SplitCount atomic.Int64
+	// MergeCount counts node merges/redistributions after deletions.
+	MergeCount atomic.Int64
+}
+
+func (c *Counters) leaf(n int64) {
+	if c != nil {
+		c.LeafUpdates.Add(n)
+	}
+}
+
+func (c *Counters) nonLeaf(n int64) {
+	if c != nil && n != 0 {
+		c.NonLeafUpdates.Add(n)
+	}
+}
+
+func (c *Counters) splits(n int64) {
+	if c != nil {
+		c.SplitCount.Add(n)
+	}
+}
+
+func (c *Counters) merges(n int64) {
+	if c != nil {
+		c.MergeCount.Add(n)
+	}
+}
+
+// Reset zeroes all counters.
+func (c *Counters) Reset() {
+	c.LeafUpdates.Store(0)
+	c.NonLeafUpdates.Store(0)
+	c.SplitCount.Store(0)
+	c.MergeCount.Store(0)
+}
+
+// LeafShare returns the fraction of update operations that touched only
+// leaf structures — the quantity Table V tabulates per node capacity.
+func (c *Counters) LeafShare() float64 {
+	l := c.LeafUpdates.Load()
+	nl := c.NonLeafUpdates.Load()
+	if l+nl == 0 {
+		return 0
+	}
+	return float64(l) / float64(l+nl)
+}

@@ -1,0 +1,75 @@
+package core
+
+// Range queries: the samtree's ordered internal routing keys make ID-range
+// scans efficient even though leaf contents are unordered — only leaves
+// whose key range intersects [lo, hi] are visited, and each visited leaf is
+// filtered in O(n_L). Used for analytics over packed heterogeneous IDs
+// (e.g. "all neighbors of user u that are Live vertices" is a range scan
+// over one type's 2^56-wide ID band).
+
+// RangeCount returns the number of neighbors with lo <= id <= hi.
+func (t *Tree) RangeCount(lo, hi uint64) int {
+	if lo > hi {
+		return 0
+	}
+	count := 0
+	t.rangeWalk(t.root, lo, hi, func(id uint64, _ float64) bool {
+		count++
+		return true
+	})
+	return count
+}
+
+// ForEachRange visits every (neighbor, weight) with lo <= id <= hi until fn
+// returns false. Visit order within a leaf is physical (unordered).
+func (t *Tree) ForEachRange(lo, hi uint64, fn func(id uint64, w float64) bool) {
+	if lo > hi {
+		return
+	}
+	t.rangeWalk(t.root, lo, hi, fn)
+}
+
+// RangeNeighbors collects the neighbors and weights with lo <= id <= hi.
+func (t *Tree) RangeNeighbors(lo, hi uint64) ([]uint64, []float64) {
+	var ids []uint64
+	var weights []float64
+	t.ForEachRange(lo, hi, func(id uint64, w float64) bool {
+		ids = append(ids, id)
+		weights = append(weights, w)
+		return true
+	})
+	return ids, weights
+}
+
+// rangeWalk visits nodes intersecting [lo, hi]; returns false when fn
+// terminated the walk.
+func (t *Tree) rangeWalk(n *node, lo, hi uint64, fn func(id uint64, w float64) bool) bool {
+	if n.isLeaf() {
+		for i := 0; i < n.ids.Len(); i++ {
+			id := n.ids.Get(i)
+			if id < lo || id > hi {
+				continue
+			}
+			if !fn(id, n.fs.Weight(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	// Child i covers [keys[i], keys[i+1]) — skip children entirely outside
+	// [lo, hi]. keys[i] may lag low after deletions (never high), so the
+	// lower-bound side over-approximates safely.
+	nc := len(n.children)
+	for i := 0; i < nc; i++ {
+		if n.keys.Get(i) > hi {
+			break // all later children start beyond hi
+		}
+		if i+1 < nc && n.keys.Get(i+1) <= lo {
+			continue // child ends at keys[i+1]-1 < lo
+		}
+		if !t.rangeWalk(n.children[i], lo, hi, fn) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestRangeQueriesAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	tr := NewTree(Options{Capacity: 8, Compress: true})
+	ref := map[uint64]float64{}
+	for i := 0; i < 4000; i++ {
+		id := uint64(rng.Intn(10000))
+		w := rng.Float64() + 0.1
+		tr.Insert(id, w)
+		ref[id] = w
+		if rng.Intn(7) == 0 {
+			del := uint64(rng.Intn(10000))
+			tr.Delete(del)
+			delete(ref, del)
+		}
+	}
+	refRange := func(lo, hi uint64) []uint64 {
+		var out []uint64
+		for id := range ref {
+			if id >= lo && id <= hi {
+				out = append(out, id)
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	for trial := 0; trial < 200; trial++ {
+		lo := uint64(rng.Intn(10000))
+		hi := lo + uint64(rng.Intn(3000))
+		want := refRange(lo, hi)
+		if got := tr.RangeCount(lo, hi); got != len(want) {
+			t.Fatalf("RangeCount(%d,%d) = %d, want %d", lo, hi, got, len(want))
+		}
+		ids, weights := tr.RangeNeighbors(lo, hi)
+		if len(ids) != len(want) {
+			t.Fatalf("RangeNeighbors(%d,%d) = %d ids, want %d", lo, hi, len(ids), len(want))
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for i, id := range ids {
+			if id != want[i] {
+				t.Fatalf("range ids diverge at %d: %d vs %d", i, id, want[i])
+			}
+		}
+		for i, id := range ids {
+			_ = i
+			if w, ok := ref[id]; !ok || w <= 0 {
+				t.Fatalf("weight missing for %d", id)
+			}
+		}
+		_ = weights
+	}
+}
+
+func TestRangeEdgeCases(t *testing.T) {
+	tr := NewTree(Options{Capacity: 4})
+	if tr.RangeCount(0, ^uint64(0)) != 0 {
+		t.Fatal("empty tree range nonzero")
+	}
+	for i := uint64(10); i <= 20; i++ {
+		tr.Insert(i, 1)
+	}
+	if got := tr.RangeCount(15, 10); got != 0 {
+		t.Fatalf("inverted range = %d", got)
+	}
+	if got := tr.RangeCount(15, 15); got != 1 {
+		t.Fatalf("point range = %d", got)
+	}
+	if got := tr.RangeCount(0, ^uint64(0)); got != 11 {
+		t.Fatalf("full range = %d", got)
+	}
+	if got := tr.RangeCount(21, 1000); got != 0 {
+		t.Fatalf("beyond range = %d", got)
+	}
+	// Early termination.
+	visits := 0
+	tr.ForEachRange(0, ^uint64(0), func(uint64, float64) bool { visits++; return false })
+	if visits != 1 {
+		t.Fatalf("ForEachRange visited %d after stop", visits)
+	}
+}
+
+func TestRangeTypeBandScan(t *testing.T) {
+	// Packed heterogeneous IDs: range scan isolates one vertex type's band.
+	tr := NewTree(Options{Capacity: 16, Compress: true})
+	const typeA, typeB = uint64(1) << 56, uint64(2) << 56
+	for i := uint64(0); i < 50; i++ {
+		tr.Insert(typeA|i, 1)
+	}
+	for i := uint64(0); i < 30; i++ {
+		tr.Insert(typeB|i, 1)
+	}
+	if got := tr.RangeCount(typeA, typeA|((1<<56)-1)); got != 50 {
+		t.Fatalf("type-A band = %d, want 50", got)
+	}
+	if got := tr.RangeCount(typeB, typeB|((1<<56)-1)); got != 30 {
+		t.Fatalf("type-B band = %d, want 30", got)
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import "sort"
+
+// SplitStrategy selects how a full leaf is divided.
+type SplitStrategy uint8
+
+const (
+	// SplitAlpha uses the α-Split algorithm (Algorithm 1): expected O(n)
+	// approximate-median partitioning. The paper's method.
+	SplitAlpha SplitStrategy = iota
+	// SplitSort uses the greedy method the paper rejects as too slow
+	// (Sec. IV-C "Challenges"): sort the leaf by ID in O(n log n), then cut
+	// at the exact median. Exists for the ablation benchmarks.
+	SplitSort
+)
+
+func (s SplitStrategy) String() string {
+	if s == SplitSort {
+		return "sort"
+	}
+	return "alpha"
+}
+
+// idWeightSorter sorts parallel id/weight arrays by id.
+type idWeightSorter struct {
+	ids     []uint64
+	weights []float64
+}
+
+func (s idWeightSorter) Len() int           { return len(s.ids) }
+func (s idWeightSorter) Less(i, j int) bool { return s.ids[i] < s.ids[j] }
+func (s idWeightSorter) Swap(i, j int) {
+	s.ids[i], s.ids[j] = s.ids[j], s.ids[i]
+	s.weights[i], s.weights[j] = s.weights[j], s.weights[i]
+}
+
+// sortSplit fully sorts the leaf and returns the exact median position; the
+// pivot property (left < pivot <= right) holds trivially.
+func sortSplit(ids []uint64, weights []float64) int {
+	sort.Sort(idWeightSorter{ids, weights})
+	return len(ids) / 2
+}
+
+// This file implements the α-Split algorithm (Algorithm 1 of the PlatoD2GL
+// paper): approximate-median selection over an *unordered* leaf ID list via
+// recursive Hoare/Lomuto partitioning, so a full leaf can be split in
+// expected O(n) instead of O(n log n) sorting (Theorem 1). The pivot element
+// ends at its exact rank, every smaller ID to its left and every larger ID
+// to its right, so the pivot's value becomes the exact routing key (smallest
+// ID) of the right sibling.
+//
+// The slackness α relaxes the required rank: any pivot landing within
+// [k-α, k+α] of the target rank k terminates the recursion, trading split
+// balance for speed (Fig. 11(d)). α = 0 degenerates to exact QuickSelect.
+
+// alphaSplit partitions ids (and weights, kept in tandem) around an
+// approximate median and returns the pivot position khat with
+// k-α ≤ khat ≤ k+α, where k = len(ids)/2. After the call,
+// ids[j] < ids[khat] for all j < khat and ids[j] > ids[khat] for all
+// j > khat. IDs must be distinct (samtrees never store a neighbor twice).
+// The effective slackness is clamped so that neither side of the split is
+// empty. len(ids) must be at least 2.
+func alphaSplit(ids []uint64, weights []float64, alpha int) int {
+	n := len(ids)
+	k := n / 2
+	// Keep khat in [1, n-1] so both halves are non-empty.
+	if m := k - 1; alpha > m {
+		alpha = m
+	}
+	if m := n - 1 - k; alpha > m {
+		alpha = m
+	}
+	if alpha < 0 {
+		alpha = 0
+	}
+	lo, hi := 0, n-1
+	for {
+		if lo >= hi {
+			return lo
+		}
+		// Use the median position of the current window as the candidate
+		// pivot (Algorithm 1, line 1), moving it to the front for the
+		// partition pass.
+		m := lo + (hi-lo)/2
+		ids[lo], ids[m] = ids[m], ids[lo]
+		weights[lo], weights[m] = weights[m], weights[lo]
+		pos := partition(ids, weights, lo, hi)
+		switch {
+		case pos >= k-alpha && pos <= k+alpha:
+			return pos
+		case k < pos:
+			hi = pos - 1
+		default:
+			lo = pos + 1
+		}
+	}
+}
+
+// partition places the pivot at ids[lo] into its final sorted position
+// within [lo, hi], with smaller IDs before it and larger after, moving
+// weights in tandem. Returns the pivot's final position.
+func partition(ids []uint64, weights []float64, lo, hi int) int {
+	pivot := ids[lo]
+	i := lo
+	for j := lo + 1; j <= hi; j++ {
+		if ids[j] < pivot {
+			i++
+			ids[i], ids[j] = ids[j], ids[i]
+			weights[i], weights[j] = weights[j], weights[i]
+		}
+	}
+	ids[lo], ids[i] = ids[i], ids[lo]
+	weights[lo], weights[i] = weights[i], weights[lo]
+	return i
+}

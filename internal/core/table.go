@@ -1,0 +1,85 @@
+package core
+
+import (
+	"platod2gl/internal/cstable"
+	"platod2gl/internal/fenwick"
+)
+
+// WeightTable abstracts the per-leaf weight structure so the FSTable can be
+// ablated against a CSTable-in-the-leaf configuration — the head-to-head of
+// Table II inside a full samtree. Semantics follow the FSTable: Delete is a
+// swap-delete (position i takes the last element's weight), matching the
+// unordered leaf ID list.
+type WeightTable interface {
+	// Len returns the number of weights.
+	Len() int
+	// Total returns the sum of all weights.
+	Total() float64
+	// Weight returns the raw weight at index i.
+	Weight(i int) float64
+	// Update sets the weight at index i.
+	Update(i int, w float64)
+	// Append adds a weight at the end.
+	Append(w float64)
+	// Delete removes index i with swap-delete semantics.
+	Delete(i int)
+	// Sample returns the smallest index whose strict prefix sum exceeds r.
+	Sample(r float64) int
+	// Weights reconstructs the raw weight array.
+	Weights() []float64
+	// MemoryBytes returns the structural footprint.
+	MemoryBytes() int64
+}
+
+// Interface checks.
+var (
+	_ WeightTable = (*fenwick.FSTable)(nil)
+	_ WeightTable = (*itsTable)(nil)
+)
+
+// LeafTableKind selects the leaf weight structure.
+type LeafTableKind uint8
+
+const (
+	// LeafFTS uses the FSTable with Fenwick-tree sampling — the paper's
+	// contribution; O(log n) update / delete / sample.
+	LeafFTS LeafTableKind = iota
+	// LeafITS uses a CSTable with Inverse Transform Sampling — the
+	// PlatoGL-style structure; O(n) update / delete, O(log n) sample.
+	// Exists for the ablation benchmarks.
+	LeafITS
+)
+
+func (k LeafTableKind) String() string {
+	if k == LeafITS {
+		return "ITS"
+	}
+	return "FTS"
+}
+
+// itsTable adapts the CSTable to the WeightTable contract by giving Delete
+// the same swap semantics the unordered leaf requires.
+type itsTable struct {
+	cstable.CSTable
+}
+
+// Delete implements swap-delete on the strict prefix-sum table: O(n).
+func (t *itsTable) Delete(i int) {
+	n := t.Len()
+	if i != n-1 {
+		t.Update(i, t.Weight(n-1))
+	}
+	t.Truncate(n - 1)
+}
+
+// newLeafTable builds the configured leaf table from raw weights.
+func newLeafTable(kind LeafTableKind, weights []float64) WeightTable {
+	if kind == LeafITS {
+		t := &itsTable{}
+		for _, w := range weights {
+			t.Append(w)
+		}
+		return t
+	}
+	return fenwick.New(weights)
+}

@@ -1,0 +1,259 @@
+package cstable
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) <= eps*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestEmpty(t *testing.T) {
+	var c CSTable
+	if c.Len() != 0 || c.Total() != 0 {
+		t.Fatalf("zero value not empty: len=%d total=%v", c.Len(), c.Total())
+	}
+	if got := c.Sample(0.1); got != -1 {
+		t.Fatalf("Sample on empty = %d, want -1", got)
+	}
+}
+
+func TestPaperExample1(t *testing.T) {
+	// Vertex v3 in Example 1: neighbors with weights 0.6 and 0.7 —
+	// CSTable should read [0.6, 1.3].
+	c := New([]float64{0.6, 0.7})
+	if !almostEqual(c.Prefix(0), 0.6) || !almostEqual(c.Prefix(1), 1.3) {
+		t.Fatalf("CSTable = [%v %v], want [0.6 1.3]", c.Prefix(0), c.Prefix(1))
+	}
+}
+
+func TestAppendUpdateDelete(t *testing.T) {
+	c := NewWithCapacity(4)
+	c.Append(1)
+	c.Append(2)
+	c.Append(3)
+	if !almostEqual(c.Total(), 6) {
+		t.Fatalf("Total = %v, want 6", c.Total())
+	}
+	c.Update(1, 5) // weights now 1,5,3
+	want := []float64{1, 5, 3}
+	got := c.Weights()
+	for i := range want {
+		if !almostEqual(got[i], want[i]) {
+			t.Fatalf("Weights = %v, want %v", got, want)
+		}
+	}
+	c.Delete(0) // weights now 5,3
+	if c.Len() != 2 || !almostEqual(c.Total(), 8) {
+		t.Fatalf("after delete: len=%d total=%v", c.Len(), c.Total())
+	}
+	if !almostEqual(c.Weight(0), 5) || !almostEqual(c.Weight(1), 3) {
+		t.Fatalf("after delete weights = %v", c.Weights())
+	}
+}
+
+func TestInsert(t *testing.T) {
+	c := New([]float64{1, 3})
+	c.Insert(1, 2) // weights 1,2,3
+	want := []float64{1, 2, 3}
+	got := c.Weights()
+	for i := range want {
+		if !almostEqual(got[i], want[i]) {
+			t.Fatalf("Weights = %v, want %v", got, want)
+		}
+	}
+	c.Insert(0, 10)
+	if !almostEqual(c.Weight(0), 10) || c.Len() != 4 {
+		t.Fatalf("head insert failed: %v", c.Weights())
+	}
+	c.Insert(4, 7)
+	if !almostEqual(c.Weight(4), 7) {
+		t.Fatalf("tail insert failed: %v", c.Weights())
+	}
+}
+
+func TestSampleITS(t *testing.T) {
+	c := New([]float64{1, 2, 3})
+	cases := []struct {
+		r    float64
+		want int
+	}{
+		{0, 0}, {0.999, 0}, {1, 1}, {2.5, 1}, {3, 2}, {5.9, 2}, {6, 2}, {9, 2},
+	}
+	for _, tc := range cases {
+		if got := c.Sample(tc.r); got != tc.want {
+			t.Errorf("Sample(%v) = %d, want %d", tc.r, got, tc.want)
+		}
+	}
+}
+
+func TestSampleDistribution(t *testing.T) {
+	weights := []float64{2, 1, 5, 2}
+	c := New(weights)
+	rng := rand.New(rand.NewSource(321))
+	const trials = 100000
+	counts := make([]int, len(weights))
+	for i := 0; i < trials; i++ {
+		counts[c.Sample(rng.Float64()*c.Total())]++
+	}
+	chi2 := 0.0
+	for i, w := range weights {
+		expected := float64(trials) * w / c.Total()
+		d := float64(counts[i]) - expected
+		chi2 += d * d / expected
+	}
+	// 3 dof, p=0.001 critical value 16.27.
+	if chi2 > 16.27 {
+		t.Fatalf("chi-square = %v, counts=%v", chi2, counts)
+	}
+}
+
+func TestAddFromShiftsSuffix(t *testing.T) {
+	c := New([]float64{1, 1, 1, 1})
+	c.AddFrom(2, 3) // weights 1,1,4,1
+	wantPrefix := []float64{1, 2, 6, 7}
+	for i, want := range wantPrefix {
+		if got := c.Prefix(i); !almostEqual(got, want) {
+			t.Fatalf("Prefix(%d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	c := New([]float64{1, 2, 3, 4})
+	c.Truncate(2)
+	if c.Len() != 2 || !almostEqual(c.Total(), 3) {
+		t.Fatalf("after truncate: len=%d total=%v", c.Len(), c.Total())
+	}
+}
+
+func TestRandomOpsAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	c := NewWithCapacity(0)
+	var ref []float64
+	naiveSample := func(r float64) int {
+		s := 0.0
+		for i, w := range ref {
+			s += w
+			if s > r {
+				return i
+			}
+		}
+		return len(ref) - 1
+	}
+	for step := 0; step < 8000; step++ {
+		op := rng.Intn(4)
+		switch {
+		case op == 0 || len(ref) == 0:
+			w := rng.Float64() * 4
+			c.Append(w)
+			ref = append(ref, w)
+		case op == 1:
+			i := rng.Intn(len(ref))
+			w := rng.Float64() * 4
+			c.Update(i, w)
+			ref[i] = w
+		case op == 2:
+			i := rng.Intn(len(ref))
+			c.Delete(i)
+			ref = append(ref[:i], ref[i+1:]...)
+		case op == 3:
+			i := rng.Intn(len(ref) + 1)
+			w := rng.Float64() * 4
+			c.Insert(i, w)
+			ref = append(ref, 0)
+			copy(ref[i+1:], ref[i:])
+			ref[i] = w
+		}
+		if step%499 == 0 && len(ref) > 0 {
+			got := c.Weights()
+			for i := range ref {
+				if !almostEqual(got[i], ref[i]) {
+					t.Fatalf("step %d: weights[%d] = %v, want %v", step, i, got[i], ref[i])
+				}
+			}
+			total := 0.0
+			for _, w := range ref {
+				total += w
+			}
+			r := rng.Float64() * total
+			if g, w := c.Sample(r), naiveSample(r); g != w {
+				t.Fatalf("step %d: Sample(%v) = %d, want %d", step, r, g, w)
+			}
+		}
+	}
+}
+
+func TestQuickPrefixMonotone(t *testing.T) {
+	prop := func(raw []float64) bool {
+		weights := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			weights = append(weights, math.Abs(math.Mod(v, 10)))
+		}
+		c := New(weights)
+		prev := -1.0
+		for i := 0; i < c.Len(); i++ {
+			p := c.Prefix(i)
+			if p < prev-eps {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	c := New([]float64{1})
+	for name, fn := range map[string]func(){
+		"Prefix":   func() { c.Prefix(2) },
+		"Weight":   func() { c.Weight(-1) },
+		"AddFrom":  func() { c.AddFrom(9, 1) },
+		"Insert":   func() { c.Insert(5, 1) },
+		"Truncate": func() { c.Truncate(9) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	const n = 1 << 12
+	c := NewWithCapacity(n)
+	for i := 0; i < n; i++ {
+		c.Append(1)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Update(rng.Intn(n), 2)
+	}
+}
+
+func BenchmarkSample(b *testing.B) {
+	const n = 1 << 12
+	c := NewWithCapacity(n)
+	for i := 0; i < n; i++ {
+		c.Append(1)
+	}
+	rng := rand.New(rand.NewSource(1))
+	total := c.Total()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Sample(rng.Float64() * total)
+	}
+}

@@ -1,0 +1,320 @@
+// Package dataset generates the synthetic stand-ins for the paper's
+// evaluation graphs (Table III): OGBN-Products, Reddit, and the WeChat
+// production graph with its four heterogeneous relations.
+//
+// The real datasets are respectively too large to ship and proprietary, so
+// each Spec reproduces the *shape* that drives the storage-engine behavior
+// the paper measures: the per-relation source/target populations, the
+// edge-per-source density, and a Zipf-skewed out-degree distribution (social
+// and interaction graphs are heavily skewed — the skew is what exercises
+// samtree splits, block chains and fixed-block slack). Specs scale down by a
+// configurable factor while preserving density ratios; DESIGN.md documents
+// the substitution.
+//
+// A Generator turns a Spec into a deterministic timestamped stream of
+// dynamic update events: new insertions, repeat interactions (in-place
+// weight updates — frequent in recommendation traffic and the case that
+// punishes CSTable-based baselines), deletions, and explicit weight updates.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"platod2gl/internal/graph"
+)
+
+// RelSpec describes one heterogeneous relation at full (paper) scale.
+type RelSpec struct {
+	Name     string
+	Type     graph.EdgeType
+	SrcType  graph.VertexType
+	DstType  graph.VertexType
+	NumSrc   uint64 // source population
+	NumDst   uint64 // target population
+	NumEdges int64  // directed edge count (before bi-direction)
+	// ZipfS is the Zipf skew exponent (>1) of the out-degree distribution.
+	ZipfS float64
+}
+
+// Density returns edges per source vertex.
+func (r RelSpec) Density() float64 { return float64(r.NumEdges) / float64(r.NumSrc) }
+
+// Spec is a full dataset description.
+type Spec struct {
+	Name      string
+	Schema    graph.Schema
+	Relations []RelSpec
+	// Bidirected mirrors every edge with a reverse event under edge type
+	// Type+ReverseOffset (all paper datasets are bi-directed).
+	Bidirected bool
+}
+
+// ReverseOffset is added to a relation's edge type for its reverse
+// direction when the spec is bi-directed.
+const ReverseOffset graph.EdgeType = 128
+
+// TotalEvents returns the number of generator events for the spec (forward
+// edges; reverse mirrors ride along with their forward event).
+func (s *Spec) TotalEvents() int64 {
+	var n int64
+	for _, r := range s.Relations {
+		n += r.NumEdges
+	}
+	return n
+}
+
+// Scale returns a copy of the spec with node and edge populations multiplied
+// by f (minimum 1 source, 1 target, 1 edge per relation), preserving density
+// ratios.
+func (s *Spec) Scale(f float64) *Spec {
+	out := *s
+	out.Relations = make([]RelSpec, len(s.Relations))
+	for i, r := range s.Relations {
+		r.NumSrc = maxU64(1, uint64(float64(r.NumSrc)*f))
+		r.NumDst = maxU64(1, uint64(float64(r.NumDst)*f))
+		r.NumEdges = maxI64(1, int64(float64(r.NumEdges)*f))
+		out.Relations[i] = r
+	}
+	out.Name = fmt.Sprintf("%s(x%.2g)", s.Name, f)
+	return &out
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Vertex types shared by the specs.
+const (
+	VTProduct graph.VertexType = iota
+	VTPost
+	VTCommunity
+	VTUser
+	VTLive
+	VTAttr
+	VTTag
+)
+
+// OGBNSim mirrors the OGBN row of Table III: a homogeneous Product-Product
+// graph, 2.4M nodes, 61.9M edges, density 25.8.
+func OGBNSim() *Spec {
+	return &Spec{
+		Name: "OGBN",
+		Schema: graph.Schema{
+			VertexTypes: []string{"Product"},
+			Relations:   []graph.Relation{{Name: "Product-Product", Type: 0, Src: VTProduct, Dst: VTProduct}},
+		},
+		Relations: []RelSpec{{
+			Name: "Product-Product", Type: 0,
+			SrcType: VTProduct, DstType: VTProduct,
+			NumSrc: 2_400_000, NumDst: 2_400_000,
+			NumEdges: 61_900_000, ZipfS: 1.3,
+		}},
+		Bidirected: true,
+	}
+}
+
+// RedditSim mirrors the Reddit row: Post-Community, 233K nodes each side,
+// 114M edges, density 489.3 (an extremely dense graph — deep samtrees).
+func RedditSim() *Spec {
+	return &Spec{
+		Name: "Reddit",
+		Schema: graph.Schema{
+			VertexTypes: []string{"Post", "Community"},
+			Relations:   []graph.Relation{{Name: "Post-Community", Type: 0, Src: VTPost, Dst: VTCommunity}},
+		},
+		Relations: []RelSpec{{
+			Name: "Post-Community", Type: 0,
+			SrcType: VTPost, DstType: VTCommunity,
+			NumSrc: 233_000, NumDst: 233_000,
+			NumEdges: 114_000_000, ZipfS: 1.2,
+		}},
+		Bidirected: true,
+	}
+}
+
+// WeChatSim mirrors the WeChat production rows: four heterogeneous
+// relations, 2.1B nodes / 63.9B edges in total at full scale.
+func WeChatSim() *Spec {
+	return &Spec{
+		Name: "WeChat",
+		Schema: graph.Schema{
+			VertexTypes: []string{"", "", "", "User", "Live", "Attr", "Tag"},
+			Relations: []graph.Relation{
+				{Name: "User-Live", Type: 0, Src: VTUser, Dst: VTLive},
+				{Name: "User-Attr", Type: 1, Src: VTUser, Dst: VTAttr},
+				{Name: "Live-Live", Type: 2, Src: VTLive, Dst: VTLive},
+				{Name: "Live-Tag", Type: 3, Src: VTLive, Dst: VTTag},
+			},
+		},
+		Relations: []RelSpec{
+			{Name: "User-Live", Type: 0, SrcType: VTUser, DstType: VTLive,
+				NumSrc: 1_020_000_000, NumDst: 1_020_000_000, NumEdges: 63_300_000_000, ZipfS: 1.25},
+			{Name: "User-Attr", Type: 1, SrcType: VTUser, DstType: VTAttr,
+				NumSrc: 970_000_000, NumDst: 970_000_000, NumEdges: 1_900_000_000, ZipfS: 1.4},
+			{Name: "Live-Live", Type: 2, SrcType: VTLive, DstType: VTLive,
+				NumSrc: 13_100_000, NumDst: 13_100_000, NumEdges: 650_000_000, ZipfS: 1.25},
+			{Name: "Live-Tag", Type: 3, SrcType: VTLive, DstType: VTTag,
+				NumSrc: 15_100_000, NumDst: 15_100_000, NumEdges: 30_100_000, ZipfS: 1.4},
+		},
+		Bidirected: true,
+	}
+}
+
+// Mix controls the kind distribution of generated events.
+type Mix struct {
+	// DeleteFrac is the probability an event deletes a recently inserted
+	// edge.
+	DeleteFrac float64
+	// UpdateFrac is the probability an event re-weights a recently inserted
+	// edge (an explicit UpdateWeight).
+	UpdateFrac float64
+	// Repeat interactions (AddEdge on an existing edge — in-place update in
+	// every store) arise naturally from Zipf collisions; RepeatBoost makes
+	// them more likely by re-emitting a recent edge as an AddEdge.
+	RepeatBoost float64
+}
+
+// BuildMix is the graph-building mix for Fig. 8: insertions with a modest
+// share of repeat interactions. Building happens "in a dynamic manner"
+// (Sec. VII-B) from an interaction log, and interaction logs repeat edges —
+// a user re-watching a live room updates the existing edge's weight rather
+// than growing the graph.
+var BuildMix = Mix{RepeatBoost: 0.15}
+
+// InsertOnlyMix is a strictly append-only stream (no repeats), useful for
+// isolating pure-insertion behavior.
+var InsertOnlyMix = Mix{}
+
+// DynamicMix models recommendation traffic for Fig. 9 / Fig. 11: mostly
+// inserts with a realistic share of repeats, updates and deletions.
+var DynamicMix = Mix{DeleteFrac: 0.05, UpdateFrac: 0.15, RepeatBoost: 0.2}
+
+// Generator produces a deterministic event stream for a spec.
+type Generator struct {
+	spec *Spec
+	mix  Mix
+	rng  *rand.Rand
+	// relCum selects a relation proportionally to its edge budget.
+	relCum []float64
+	zipfs  []*rand.Zipf
+	// recent is a bounded uniform reservoir over every edge emitted so far
+	// — the candidate pool for deletes / updates / boosted repeats. Uniform
+	// (not recency-biased) targeting matters: weight updates to *old* edges
+	// are the expensive case for CSTable-based stores (suffix rewrites),
+	// and real interaction streams revisit arbitrary-age edges.
+	recent []graph.Edge
+	seen   int64
+	clock  int64
+}
+
+const recentCap = 1 << 16
+
+// NewGenerator returns a deterministic generator for the spec.
+func NewGenerator(spec *Spec, mix Mix, seed int64) *Generator {
+	g := &Generator{
+		spec:   spec,
+		mix:    mix,
+		rng:    rand.New(rand.NewSource(seed)),
+		relCum: make([]float64, len(spec.Relations)),
+		zipfs:  make([]*rand.Zipf, len(spec.Relations)),
+		recent: make([]graph.Edge, 0, recentCap),
+	}
+	cum := 0.0
+	for i, r := range spec.Relations {
+		cum += float64(r.NumEdges)
+		g.relCum[i] = cum
+		g.zipfs[i] = rand.NewZipf(g.rng, r.ZipfS, 8, r.NumSrc-1)
+	}
+	return g
+}
+
+func (g *Generator) pickRelation() int {
+	total := g.relCum[len(g.relCum)-1]
+	r := g.rng.Float64() * total
+	for i, c := range g.relCum {
+		if r < c {
+			return i
+		}
+	}
+	return len(g.relCum) - 1
+}
+
+func (g *Generator) remember(e graph.Edge) {
+	g.seen++
+	if len(g.recent) < recentCap {
+		g.recent = append(g.recent, e)
+		return
+	}
+	// Reservoir sampling keeps the pool uniform over the whole history.
+	if j := g.rng.Int63n(g.seen); j < recentCap {
+		g.recent[j] = e
+	}
+}
+
+// newEdge draws a fresh edge from a Zipf-skewed source and a uniform target.
+func (g *Generator) newEdge() graph.Edge {
+	ri := g.pickRelation()
+	r := &g.spec.Relations[ri]
+	src := g.zipfs[ri].Uint64()
+	dst := g.rng.Uint64() % r.NumDst
+	return graph.Edge{
+		Src:    graph.MakeVertexID(r.SrcType, src),
+		Dst:    graph.MakeVertexID(r.DstType, dst),
+		Type:   r.Type,
+		Weight: 0.5 + g.rng.Float64(),
+	}
+}
+
+// Next produces the next n events (2n when the spec is bi-directed: each
+// logical edge event carries its reverse mirror).
+func (g *Generator) Next(n int) []graph.Event {
+	cap := n
+	if g.spec.Bidirected {
+		cap *= 2
+	}
+	out := make([]graph.Event, 0, cap)
+	for i := 0; i < n; i++ {
+		var ev graph.Event
+		p := g.rng.Float64()
+		switch {
+		case p < g.mix.DeleteFrac && len(g.recent) > 0:
+			e := g.recent[g.rng.Intn(len(g.recent))]
+			ev = graph.Event{Kind: graph.DeleteEdge, Edge: e}
+		case p < g.mix.DeleteFrac+g.mix.UpdateFrac && len(g.recent) > 0:
+			e := g.recent[g.rng.Intn(len(g.recent))]
+			e.Weight = 0.5 + g.rng.Float64()
+			ev = graph.Event{Kind: graph.UpdateWeight, Edge: e}
+		case p < g.mix.DeleteFrac+g.mix.UpdateFrac+g.mix.RepeatBoost && len(g.recent) > 0:
+			e := g.recent[g.rng.Intn(len(g.recent))]
+			e.Weight = 0.5 + g.rng.Float64()
+			ev = graph.Event{Kind: graph.AddEdge, Edge: e}
+		default:
+			e := g.newEdge()
+			g.remember(e)
+			ev = graph.Event{Kind: graph.AddEdge, Edge: e}
+		}
+		ev.Timestamp = g.clock
+		g.clock++
+		out = append(out, ev)
+		if g.spec.Bidirected {
+			rev := ev
+			rev.Edge.Src, rev.Edge.Dst = ev.Edge.Dst, ev.Edge.Src
+			rev.Edge.Type = ev.Edge.Type + ReverseOffset
+			rev.Timestamp = g.clock
+			g.clock++
+			out = append(out, rev)
+		}
+	}
+	return out
+}

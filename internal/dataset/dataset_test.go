@@ -1,0 +1,187 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"platod2gl/internal/graph"
+	"platod2gl/internal/kvstore"
+)
+
+func TestSpecDensitiesMatchTableIII(t *testing.T) {
+	cases := []struct {
+		spec    *Spec
+		rel     int
+		density float64
+	}{
+		{OGBNSim(), 0, 25.8},
+		{RedditSim(), 0, 489.3},
+		{WeChatSim(), 0, 62.06},
+		{WeChatSim(), 1, 1.96},
+		{WeChatSim(), 2, 49.62},
+		{WeChatSim(), 3, 1.99},
+	}
+	for _, c := range cases {
+		got := c.spec.Relations[c.rel].Density()
+		if math.Abs(got-c.density)/c.density > 0.02 {
+			t.Errorf("%s rel %d density = %.2f, want %.2f",
+				c.spec.Name, c.rel, got, c.density)
+		}
+	}
+}
+
+func TestScalePreservesDensity(t *testing.T) {
+	full := WeChatSim()
+	small := full.Scale(1e-5)
+	for i := range full.Relations {
+		f := full.Relations[i].Density()
+		s := small.Relations[i].Density()
+		if math.Abs(f-s)/f > 0.05 {
+			t.Errorf("rel %d density drifted: %.2f -> %.2f", i, f, s)
+		}
+		if small.Relations[i].NumSrc == 0 || small.Relations[i].NumEdges == 0 {
+			t.Errorf("rel %d scaled to zero", i)
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	spec := OGBNSim().Scale(1e-4)
+	a := NewGenerator(spec, DynamicMix, 7).Next(500)
+	b := NewGenerator(spec, DynamicMix, 7).Next(500)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGeneratorBidirected(t *testing.T) {
+	spec := OGBNSim().Scale(1e-4)
+	events := NewGenerator(spec, BuildMix, 1).Next(100)
+	if len(events) != 200 {
+		t.Fatalf("got %d events, want 200 (bi-directed)", len(events))
+	}
+	for i := 0; i < len(events); i += 2 {
+		fwd, rev := events[i], events[i+1]
+		if fwd.Edge.Src != rev.Edge.Dst || fwd.Edge.Dst != rev.Edge.Src {
+			t.Fatalf("event %d: reverse is not a mirror", i)
+		}
+		if rev.Edge.Type != fwd.Edge.Type+ReverseOffset {
+			t.Fatalf("event %d: reverse type %d", i, rev.Edge.Type)
+		}
+		if rev.Timestamp <= fwd.Timestamp {
+			t.Fatalf("event %d: timestamps not increasing", i)
+		}
+	}
+}
+
+func TestGeneratorMixProportions(t *testing.T) {
+	spec := OGBNSim().Scale(1e-4)
+	g := NewGenerator(spec, Mix{DeleteFrac: 0.1, UpdateFrac: 0.2}, 3)
+	// Warm the reservoir first.
+	g.Next(2000)
+	events := g.Next(20000)
+	var dels, upds, adds int
+	for _, ev := range events {
+		switch ev.Kind {
+		case graph.DeleteEdge:
+			dels++
+		case graph.UpdateWeight:
+			upds++
+		default:
+			adds++
+		}
+	}
+	n := float64(len(events))
+	if f := float64(dels) / n; f < 0.07 || f > 0.13 {
+		t.Errorf("delete fraction = %.3f, want ~0.10", f)
+	}
+	if f := float64(upds) / n; f < 0.16 || f > 0.24 {
+		t.Errorf("update fraction = %.3f, want ~0.20", f)
+	}
+	if adds == 0 {
+		t.Error("no adds generated")
+	}
+}
+
+func TestGeneratorSkewedDegrees(t *testing.T) {
+	// Zipf sources: the top source must receive far more edges than the
+	// median source.
+	spec := OGBNSim().Scale(1e-3) // 2400 sources
+	g := NewGenerator(spec, BuildMix, 5)
+	counts := map[graph.VertexID]int{}
+	for _, ev := range g.Next(50000) {
+		if ev.Edge.Type == 0 {
+			counts[ev.Edge.Src]++
+		}
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	mean := 50000 / len(counts)
+	if max < 5*mean {
+		t.Fatalf("degree distribution not skewed: max=%d mean=%d", max, mean)
+	}
+}
+
+func TestGeneratorVertexTypesPacked(t *testing.T) {
+	spec := WeChatSim().Scale(1e-6)
+	events := NewGenerator(spec, BuildMix, 9).Next(1000)
+	for _, ev := range events {
+		if ev.Edge.Type >= ReverseOffset {
+			continue // reverse edges swap src/dst types
+		}
+		r := spec.Relations[ev.Edge.Type]
+		if ev.Edge.Src.Type() != r.SrcType || ev.Edge.Dst.Type() != r.DstType {
+			t.Fatalf("event has wrong vertex types: %+v (rel %s)", ev.Edge, r.Name)
+		}
+		if ev.Edge.Src.Local() >= r.NumSrc {
+			t.Fatalf("src local %d out of population %d", ev.Edge.Src.Local(), r.NumSrc)
+		}
+	}
+}
+
+func TestAssignFeaturesLearnable(t *testing.T) {
+	store := kvstore.New()
+	const n, dim, classes = 500, 16, 4
+	AssignFeatures(store, VTProduct, n, dim, classes, 0.1, 1)
+	if store.Len() != n {
+		t.Fatalf("store has %d vertices, want %d", store.Len(), n)
+	}
+	// Features of same-class vertices must be closer than cross-class ones
+	// (tight clusters with noise 0.1).
+	type vec = []float32
+	byClass := map[int32][]vec{}
+	for i := uint64(0); i < n; i++ {
+		id := graph.MakeVertexID(VTProduct, i)
+		f, _ := store.Features(id)
+		l, ok := store.Label(id)
+		if !ok {
+			t.Fatalf("vertex %d missing label", i)
+		}
+		byClass[l] = append(byClass[l], f)
+	}
+	if len(byClass) != classes {
+		t.Fatalf("got %d classes, want %d", len(byClass), classes)
+	}
+	dist := func(a, b vec) float64 {
+		s := 0.0
+		for i := range a {
+			d := float64(a[i] - b[i])
+			s += d * d
+		}
+		return math.Sqrt(s)
+	}
+	intra := dist(byClass[0][0], byClass[0][1])
+	inter := dist(byClass[0][0], byClass[1][0])
+	if intra >= inter {
+		t.Fatalf("intra-class distance %.3f >= inter-class %.3f", intra, inter)
+	}
+}

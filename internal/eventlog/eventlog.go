@@ -1,0 +1,195 @@
+// Package eventlog implements an append-only write-ahead log of graph
+// update events. A graph server combines it with snapshots (internal/storage)
+// for durability: periodically snapshot the store, truncate the log, and on
+// restart load the snapshot then replay the log tail — the standard
+// recovery recipe for in-memory stores serving a live update stream.
+//
+// Wire format: a text header line, then length-framed records — 4-byte
+// big-endian payload length followed by a self-contained gob encoding of the
+// record. Framing (rather than one long gob stream) keeps the file
+// appendable across process restarts and makes torn tails (a crash mid
+// append) detectable: replay stops at the first incomplete frame.
+package eventlog
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"platod2gl/internal/graph"
+)
+
+// header is the first line of every log file.
+const header = "platod2gl-eventlog v1\n"
+
+// maxFrame bounds a single record's encoded size (a corrupt length prefix
+// must not trigger a huge allocation).
+const maxFrame = 1 << 30
+
+type logRecord struct {
+	Seq    uint64
+	Events []graph.Event
+}
+
+// Writer appends event batches to a log file.
+type Writer struct {
+	mu   sync.Mutex
+	f    *os.File
+	seq  uint64
+	open bool
+}
+
+// Create opens (or creates) the log at path for appending. A new file gets
+// a header; an existing file is validated, its tail sequence recovered, and
+// any torn final frame truncated away.
+func Create(path string) (*Writer, error) {
+	fi, err := os.Stat(path)
+	fresh := errors.Is(err, os.ErrNotExist) || (err == nil && fi.Size() == 0)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("eventlog: stat %s: %w", path, err)
+	}
+	var lastSeq uint64
+	var goodSize int64
+	if !fresh {
+		lastSeq, goodSize, err = scan(path, nil)
+		if err != nil {
+			return nil, err
+		}
+		if fi.Size() > goodSize {
+			// Torn tail from a crash mid-append: drop it before appending.
+			if err := os.Truncate(path, goodSize); err != nil {
+				return nil, fmt.Errorf("eventlog: truncate torn tail: %w", err)
+			}
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("eventlog: open %s: %w", path, err)
+	}
+	w := &Writer{f: f, seq: lastSeq, open: true}
+	if fresh {
+		if _, err := f.WriteString(header); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("eventlog: write header: %w", err)
+		}
+	}
+	return w, nil
+}
+
+// scan validates the log, invoking fn (if non-nil) per complete record, and
+// returns the last sequence number plus the byte offset of the end of the
+// last complete frame.
+func scan(path string, fn func(seq uint64, events []graph.Event) error) (uint64, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("eventlog: open %s: %w", path, err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	head := make([]byte, len(header))
+	if _, err := io.ReadFull(br, head); err != nil || string(head) != header {
+		return 0, 0, fmt.Errorf("eventlog: %s is not an event log", path)
+	}
+	offset := int64(len(header))
+	var lastSeq uint64
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			return lastSeq, offset, nil // clean EOF or torn length prefix
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n == 0 || n > maxFrame {
+			return lastSeq, offset, nil // corrupt frame: stop here
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return lastSeq, offset, nil // torn payload
+		}
+		var rec logRecord
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+			return lastSeq, offset, nil // corrupt payload: stop here
+		}
+		if fn != nil {
+			if err := fn(rec.Seq, rec.Events); err != nil {
+				return lastSeq, offset, err
+			}
+		}
+		lastSeq = rec.Seq
+		offset += int64(4 + n)
+	}
+}
+
+// Append writes one event batch and flushes it to the OS. Returns the
+// record's sequence number.
+func (w *Writer) Append(events []graph.Event) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.open {
+		return 0, errors.New("eventlog: writer closed")
+	}
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(logRecord{Seq: w.seq + 1, Events: events}); err != nil {
+		return 0, fmt.Errorf("eventlog: encode: %w", err)
+	}
+	var frame bytes.Buffer
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(payload.Len()))
+	frame.Write(lenBuf[:])
+	frame.Write(payload.Bytes())
+	// One Write call per frame keeps appends atomic with respect to
+	// concurrent Writers on POSIX O_APPEND semantics.
+	if _, err := w.f.Write(frame.Bytes()); err != nil {
+		return 0, fmt.Errorf("eventlog: append: %w", err)
+	}
+	w.seq++
+	return w.seq, nil
+}
+
+// Sync forces written records to stable media.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.open {
+		return errors.New("eventlog: writer closed")
+	}
+	return w.f.Sync()
+}
+
+// Seq returns the last appended sequence number.
+func (w *Writer) Seq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
+
+// Close closes the log.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.open {
+		return nil
+	}
+	w.open = false
+	return w.f.Close()
+}
+
+// Replay streams every complete batch in the log at path (in append order)
+// to fn, stopping early if fn errors. A torn final frame is skipped
+// silently. Returns the number of batches replayed.
+func Replay(path string, fn func(seq uint64, events []graph.Event) error) (int, error) {
+	n := 0
+	_, _, err := scan(path, func(seq uint64, events []graph.Event) error {
+		if err := fn(seq, events); err != nil {
+			return err
+		}
+		n++
+		return nil
+	})
+	return n, err
+}

@@ -1,0 +1,205 @@
+// Package fenwick implements the FSTable (Fenwick-tree Sum Table) and the
+// FTS (Fenwick Tree-based Sampling) method of the PlatoD2GL paper (Sec. V).
+//
+// An FSTable over a weight array A of n elements is an array F of n elements
+// where, per Eq. (4) of the paper,
+//
+//	F[i] = sum_{j=g(i)+1}^{i} A[j],  g(i) = i - LSB(i+1),
+//
+// and LSB(x) is the value of the lowest set bit of x. This is a 0-indexed
+// binary indexed tree. Unlike the CSTable used by PlatoGL (strict prefix
+// sums, O(n) per update), the FSTable supports in-place weight updates,
+// append-style insertion and swap-deletion in O(log n) each (Table II of the
+// paper), while weighted sampling stays O(log n).
+//
+// Raw weights are not stored: a single element can be read back in O(log n)
+// (Weight) and the whole array reconstructed in O(n) total (Weights), so the
+// structure costs exactly one float64 per neighbor, like a plain weight list.
+package fenwick
+
+import "fmt"
+
+// FSTable is a Fenwick-tree sum table over a sequence of non-negative edge
+// weights. The zero value is an empty table ready to use.
+//
+// FSTable is not safe for concurrent mutation; the samtree layer serializes
+// writers per tree (see internal/palm).
+type FSTable struct {
+	f []float64
+}
+
+// lsb returns the value of the lowest set bit of x (x > 0).
+func lsb(x int) int { return x & (-x) }
+
+// New builds an FSTable from raw weights in O(n) time.
+func New(weights []float64) *FSTable {
+	t := &FSTable{f: make([]float64, 0, len(weights))}
+	for _, w := range weights {
+		t.Append(w)
+	}
+	return t
+}
+
+// NewWithCapacity returns an empty FSTable whose backing array can hold c
+// elements without reallocation.
+func NewWithCapacity(c int) *FSTable {
+	return &FSTable{f: make([]float64, 0, c)}
+}
+
+// Len returns the number of weights in the table.
+func (t *FSTable) Len() int { return len(t.f) }
+
+// Total returns the sum of all weights (procedure getAllSum of Algorithm 5):
+// it walks the Fenwick roots in O(log n).
+func (t *FSTable) Total() float64 {
+	s := 0.0
+	for i := len(t.f); i > 0; i -= lsb(i) {
+		s += t.f[i-1]
+	}
+	return s
+}
+
+// Prefix returns the sum of weights with indices in [0, i]. It panics if i is
+// out of range. Runs in O(log n).
+func (t *FSTable) Prefix(i int) float64 {
+	if i < 0 || i >= len(t.f) {
+		panic(fmt.Sprintf("fenwick: Prefix index %d out of range [0,%d)", i, len(t.f)))
+	}
+	s := 0.0
+	for j := i + 1; j > 0; j -= lsb(j) {
+		s += t.f[j-1]
+	}
+	return s
+}
+
+// Weight returns the raw weight at index i in O(log n). It exploits that
+// F[i] covers the range [g(i)+1, i]: subtracting the Fenwick entries covering
+// [g(i)+1, i-1] leaves exactly A[i].
+func (t *FSTable) Weight(i int) float64 {
+	if i < 0 || i >= len(t.f) {
+		panic(fmt.Sprintf("fenwick: Weight index %d out of range [0,%d)", i, len(t.f)))
+	}
+	v := t.f[i]
+	bottom := i - lsb(i+1) // g(i)
+	for j := i - 1; j != bottom; j -= lsb(j + 1) {
+		v -= t.f[j]
+	}
+	return v
+}
+
+// Add adds delta to the weight at index i, updating all covering Fenwick
+// entries (Algorithm 3 of the paper). Runs in O(log n).
+func (t *FSTable) Add(i int, delta float64) {
+	if i < 0 || i >= len(t.f) {
+		panic(fmt.Sprintf("fenwick: Add index %d out of range [0,%d)", i, len(t.f)))
+	}
+	for ; i < len(t.f); i += lsb(i + 1) {
+		t.f[i] += delta
+	}
+}
+
+// Update sets the weight at index i to w (the paper's "in-place update").
+// Runs in O(log n).
+func (t *FSTable) Update(i int, w float64) {
+	t.Add(i, w-t.Weight(i))
+}
+
+// Append inserts a new weight at the end of the table (Algorithm 4 of the
+// paper). The new Fenwick entry is the weight plus the entries of its
+// Fenwick children, all of which already exist. Runs in O(log n).
+func (t *FSTable) Append(w float64) {
+	n := len(t.f)
+	s := w
+	// The children of 1-indexed position n+1 are (n+1)-2^k for 2^k < LSB(n+1).
+	for step := 1; step < lsb(n+1); step <<= 1 {
+		s += t.f[n-step]
+	}
+	t.f = append(t.f, s)
+}
+
+// Delete removes the weight at index i using the paper's swap-delete: the
+// last element's weight overwrites position i (updating its Fenwick parents),
+// then the last Fenwick entry is dropped — no entry with a smaller index
+// covers position n-1, so truncation is exact. Runs in O(log n).
+// The caller must apply the same swap to any parallel ID list.
+func (t *FSTable) Delete(i int) {
+	n := len(t.f)
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("fenwick: Delete index %d out of range [0,%d)", i, n))
+	}
+	if i != n-1 {
+		t.Update(i, t.Weight(n-1))
+	}
+	t.f = t.f[:n-1]
+}
+
+// Sample performs the FTS range-narrow search (Algorithm 5): it returns the
+// smallest index p such that the strict prefix sum through p exceeds r.
+// r must lie in [0, Total()); values at or beyond Total() clamp to the last
+// index. Sampling with r drawn uniformly from [0, Total()) selects index i
+// with probability weight(i)/Total(). Returns -1 on an empty table.
+//
+// The search walks a virtual complete binary tree of size 2^m >= n: by the
+// sub-tree-sum property (Theorem 4), the midpoint entry of any power-of-two
+// aligned range holds exactly the total weight of the range's left half, so
+// each comparison either descends left or subtracts F[mid] and descends
+// right. O(log n).
+func (t *FSTable) Sample(r float64) int {
+	n := len(t.f)
+	if n == 0 {
+		return -1
+	}
+	m := 1
+	for m < n {
+		m <<= 1
+	}
+	left, right := 0, m-1
+	for left < right {
+		mid := (left + right) / 2
+		if mid >= n {
+			right = mid
+			continue
+		}
+		if t.f[mid] > r {
+			right = mid
+		} else {
+			r -= t.f[mid]
+			left = mid + 1
+		}
+	}
+	if left >= n {
+		left = n - 1
+	}
+	return left
+}
+
+// Weights reconstructs the raw weight array in O(n) total: every index is
+// the Fenwick child of exactly one covering entry, so subtracting each
+// entry's children costs amortized O(1) per element.
+func (t *FSTable) Weights() []float64 {
+	out := make([]float64, len(t.f))
+	for i := range t.f {
+		v := t.f[i]
+		for step := 1; step < lsb(i+1); step <<= 1 {
+			v -= t.f[i-step]
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Reset empties the table, retaining the backing array.
+func (t *FSTable) Reset() { t.f = t.f[:0] }
+
+// Clone returns a deep copy of the table.
+func (t *FSTable) Clone() *FSTable {
+	f := make([]float64, len(t.f))
+	copy(f, t.f)
+	return &FSTable{f: f}
+}
+
+// MemoryBytes returns the structural memory footprint of the table: the
+// slice header plus the backing array.
+func (t *FSTable) MemoryBytes() int64 {
+	return int64(24 + 8*cap(t.f))
+}

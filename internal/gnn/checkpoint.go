@@ -1,0 +1,66 @@
+package gnn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Checkpointing: dynamic GNN models retrain continuously (Sec. II-A's
+// M^(t)), so serving systems persist and reload parameters between
+// sessions. The format is a gob stream of named tensors.
+
+type checkpointHeader struct {
+	Magic   string
+	Tensors int
+}
+
+type checkpointTensor struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+const checkpointMagic = "platod2gl-model"
+
+// SaveParams serializes a parameter set (as returned by Model.Params or
+// SAGELayer.Params).
+func SaveParams(w io.Writer, params []*Matrix) error {
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(checkpointHeader{Magic: checkpointMagic, Tensors: len(params)}); err != nil {
+		return fmt.Errorf("gnn: encode header: %w", err)
+	}
+	for i, p := range params {
+		if err := enc.Encode(checkpointTensor{Rows: p.Rows, Cols: p.Cols, Data: p.Data}); err != nil {
+			return fmt.Errorf("gnn: encode tensor %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// LoadParams restores a parameter set in place. Tensor shapes must match the
+// receiving model exactly.
+func LoadParams(r io.Reader, params []*Matrix) error {
+	dec := gob.NewDecoder(r)
+	var h checkpointHeader
+	if err := dec.Decode(&h); err != nil {
+		return fmt.Errorf("gnn: decode header: %w", err)
+	}
+	if h.Magic != checkpointMagic {
+		return fmt.Errorf("gnn: not a model checkpoint (magic %q)", h.Magic)
+	}
+	if h.Tensors != len(params) {
+		return fmt.Errorf("gnn: checkpoint has %d tensors, model expects %d", h.Tensors, len(params))
+	}
+	for i, p := range params {
+		var t checkpointTensor
+		if err := dec.Decode(&t); err != nil {
+			return fmt.Errorf("gnn: decode tensor %d: %w", i, err)
+		}
+		if t.Rows != p.Rows || t.Cols != p.Cols {
+			return fmt.Errorf("gnn: tensor %d shape %dx%d, model expects %dx%d",
+				i, t.Rows, t.Cols, p.Rows, p.Cols)
+		}
+		copy(p.Data, t.Data)
+	}
+	return nil
+}

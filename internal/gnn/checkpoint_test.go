@@ -1,0 +1,60 @@
+package gnn
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m1 := NewModel(8, 16, 4, rng)
+	m2 := NewModel(8, 16, 4, rng) // different init
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, m1.Params()); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadParams(&buf, m2.Params()); err != nil {
+		t.Fatal(err)
+	}
+	p1, p2 := m1.Params(), m2.Params()
+	for i := range p1 {
+		for j := range p1[i].Data {
+			if p1[i].Data[j] != p2[i].Data[j] {
+				t.Fatalf("tensor %d[%d] differs after load", i, j)
+			}
+		}
+	}
+}
+
+func TestCheckpointShapeMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, NewModel(8, 16, 4, rng).Params()); err != nil {
+		t.Fatal(err)
+	}
+	err := LoadParams(&buf, NewModel(8, 32, 4, rng).Params())
+	if err == nil || !strings.Contains(err.Error(), "shape") {
+		t.Fatalf("expected shape error, got %v", err)
+	}
+}
+
+func TestCheckpointTensorCountMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, NewModel(8, 16, 4, rng).Params()); err != nil {
+		t.Fatal(err)
+	}
+	l := NewSAGELayer(8, 16, true, rng)
+	if err := LoadParams(&buf, l.Params()); err == nil {
+		t.Fatal("expected tensor-count error")
+	}
+}
+
+func TestCheckpointGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	if err := LoadParams(strings.NewReader("junk"), NewModel(4, 4, 2, rng).Params()); err == nil {
+		t.Fatal("expected decode error")
+	}
+}

@@ -1,0 +1,150 @@
+package gnn
+
+import (
+	"math/rand"
+
+	"platod2gl/internal/graph"
+	"platod2gl/internal/kvstore"
+	"platod2gl/internal/sampler"
+	"platod2gl/internal/storage"
+)
+
+// GATModel is a two-layer graph-attention node classifier: the same
+// sample-gather-aggregate pipeline as Model, with learned attention over
+// each neighborhood instead of mean pooling. Both hops share one fanout F
+// so each layer runs as a single joint forward over [seeds; hop1].
+type GATModel struct {
+	L1, L2 *GATLayer
+	InDim  int
+	Hidden int
+	Out    int
+}
+
+// NewGATModel builds a Glorot-initialized 2-layer attention model.
+func NewGATModel(inDim, hidden, classes int, rng *rand.Rand) *GATModel {
+	return &GATModel{
+		L1:     NewGATLayer(inDim, hidden, true, rng),
+		L2:     NewGATLayer(hidden, classes, false, rng),
+		InDim:  inDim,
+		Hidden: hidden,
+		Out:    classes,
+	}
+}
+
+// Params returns all trainable tensors.
+func (m *GATModel) Params() []*Matrix { return append(m.L1.Params(), m.L2.Params()...) }
+
+// Grads returns all gradient tensors.
+func (m *GATModel) Grads() []*Matrix { return append(m.L1.Grads(), m.L2.Grads()...) }
+
+// ZeroGrads clears gradients.
+func (m *GATModel) ZeroGrads() {
+	m.L1.ZeroGrads()
+	m.L2.ZeroGrads()
+}
+
+// GATTrainer drives mini-batch attention-GNN training over a dynamic
+// topology store.
+type GATTrainer struct {
+	Model   *GATModel
+	Store   storage.TopologyStore
+	Attrs   *kvstore.Store
+	Sampler *sampler.Sampler
+	Opt     *Adam
+	Rel     graph.EdgeType
+	// Fanout applies to both hops.
+	Fanout int
+}
+
+// NewGATTrainer wires an attention trainer with standard settings.
+func NewGATTrainer(model *GATModel, store storage.TopologyStore, attrs *kvstore.Store, rel graph.EdgeType, fanout int, lr float64) *GATTrainer {
+	return &GATTrainer{
+		Model:   model,
+		Store:   store,
+		Attrs:   attrs,
+		Sampler: sampler.New(store, sampler.Options{Parallelism: 2, Seed: 1}),
+		Opt:     NewAdam(lr),
+		Rel:     rel,
+		Fanout:  fanout,
+	}
+}
+
+// SampleBatch expands seeds two hops (both at Fanout) and gathers features.
+func (t *GATTrainer) SampleBatch(seeds []graph.VertexID) *Batch {
+	sg := t.Sampler.SampleSubgraph(seeds, graph.MetaPath{t.Rel, t.Rel}, []int{t.Fanout, t.Fanout})
+	hop1 := sg.Layers[0].Nodes
+	hop2 := sg.Layers[1].Nodes
+	b := &Batch{
+		Seeds: seeds, Hop1: hop1, Hop2: hop2, F1: t.Fanout, F2: t.Fanout,
+		XSeeds: NewMatrixFrom(len(seeds), t.Model.InDim, t.Attrs.GatherFeatures(seeds, t.Model.InDim)),
+		XHop1:  NewMatrixFrom(len(hop1), t.Model.InDim, t.Attrs.GatherFeatures(hop1, t.Model.InDim)),
+		XHop2:  NewMatrixFrom(len(hop2), t.Model.InDim, t.Attrs.GatherFeatures(hop2, t.Model.InDim)),
+		Labels: make([]int32, len(seeds)),
+	}
+	for i, s := range seeds {
+		if l, ok := t.Attrs.Label(s); ok {
+			b.Labels[i] = l
+		}
+	}
+	return b
+}
+
+// Forward runs the 2-layer attention model, returning seed logits. Layer 1
+// attends jointly for [seeds; hop1] over their raw neighbor rows
+// [hop1; hop2]; layer 2 attends for the seeds over the hop-1 hidden states.
+func (t *GATTrainer) Forward(b *Batch) *Matrix {
+	nSeeds := len(b.Seeds)
+	selfX := VStack(b.XSeeds, b.XHop1)
+	neighX := VStack(b.XHop1, b.XHop2)
+	h1 := t.Model.L1.Forward(selfX, neighX, t.Fanout)
+	h1Seeds := SliceRows(h1, 0, nSeeds)
+	h1Hop1 := SliceRows(h1, nSeeds, h1.Rows)
+	return t.Model.L2.Forward(h1Seeds, h1Hop1, t.Fanout)
+}
+
+// TrainStep runs one forward/backward/update pass, returning the loss.
+func (t *GATTrainer) TrainStep(b *Batch) float64 {
+	t.Model.ZeroGrads()
+	logits := t.Forward(b)
+	loss, dLogits := SoftmaxCrossEntropy(logits, b.Labels)
+	dH1Seeds, dH1Hop1 := t.Model.L2.Backward(dLogits)
+	dH1 := VStack(dH1Seeds, dH1Hop1)
+	t.Model.L1.Backward(dH1)
+	t.Opt.Step(t.Model.Params(), t.Model.Grads())
+	return loss
+}
+
+// Accuracy evaluates classification accuracy on the given seeds.
+func (t *GATTrainer) Accuracy(seeds []graph.VertexID) float64 {
+	if len(seeds) == 0 {
+		return 0
+	}
+	b := t.SampleBatch(seeds)
+	pred := Argmax(t.Forward(b))
+	correct := 0
+	for i, p := range pred {
+		if p == b.Labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(seeds))
+}
+
+// TrainEpoch shuffles seeds and trains mini-batches, returning mean loss.
+func (t *GATTrainer) TrainEpoch(epoch int, seeds []graph.VertexID, batchSize int, rng *rand.Rand) EpochResult {
+	perm := rng.Perm(len(seeds))
+	totalLoss := 0.0
+	batches := 0
+	for lo := 0; lo+batchSize <= len(perm); lo += batchSize {
+		batch := make([]graph.VertexID, batchSize)
+		for i := 0; i < batchSize; i++ {
+			batch[i] = seeds[perm[lo+i]]
+		}
+		totalLoss += t.TrainStep(t.SampleBatch(batch))
+		batches++
+	}
+	if batches == 0 {
+		return EpochResult{Epoch: epoch}
+	}
+	return EpochResult{Epoch: epoch, MeanLoss: totalLoss / float64(batches), Batches: batches}
+}

@@ -1,0 +1,121 @@
+package gnn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// SAGELayer is one GraphSAGE layer implementing Eq. (1) with a mean
+// aggregator:
+//
+//	h_out(v) = act( h(v)·Wself + mean_{u∈N(v)} h(u)·Wneigh + b )
+//
+// g is the combine step, ⊕ the mean pool (computed by the caller with
+// MeanPool), and f the identity message function.
+type SAGELayer struct {
+	Wself, Wneigh *Matrix // in×out
+	Bias          *Matrix // 1×out
+	Act           bool    // apply ReLU
+
+	// Gradients, accumulated by Backward.
+	GWself, GWneigh, GBias *Matrix
+
+	// Forward cache.
+	xSelf, xNeigh *Matrix
+	mask          *Matrix
+}
+
+// NewSAGELayer returns a Glorot-initialized layer.
+func NewSAGELayer(in, out int, act bool, rng *rand.Rand) *SAGELayer {
+	return &SAGELayer{
+		Wself:   NewMatrix(in, out).Glorot(rng),
+		Wneigh:  NewMatrix(in, out).Glorot(rng),
+		Bias:    NewMatrix(1, out),
+		Act:     act,
+		GWself:  NewMatrix(in, out),
+		GWneigh: NewMatrix(in, out),
+		GBias:   NewMatrix(1, out),
+	}
+}
+
+// Forward combines the self embeddings (n×in) with the pooled neighbor
+// embeddings (n×in) into the next representations (n×out), caching
+// intermediates for Backward.
+func (l *SAGELayer) Forward(xSelf, xNeigh *Matrix) *Matrix {
+	l.xSelf, l.xNeigh = xSelf, xNeigh
+	z := MatMul(xSelf, l.Wself)
+	AddInPlace(z, MatMul(xNeigh, l.Wneigh))
+	AddBiasRow(z, l.Bias)
+	if l.Act {
+		l.mask = ReluInPlace(z)
+	} else {
+		l.mask = nil
+	}
+	return z
+}
+
+// Backward consumes dL/doutput and returns (dL/dxSelf, dL/dxNeigh),
+// accumulating the weight gradients.
+func (l *SAGELayer) Backward(dOut *Matrix) (dSelf, dNeigh *Matrix) {
+	dz := dOut
+	if l.mask != nil {
+		dz = dOut.Clone()
+		MulMaskInPlace(dz, l.mask)
+	}
+	AddInPlace(l.GWself, MatMulAT(l.xSelf, dz))
+	AddInPlace(l.GWneigh, MatMulAT(l.xNeigh, dz))
+	AddInPlace(l.GBias, ColSum(dz))
+	return MatMulBT(dz, l.Wself), MatMulBT(dz, l.Wneigh)
+}
+
+// Params returns the trainable tensors.
+func (l *SAGELayer) Params() []*Matrix { return []*Matrix{l.Wself, l.Wneigh, l.Bias} }
+
+// Grads returns the gradient tensors, aligned with Params.
+func (l *SAGELayer) Grads() []*Matrix { return []*Matrix{l.GWself, l.GWneigh, l.GBias} }
+
+// ZeroGrads clears the accumulated gradients.
+func (l *SAGELayer) ZeroGrads() {
+	l.GWself.Zero()
+	l.GWneigh.Zero()
+	l.GBias.Zero()
+}
+
+// Adam is a standard Adam optimizer over a set of tensors.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	t                     int
+	m, v                  [][]float32
+}
+
+// NewAdam returns an Adam optimizer with standard defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step applies one update to params from grads (aligned slices of tensors).
+func (a *Adam) Step(params, grads []*Matrix) {
+	if a.m == nil {
+		a.m = make([][]float32, len(params))
+		a.v = make([][]float32, len(params))
+		for i, p := range params {
+			a.m[i] = make([]float32, len(p.Data))
+			a.v[i] = make([]float32, len(p.Data))
+		}
+	}
+	a.t++
+	b1c := 1 - math.Pow(a.Beta1, float64(a.t))
+	b2c := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range params {
+		g := grads[i].Data
+		m, v := a.m[i], a.v[i]
+		for j := range p.Data {
+			gj := float64(g[j])
+			m[j] = float32(a.Beta1)*m[j] + float32(1-a.Beta1)*float32(gj)
+			v[j] = float32(a.Beta2)*v[j] + float32(1-a.Beta2)*float32(gj*gj)
+			mhat := float64(m[j]) / b1c
+			vhat := float64(v[j]) / b2c
+			p.Data[j] -= float32(a.LR * mhat / (math.Sqrt(vhat) + a.Eps))
+		}
+	}
+}

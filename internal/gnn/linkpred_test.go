@@ -1,0 +1,159 @@
+package gnn
+
+import (
+	"math/rand"
+	"testing"
+
+	"platod2gl/internal/core"
+	"platod2gl/internal/dataset"
+	"platod2gl/internal/graph"
+	"platod2gl/internal/kvstore"
+	"platod2gl/internal/storage"
+)
+
+// buildBipartite creates a user-item graph with two taste communities:
+// users of community c interact with items of community c.
+func buildBipartite(t testing.TB) (*storage.DynamicStore, *kvstore.Store, []graph.Edge, []graph.VertexID, [2][]graph.VertexID) {
+	t.Helper()
+	const users, items, dim = 200, 100, 8
+	store := storage.NewDynamicStore(storage.Options{Tree: core.Options{Capacity: 32}})
+	attrs := kvstore.New()
+	dataset.AssignFeatures(attrs, 0, users, dim, 2, 0.3, 1) // user features by community
+	dataset.AssignFeatures(attrs, 1, items, dim, 2, 0.3, 2) // item features by community
+	rng := rand.New(rand.NewSource(3))
+	itemsOf := [2][]graph.VertexID{}
+	pool := make([]graph.VertexID, 0, items)
+	for i := uint64(0); i < items; i++ {
+		id := graph.MakeVertexID(1, i)
+		l, _ := attrs.Label(id)
+		itemsOf[l] = append(itemsOf[l], id)
+		pool = append(pool, id)
+	}
+	var edges []graph.Edge
+	for u := uint64(0); u < users; u++ {
+		uid := graph.MakeVertexID(0, u)
+		l, _ := attrs.Label(uid)
+		own := itemsOf[l]
+		for j := 0; j < 6; j++ {
+			e := graph.Edge{Src: uid, Dst: own[rng.Intn(len(own))], Weight: 1}
+			store.AddEdge(e)
+			// Reverse edges give items neighborhoods too.
+			store.AddEdge(graph.Edge{Src: e.Dst, Dst: uid, Weight: 1})
+			edges = append(edges, e)
+		}
+	}
+	return store, attrs, edges, pool, itemsOf
+}
+
+func TestLinkPredictionLearns(t *testing.T) {
+	store, attrs, edges, pool, itemsOf := buildBipartite(t)
+	rng := rand.New(rand.NewSource(4))
+	model := NewLinkModel(8, 16, rng)
+	tr := NewLinkTrainer(model, store, attrs, 0, 5, 0.05, pool, 7)
+
+	// Held-out positives; negatives corrupt with the *other* community's
+	// items, which are guaranteed non-edges.
+	testPos := edges[:50]
+	var testNeg []graph.Edge
+	for _, e := range testPos {
+		l, _ := attrs.Label(e.Src)
+		other := itemsOf[1-l]
+		testNeg = append(testNeg, graph.Edge{Src: e.Src, Dst: other[rng.Intn(len(other))]})
+	}
+	before := tr.AUC(testPos, testNeg)
+	var lastLoss float64
+	for step := 0; step < 60; step++ {
+		batch := make([]graph.Edge, 64)
+		for i := range batch {
+			batch[i] = edges[rng.Intn(len(edges))]
+		}
+		lastLoss = tr.TrainStep(batch)
+	}
+	after := tr.AUC(testPos, testNeg)
+	if after < 0.8 {
+		t.Fatalf("AUC after training = %.3f (before %.3f), want >= 0.8", after, before)
+	}
+	if after <= before {
+		t.Fatalf("AUC did not improve: %.3f -> %.3f", before, after)
+	}
+	if lastLoss <= 0 || lastLoss > 0.7 {
+		t.Fatalf("final loss = %.4f, want in (0, 0.7)", lastLoss)
+	}
+}
+
+func TestLinkTrainerEmptyBatch(t *testing.T) {
+	store, attrs, _, pool, _ := buildBipartite(t)
+	rng := rand.New(rand.NewSource(5))
+	tr := NewLinkTrainer(NewLinkModel(8, 8, rng), store, attrs, 0, 4, 0.01, pool, 9)
+	if loss := tr.TrainStep(nil); loss != 0 {
+		t.Fatalf("empty batch loss = %v", loss)
+	}
+}
+
+func TestLinkScoreShape(t *testing.T) {
+	store, attrs, edges, pool, _ := buildBipartite(t)
+	rng := rand.New(rand.NewSource(6))
+	tr := NewLinkTrainer(NewLinkModel(8, 8, rng), store, attrs, 0, 4, 0.01, pool, 9)
+	scores := tr.Score(edges[:7])
+	if len(scores) != 7 {
+		t.Fatalf("Score returned %d values", len(scores))
+	}
+}
+
+func TestAUCBounds(t *testing.T) {
+	store, attrs, edges, pool, _ := buildBipartite(t)
+	rng := rand.New(rand.NewSource(8))
+	tr := NewLinkTrainer(NewLinkModel(8, 8, rng), store, attrs, 0, 4, 0.01, pool, 9)
+	if auc := tr.AUC(nil, nil); auc != 0 {
+		t.Fatalf("empty AUC = %v", auc)
+	}
+	auc := tr.AUC(edges[:10], edges[10:20])
+	if auc < 0 || auc > 1 {
+		t.Fatalf("AUC out of range: %v", auc)
+	}
+}
+
+func TestRecommendRanksOwnCommunity(t *testing.T) {
+	store, attrs, edges, pool, itemsOf := buildBipartite(t)
+	rng := rand.New(rand.NewSource(10))
+	tr := NewLinkTrainer(NewLinkModel(8, 16, rng), store, attrs, 0, 5, 0.05, pool, 11)
+	for step := 0; step < 60; step++ {
+		batch := make([]graph.Edge, 64)
+		for i := range batch {
+			batch[i] = edges[rng.Intn(len(edges))]
+		}
+		tr.TrainStep(batch)
+	}
+	// Top-10 recommendations for a community-0 user should be dominated by
+	// community-0 items.
+	var u graph.VertexID
+	for i := uint64(0); ; i++ {
+		u = graph.MakeVertexID(0, i)
+		if l, _ := attrs.Label(u); l == 0 {
+			break
+		}
+	}
+	recs := tr.Recommend(u, pool, 10)
+	if len(recs) != 10 {
+		t.Fatalf("got %d recommendations", len(recs))
+	}
+	own := 0
+	for _, r := range recs {
+		if l, _ := attrs.Label(r.ID); l == 0 {
+			own++
+		}
+	}
+	if own < 8 {
+		t.Fatalf("only %d/10 recommendations in the user's community", own)
+	}
+	_ = itemsOf
+	// Scores are sorted descending.
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Score > recs[i-1].Score {
+			t.Fatal("recommendations not sorted")
+		}
+	}
+	if tr.Recommend(u, nil, 5) != nil {
+		t.Fatal("empty candidates returned recs")
+	}
+}

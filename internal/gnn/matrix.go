@@ -1,0 +1,365 @@
+// Package gnn is the "TF-based operators layer" substitute of this
+// reproduction (Fig. 2, top): dense float32 tensors with the handful of
+// operators GraphSAGE-style training needs (matmul, bias, ReLU, mean
+// pooling over fixed-fanout neighbor groups, softmax cross-entropy), manual
+// backpropagation, an Adam optimizer, and a mini-batch trainer that consumes
+// PlatoD2GL's samplers. Eq. (1) of the paper — aggregate neighbor messages,
+// combine with the self embedding — maps to the SAGELayer.
+package gnn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major float32 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewMatrix returns a zero matrix of the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// NewMatrixFrom wraps data (retained, not copied) as a rows×cols matrix.
+func NewMatrixFrom(rows, cols int, data []float32) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("gnn: data length %d != %d x %d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// Glorot fills the matrix with Glorot-uniform initial weights.
+func (m *Matrix) Glorot(rng *rand.Rand) *Matrix {
+	limit := float32(math.Sqrt(6.0 / float64(m.Rows+m.Cols)))
+	for i := range m.Data {
+		m.Data[i] = (rng.Float32()*2 - 1) * limit
+	}
+	return m
+}
+
+// At returns element (r, c).
+func (m *Matrix) At(r, c int) float32 { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m *Matrix) Set(r, c int, v float32) { m.Data[r*m.Cols+c] = v }
+
+// Row returns row r as a shared slice.
+func (m *Matrix) Row(r int) []float32 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Zero clears the matrix in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// MatMul computes a·b into a fresh (a.Rows × b.Cols) matrix.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("gnn: matmul shape mismatch (%dx%d)·(%dx%d)", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulAT computes aᵀ·b (a is k×m, b is k×n, result m×n) — the weight
+// gradient shape in backprop.
+func MatMulAT(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("gnn: matmulAT shape mismatch (%dx%d)ᵀ·(%dx%d)", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Cols, b.Cols)
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Row(i)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulBT computes a·bᵀ (a is m×k, b is n×k, result m×n) — the input
+// gradient shape in backprop.
+func MatMulBT(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("gnn: matmulBT shape mismatch (%dx%d)·(%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s float32
+			for k := range arow {
+				s += arow[k] * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// AddInPlace adds b to a elementwise.
+func AddInPlace(a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("gnn: AddInPlace shape mismatch")
+	}
+	for i := range a.Data {
+		a.Data[i] += b.Data[i]
+	}
+}
+
+// AddBiasRow adds bias (1×cols) to every row of m in place.
+func AddBiasRow(m *Matrix, bias *Matrix) {
+	if bias.Rows != 1 || bias.Cols != m.Cols {
+		panic("gnn: bias shape mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] += bias.Data[j]
+		}
+	}
+}
+
+// ColSum returns the column sums of m as a 1×cols matrix (bias gradient).
+func ColSum(m *Matrix) *Matrix {
+	out := NewMatrix(1, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j] += v
+		}
+	}
+	return out
+}
+
+// ReluInPlace applies max(0, x) and returns a mask matrix for backprop.
+func ReluInPlace(m *Matrix) *Matrix {
+	mask := NewMatrix(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		if v > 0 {
+			mask.Data[i] = 1
+		} else {
+			m.Data[i] = 0
+		}
+	}
+	return mask
+}
+
+// MulMaskInPlace multiplies m by a 0/1 mask elementwise (ReLU backward).
+func MulMaskInPlace(m, mask *Matrix) {
+	if m.Rows != mask.Rows || m.Cols != mask.Cols {
+		panic("gnn: mask shape mismatch")
+	}
+	for i := range m.Data {
+		m.Data[i] *= mask.Data[i]
+	}
+}
+
+// MeanPool groups the rows of child ((n*fanout)×d) into n groups of fanout
+// consecutive rows and returns their means (n×d) — the ⊕ neighbor
+// aggregation of Eq. (1) with a mean aggregator.
+func MeanPool(child *Matrix, fanout int) *Matrix {
+	if fanout <= 0 || child.Rows%fanout != 0 {
+		panic(fmt.Sprintf("gnn: MeanPool fanout %d does not divide %d rows", fanout, child.Rows))
+	}
+	n := child.Rows / fanout
+	out := NewMatrix(n, child.Cols)
+	inv := 1 / float32(fanout)
+	for i := 0; i < n; i++ {
+		orow := out.Row(i)
+		for j := 0; j < fanout; j++ {
+			crow := child.Row(i*fanout + j)
+			for k, v := range crow {
+				orow[k] += v * inv
+			}
+		}
+	}
+	return out
+}
+
+// MeanPoolBackward scatters the pooled gradient back to the child rows.
+func MeanPoolBackward(dPooled *Matrix, fanout int) *Matrix {
+	out := NewMatrix(dPooled.Rows*fanout, dPooled.Cols)
+	inv := 1 / float32(fanout)
+	for i := 0; i < dPooled.Rows; i++ {
+		drow := dPooled.Row(i)
+		for j := 0; j < fanout; j++ {
+			orow := out.Row(i*fanout + j)
+			for k, v := range drow {
+				orow[k] = v * inv
+			}
+		}
+	}
+	return out
+}
+
+// SoftmaxCrossEntropy computes the mean cross-entropy of logits (n×classes)
+// against integer labels, returning the loss and dL/dlogits.
+func SoftmaxCrossEntropy(logits *Matrix, labels []int32) (float64, *Matrix) {
+	if len(labels) != logits.Rows {
+		panic("gnn: label count mismatch")
+	}
+	n := logits.Rows
+	grad := NewMatrix(n, logits.Cols)
+	loss := 0.0
+	invN := 1 / float32(n)
+	for i := 0; i < n; i++ {
+		row := logits.Row(i)
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(float64(v - maxv))
+		}
+		logSum := math.Log(sum)
+		lbl := int(labels[i])
+		loss += logSum - float64(row[lbl]-maxv)
+		grow := grad.Row(i)
+		for j, v := range row {
+			p := float32(math.Exp(float64(v-maxv)) / sum)
+			if j == lbl {
+				p -= 1
+			}
+			grow[j] = p * invN
+		}
+	}
+	return loss / float64(n), grad
+}
+
+// Argmax returns the per-row argmax of m.
+func Argmax(m *Matrix) []int32 {
+	out := make([]int32, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		best, bv := 0, row[0]
+		for j, v := range row[1:] {
+			if v > bv {
+				best, bv = j+1, v
+			}
+		}
+		out[i] = int32(best)
+	}
+	return out
+}
+
+// VStack concatenates a and b row-wise.
+func VStack(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic("gnn: VStack column mismatch")
+	}
+	out := NewMatrix(a.Rows+b.Rows, a.Cols)
+	copy(out.Data, a.Data)
+	copy(out.Data[len(a.Data):], b.Data)
+	return out
+}
+
+// SliceRows returns rows [lo, hi) of m as a copy.
+func SliceRows(m *Matrix, lo, hi int) *Matrix {
+	if lo < 0 || hi > m.Rows || lo > hi {
+		panic(fmt.Sprintf("gnn: SliceRows [%d,%d) of %d rows", lo, hi, m.Rows))
+	}
+	out := NewMatrix(hi-lo, m.Cols)
+	copy(out.Data, m.Data[lo*m.Cols:hi*m.Cols])
+	return out
+}
+
+// MaxPool groups the rows of child ((n*fanout)×d) into n groups and takes
+// the elementwise maximum — GraphSAGE's pooling aggregator alternative to
+// the mean. The returned argmax matrix records, per output cell, which row
+// within the group supplied the max (for backprop).
+func MaxPool(child *Matrix, fanout int) (*Matrix, *Matrix) {
+	if fanout <= 0 || child.Rows%fanout != 0 {
+		panic(fmt.Sprintf("gnn: MaxPool fanout %d does not divide %d rows", fanout, child.Rows))
+	}
+	n := child.Rows / fanout
+	out := NewMatrix(n, child.Cols)
+	arg := NewMatrix(n, child.Cols)
+	for i := 0; i < n; i++ {
+		orow := out.Row(i)
+		arow := arg.Row(i)
+		copy(orow, child.Row(i*fanout))
+		for j := 1; j < fanout; j++ {
+			crow := child.Row(i*fanout + j)
+			for k, v := range crow {
+				if v > orow[k] {
+					orow[k] = v
+					arow[k] = float32(j)
+				}
+			}
+		}
+	}
+	return out, arg
+}
+
+// MaxPoolBackward routes the pooled gradient to the argmax rows.
+func MaxPoolBackward(dPooled, arg *Matrix, fanout int) *Matrix {
+	out := NewMatrix(dPooled.Rows*fanout, dPooled.Cols)
+	for i := 0; i < dPooled.Rows; i++ {
+		drow := dPooled.Row(i)
+		arow := arg.Row(i)
+		for k, v := range drow {
+			j := int(arow[k])
+			out.Row(i*fanout + j)[k] = v
+		}
+	}
+	return out
+}
+
+// Dropout zeroes each element with probability p (training-time
+// regularization), scaling survivors by 1/(1-p) so expectations match
+// inference. Returns the mask (already scaled) for backprop via
+// MulMaskInPlace.
+func Dropout(m *Matrix, p float64, rng *rand.Rand) *Matrix {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("gnn: dropout p=%v out of [0,1)", p))
+	}
+	mask := NewMatrix(m.Rows, m.Cols)
+	scale := float32(1 / (1 - p))
+	for i := range m.Data {
+		if rng.Float64() >= p {
+			mask.Data[i] = scale
+			m.Data[i] *= scale
+		} else {
+			m.Data[i] = 0
+		}
+	}
+	return mask
+}

@@ -1,0 +1,197 @@
+package gnn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"platod2gl/internal/graph"
+	"platod2gl/internal/kvstore"
+	"platod2gl/internal/sampler"
+	"platod2gl/internal/storage"
+)
+
+// Model is a two-layer GraphSAGE node classifier (Fig. 1's training phase):
+// layer 1 lifts raw features to a hidden representation, layer 2 maps to
+// class logits. Dynamic GNN training re-samples neighborhoods from the live
+// graph every batch, so topology updates are reflected immediately.
+type Model struct {
+	L1, L2 *SAGELayer
+	InDim  int
+	Hidden int
+	Out    int
+}
+
+// NewModel builds a Glorot-initialized 2-layer model.
+func NewModel(inDim, hidden, classes int, rng *rand.Rand) *Model {
+	return &Model{
+		L1:     NewSAGELayer(inDim, hidden, true, rng),
+		L2:     NewSAGELayer(hidden, classes, false, rng),
+		InDim:  inDim,
+		Hidden: hidden,
+		Out:    classes,
+	}
+}
+
+// Params returns all trainable tensors.
+func (m *Model) Params() []*Matrix { return append(m.L1.Params(), m.L2.Params()...) }
+
+// Grads returns all gradient tensors.
+func (m *Model) Grads() []*Matrix { return append(m.L1.Grads(), m.L2.Grads()...) }
+
+// ZeroGrads clears gradients.
+func (m *Model) ZeroGrads() {
+	m.L1.ZeroGrads()
+	m.L2.ZeroGrads()
+}
+
+// Batch is one sampled mini-batch: seeds plus their 2-hop neighborhood and
+// gathered features.
+type Batch struct {
+	Seeds  []graph.VertexID
+	Hop1   []graph.VertexID // len(Seeds) * F1
+	Hop2   []graph.VertexID // len(Seeds) * F1 * F2
+	F1, F2 int
+
+	XSeeds *Matrix
+	XHop1  *Matrix
+	XHop2  *Matrix
+	Labels []int32
+}
+
+// Trainer drives mini-batch GNN training over a dynamic topology store.
+type Trainer struct {
+	Model   *Model
+	Store   storage.TopologyStore
+	Attrs   *kvstore.Store
+	Sampler *sampler.Sampler
+	Opt     *Adam
+	// Rel is the relation to expand over both hops.
+	Rel graph.EdgeType
+	// F1, F2 are the per-hop fanouts.
+	F1, F2 int
+}
+
+// NewTrainer wires a trainer with standard settings.
+func NewTrainer(model *Model, store storage.TopologyStore, attrs *kvstore.Store, rel graph.EdgeType, f1, f2 int, lr float64) *Trainer {
+	return &Trainer{
+		Model:   model,
+		Store:   store,
+		Attrs:   attrs,
+		Sampler: sampler.New(store, sampler.Options{Parallelism: 4, Seed: 1}),
+		Opt:     NewAdam(lr),
+		Rel:     rel,
+		F1:      f1,
+		F2:      f2,
+	}
+}
+
+// SampleBatch expands the seeds two hops and gathers features and labels.
+// Seeds without labels get label 0 — callers training on labeled sets should
+// pass labeled seeds.
+func (t *Trainer) SampleBatch(seeds []graph.VertexID) *Batch {
+	sg := t.Sampler.SampleSubgraph(seeds, graph.MetaPath{t.Rel, t.Rel}, []int{t.F1, t.F2})
+	hop1 := sg.Layers[0].Nodes
+	hop2 := sg.Layers[1].Nodes
+	b := &Batch{
+		Seeds: seeds, Hop1: hop1, Hop2: hop2, F1: t.F1, F2: t.F2,
+		XSeeds: NewMatrixFrom(len(seeds), t.Model.InDim, t.Attrs.GatherFeatures(seeds, t.Model.InDim)),
+		XHop1:  NewMatrixFrom(len(hop1), t.Model.InDim, t.Attrs.GatherFeatures(hop1, t.Model.InDim)),
+		XHop2:  NewMatrixFrom(len(hop2), t.Model.InDim, t.Attrs.GatherFeatures(hop2, t.Model.InDim)),
+		Labels: make([]int32, len(seeds)),
+	}
+	for i, s := range seeds {
+		if l, ok := t.Attrs.Label(s); ok {
+			b.Labels[i] = l
+		}
+	}
+	return b
+}
+
+// Forward runs the 2-layer model on a batch, returning seed logits.
+//
+// Layer 1 is applied jointly to [seeds; hop1] (self inputs) against their
+// pooled children ([hop1 means; hop2 means]); layer 2 then combines the
+// seeds' hidden states with the pooled hop-1 hidden states.
+func (t *Trainer) Forward(b *Batch) *Matrix {
+	nSeeds := len(b.Seeds)
+	selfX := VStack(b.XSeeds, b.XHop1)
+	neighX := VStack(MeanPool(b.XHop1, b.F1), MeanPool(b.XHop2, b.F2))
+	h1 := t.Model.L1.Forward(selfX, neighX)
+	h1Seeds := SliceRows(h1, 0, nSeeds)
+	h1Hop1 := SliceRows(h1, nSeeds, h1.Rows)
+	return t.Model.L2.Forward(h1Seeds, MeanPool(h1Hop1, b.F1))
+}
+
+// TrainStep runs one forward/backward/update pass and returns the batch
+// loss.
+func (t *Trainer) TrainStep(b *Batch) float64 {
+	t.Model.ZeroGrads()
+	logits := t.Forward(b)
+	loss, dLogits := SoftmaxCrossEntropy(logits, b.Labels)
+	t.backward(b, dLogits)
+	t.Opt.Step(t.Model.Params(), t.Model.Grads())
+	return loss
+}
+
+func (t *Trainer) backward(b *Batch, dLogits *Matrix) {
+	dH1Seeds, dH1Hop1Pooled := t.Model.L2.Backward(dLogits)
+	dH1Hop1 := MeanPoolBackward(dH1Hop1Pooled, b.F1)
+	dH1 := VStack(dH1Seeds, dH1Hop1)
+	// Layer-1 input gradients are not needed (features are constants), but
+	// Backward also accumulates the layer-1 weight gradients.
+	t.Model.L1.Backward(dH1)
+}
+
+// Loss computes the batch loss without updating parameters.
+func (t *Trainer) Loss(b *Batch) float64 {
+	logits := t.Forward(b)
+	loss, _ := SoftmaxCrossEntropy(logits, b.Labels)
+	return loss
+}
+
+// Accuracy evaluates classification accuracy on the given seeds.
+func (t *Trainer) Accuracy(seeds []graph.VertexID) float64 {
+	if len(seeds) == 0 {
+		return 0
+	}
+	b := t.SampleBatch(seeds)
+	pred := Argmax(t.Forward(b))
+	correct := 0
+	for i, p := range pred {
+		if p == b.Labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(seeds))
+}
+
+// EpochResult summarizes one training epoch.
+type EpochResult struct {
+	Epoch    int
+	MeanLoss float64
+	Batches  int
+}
+
+func (e EpochResult) String() string {
+	return fmt.Sprintf("epoch %d: mean loss %.4f over %d batches", e.Epoch, e.MeanLoss, e.Batches)
+}
+
+// TrainEpoch shuffles the seed set, trains on consecutive mini-batches, and
+// returns the mean loss.
+func (t *Trainer) TrainEpoch(epoch int, seeds []graph.VertexID, batchSize int, rng *rand.Rand) EpochResult {
+	perm := rng.Perm(len(seeds))
+	totalLoss := 0.0
+	batches := 0
+	for lo := 0; lo+batchSize <= len(perm); lo += batchSize {
+		batch := make([]graph.VertexID, batchSize)
+		for i := 0; i < batchSize; i++ {
+			batch[i] = seeds[perm[lo+i]]
+		}
+		totalLoss += t.TrainStep(t.SampleBatch(batch))
+		batches++
+	}
+	if batches == 0 {
+		return EpochResult{Epoch: epoch}
+	}
+	return EpochResult{Epoch: epoch, MeanLoss: totalLoss / float64(batches), Batches: batches}
+}

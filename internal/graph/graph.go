@@ -1,0 +1,112 @@
+// Package graph defines the heterogeneous dynamic graph model shared by
+// every storage backend: typed vertices and edges, weighted directed edges,
+// and timestamped update events (Sec. II-A of the PlatoD2GL paper).
+//
+// A heterogeneous graph carries multiple vertex types (User, Live, Tag, ...)
+// and edge types (relations such as User-Live). A dynamic graph is a series
+// of graphs G^(t): we represent the series as the initial graph plus a
+// stream of Events.
+package graph
+
+import "fmt"
+
+// VertexType identifies a vertex class (User, Live, ...). At most 256 types.
+type VertexType uint8
+
+// EdgeType identifies a relation (User-Live, Live-Tag, ...). At most 256.
+type EdgeType uint8
+
+// VertexID is a packed 64-bit vertex identifier: the vertex type occupies
+// the top byte and the per-type local ID the low 56 bits. Packing the type
+// high keeps IDs of one type byte-prefix-clustered, which is exactly the
+// regularity the CP-IDs compression of Sec. VI-A exploits.
+type VertexID uint64
+
+// MaxLocalID is the largest local identifier representable in a VertexID.
+const MaxLocalID = (1 << 56) - 1
+
+// MakeVertexID packs a vertex type and a local ID.
+func MakeVertexID(t VertexType, local uint64) VertexID {
+	if local > MaxLocalID {
+		panic(fmt.Sprintf("graph: local id %d exceeds 56 bits", local))
+	}
+	return VertexID(uint64(t)<<56 | local)
+}
+
+// Type returns the vertex type packed into id.
+func (id VertexID) Type() VertexType { return VertexType(id >> 56) }
+
+// Local returns the per-type local identifier.
+func (id VertexID) Local() uint64 { return uint64(id) & MaxLocalID }
+
+// String renders the ID as "type:local".
+func (id VertexID) String() string {
+	return fmt.Sprintf("%d:%d", id.Type(), id.Local())
+}
+
+// Edge is a weighted directed typed edge.
+type Edge struct {
+	Src, Dst VertexID
+	Type     EdgeType
+	Weight   float64
+}
+
+// EventKind enumerates dynamic graph update operations.
+type EventKind uint8
+
+const (
+	// AddEdge inserts an edge, or updates its weight if present.
+	AddEdge EventKind = iota
+	// DeleteEdge removes an edge.
+	DeleteEdge
+	// UpdateWeight changes the weight of an existing edge; it is a no-op if
+	// the edge is absent.
+	UpdateWeight
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case AddEdge:
+		return "add"
+	case DeleteEdge:
+		return "del"
+	case UpdateWeight:
+		return "upd"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is one timestamped topology update.
+type Event struct {
+	Kind      EventKind
+	Edge      Edge
+	Timestamp int64
+}
+
+// Relation describes one edge type of a heterogeneous schema.
+type Relation struct {
+	Name     string
+	Type     EdgeType
+	Src, Dst VertexType
+}
+
+// Schema describes the vertex and edge types of a heterogeneous graph.
+type Schema struct {
+	VertexTypes []string // indexed by VertexType
+	Relations   []Relation
+}
+
+// RelationByName returns the relation with the given name.
+func (s *Schema) RelationByName(name string) (Relation, bool) {
+	for _, r := range s.Relations {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Relation{}, false
+}
+
+// MetaPath is a sequence of edge types to traverse for multi-hop subgraph
+// sampling (Sec. VII-C, "multi-hops meta-paths sampling").
+type MetaPath []EdgeType

@@ -1,0 +1,87 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestVertexIDPacking(t *testing.T) {
+	cases := []struct {
+		typ   VertexType
+		local uint64
+	}{
+		{0, 0},
+		{1, 1},
+		{255, MaxLocalID},
+		{7, 123456789},
+	}
+	for _, c := range cases {
+		id := MakeVertexID(c.typ, c.local)
+		if id.Type() != c.typ || id.Local() != c.local {
+			t.Fatalf("MakeVertexID(%d,%d) round-trip = (%d,%d)",
+				c.typ, c.local, id.Type(), id.Local())
+		}
+	}
+}
+
+func TestVertexIDOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for oversized local id")
+		}
+	}()
+	MakeVertexID(1, MaxLocalID+1)
+}
+
+func TestVertexIDString(t *testing.T) {
+	if got := MakeVertexID(3, 42).String(); got != "3:42" {
+		t.Fatalf("String = %q, want 3:42", got)
+	}
+}
+
+func TestQuickPackingRoundTrip(t *testing.T) {
+	prop := func(typ uint8, local uint64) bool {
+		local &= MaxLocalID
+		id := MakeVertexID(VertexType(typ), local)
+		return id.Type() == VertexType(typ) && id.Local() == local
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSameTypeSharesPrefixByte(t *testing.T) {
+	// IDs of the same type must share their top byte, the property CP-IDs
+	// compression relies on.
+	a := MakeVertexID(9, 1)
+	b := MakeVertexID(9, MaxLocalID)
+	if uint64(a)>>56 != uint64(b)>>56 {
+		t.Fatal("same-type IDs do not share the top byte")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if AddEdge.String() != "add" || DeleteEdge.String() != "del" || UpdateWeight.String() != "upd" {
+		t.Fatal("EventKind strings wrong")
+	}
+	if EventKind(9).String() != "EventKind(9)" {
+		t.Fatalf("unknown kind string: %s", EventKind(9))
+	}
+}
+
+func TestRelationByName(t *testing.T) {
+	s := &Schema{
+		VertexTypes: []string{"User", "Live"},
+		Relations: []Relation{
+			{Name: "User-Live", Type: 0, Src: 0, Dst: 1},
+			{Name: "Live-Live", Type: 1, Src: 1, Dst: 1},
+		},
+	}
+	r, ok := s.RelationByName("Live-Live")
+	if !ok || r.Type != 1 {
+		t.Fatalf("RelationByName = %+v,%v", r, ok)
+	}
+	if _, ok := s.RelationByName("nope"); ok {
+		t.Fatal("found nonexistent relation")
+	}
+}

@@ -1,0 +1,168 @@
+// Package kvstore implements the attribute storage of PlatoD2GL's dynamic
+// graph storage layer (Fig. 2): a sharded in-memory key-value store mapping
+// vertices to dense float32 feature vectors and integer labels. The paper
+// keeps attributes in a conventional key-value store — only the *topology*
+// moves to the non-key-value samtree — so this store is deliberately plain.
+package kvstore
+
+import (
+	"sync"
+
+	"platod2gl/internal/graph"
+)
+
+const shardCount = 64
+
+// EdgeKey addresses edge attributes.
+type EdgeKey struct {
+	Src, Dst graph.VertexID
+	Type     graph.EdgeType
+}
+
+type shard struct {
+	mu       sync.RWMutex
+	features map[graph.VertexID][]float32
+	labels   map[graph.VertexID]int32
+	edges    map[EdgeKey][]float32
+}
+
+// Store is a concurrent vertex-attribute store.
+type Store struct {
+	shards [shardCount]shard
+}
+
+// New returns an empty attribute store.
+func New() *Store {
+	s := &Store{}
+	for i := range s.shards {
+		s.shards[i].features = make(map[graph.VertexID][]float32)
+		s.shards[i].labels = make(map[graph.VertexID]int32)
+		s.shards[i].edges = make(map[EdgeKey][]float32)
+	}
+	return s
+}
+
+func (s *Store) shardFor(id graph.VertexID) *shard {
+	x := uint64(id)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return &s.shards[x&(shardCount-1)]
+}
+
+// SetFeatures stores the feature vector for id. The slice is retained; the
+// caller must not mutate it afterwards.
+func (s *Store) SetFeatures(id graph.VertexID, f []float32) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	sh.features[id] = f
+	sh.mu.Unlock()
+}
+
+// Features returns the stored feature vector for id (shared, do not mutate).
+func (s *Store) Features(id graph.VertexID) ([]float32, bool) {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	f, ok := sh.features[id]
+	sh.mu.RUnlock()
+	return f, ok
+}
+
+// GatherFeatures copies the feature vectors of ids row-by-row into a dense
+// matrix of shape (len(ids), dim). Vertices without features produce zero
+// rows.
+func (s *Store) GatherFeatures(ids []graph.VertexID, dim int) []float32 {
+	out := make([]float32, len(ids)*dim)
+	for i, id := range ids {
+		if f, ok := s.Features(id); ok {
+			copy(out[i*dim:(i+1)*dim], f)
+		}
+	}
+	return out
+}
+
+// SetLabel stores the class label for id.
+func (s *Store) SetLabel(id graph.VertexID, label int32) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	sh.labels[id] = label
+	sh.mu.Unlock()
+}
+
+// Label returns the stored label for id.
+func (s *Store) Label(id graph.VertexID) (int32, bool) {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	l, ok := sh.labels[id]
+	sh.mu.RUnlock()
+	return l, ok
+}
+
+// SetEdgeFeatures stores the feature vector for an edge (Fig. 2's "attributes
+// information of nodes or edges"). The slice is retained. Edge attributes are
+// sharded by source so they colocate with the source's topology.
+func (s *Store) SetEdgeFeatures(k EdgeKey, f []float32) {
+	sh := s.shardFor(k.Src)
+	sh.mu.Lock()
+	sh.edges[k] = f
+	sh.mu.Unlock()
+}
+
+// EdgeFeatures returns the stored edge feature vector (shared, do not
+// mutate).
+func (s *Store) EdgeFeatures(k EdgeKey) ([]float32, bool) {
+	sh := s.shardFor(k.Src)
+	sh.mu.RLock()
+	f, ok := sh.edges[k]
+	sh.mu.RUnlock()
+	return f, ok
+}
+
+// DeleteEdgeFeatures removes an edge's attributes (call on edge deletion).
+func (s *Store) DeleteEdgeFeatures(k EdgeKey) {
+	sh := s.shardFor(k.Src)
+	sh.mu.Lock()
+	delete(sh.edges, k)
+	sh.mu.Unlock()
+}
+
+// DeleteVertex removes all attributes of id.
+func (s *Store) DeleteVertex(id graph.VertexID) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	delete(sh.features, id)
+	delete(sh.labels, id)
+	sh.mu.Unlock()
+}
+
+// Len returns the number of vertices holding features.
+func (s *Store) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.features)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// MemoryBytes returns the approximate structural footprint: per-entry map
+// overhead plus feature payloads.
+func (s *Store) MemoryBytes() int64 {
+	const mapEntryOverhead = 48 // bucket slot + key + value header, amortized
+	var total int64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		total += int64(len(sh.labels)) * (mapEntryOverhead - 24)
+		for _, f := range sh.features {
+			total += mapEntryOverhead + int64(4*cap(f))
+		}
+		for _, f := range sh.edges {
+			total += mapEntryOverhead + 17 + int64(4*cap(f))
+		}
+		sh.mu.RUnlock()
+	}
+	return total
+}

@@ -1,0 +1,141 @@
+// Package palm implements the batch-based latch-free concurrent update
+// mechanism of Sec. VI-B / Appendix B of the PlatoD2GL paper, in the style
+// of the PALM tree.
+//
+// Instead of latching samtree nodes, a batch of update queries is (1) sorted
+// by vertex IDs, (2) grouped so all queries touching one source vertex's
+// samtree are contiguous, and (3) the groups are partitioned across worker
+// threads by source hash — every samtree is therefore modified by exactly
+// one thread and no latches are needed. Within a group the queries arrive
+// sorted by destination ID, which serializes the per-tree modifications
+// bottom-up with good leaf locality (consecutive queries tend to land in the
+// same leaf).
+package palm
+
+import (
+	"runtime"
+	"slices"
+	"sync"
+
+	"platod2gl/internal/graph"
+)
+
+// DefaultWorkers returns the default worker count (one per CPU, capped so a
+// tiny batch is not over-parallelized).
+func DefaultWorkers(batch int) int {
+	w := runtime.GOMAXPROCS(0)
+	if batch < 1024 && w > 4 {
+		w = 4
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Group is a maximal run of events sharing one (EdgeType, Src) pair, i.e.
+// all updates destined for one samtree.
+type Group struct {
+	Type   graph.EdgeType
+	Src    graph.VertexID
+	Events []graph.Event
+}
+
+// Plan sorts events by (EdgeType, Src, Dst) and cuts them into per-samtree
+// groups. The input slice is sorted in place.
+func Plan(events []graph.Event) []Group {
+	slices.SortFunc(events, func(x, y graph.Event) int {
+		a, b := &x.Edge, &y.Edge
+		switch {
+		case a.Type != b.Type:
+			if a.Type < b.Type {
+				return -1
+			}
+			return 1
+		case a.Src != b.Src:
+			if a.Src < b.Src {
+				return -1
+			}
+			return 1
+		case a.Dst != b.Dst:
+			if a.Dst < b.Dst {
+				return -1
+			}
+			return 1
+		default:
+			// Preserve operation order between updates to the same edge.
+			if x.Timestamp < y.Timestamp {
+				return -1
+			}
+			if x.Timestamp > y.Timestamp {
+				return 1
+			}
+			return 0
+		}
+	})
+	groups := make([]Group, 0, 64)
+	for i := 0; i < len(events); {
+		j := i + 1
+		for j < len(events) &&
+			events[j].Edge.Type == events[i].Edge.Type &&
+			events[j].Edge.Src == events[i].Edge.Src {
+			j++
+		}
+		groups = append(groups, Group{
+			Type:   events[i].Edge.Type,
+			Src:    events[i].Edge.Src,
+			Events: events[i:j],
+		})
+		i = j
+	}
+	return groups
+}
+
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+// Run executes a batch of topology updates: it plans the batch and invokes
+// apply once per group, partitioning groups across workers by source hash so
+// that each samtree is touched by exactly one goroutine. apply must be safe
+// for concurrent invocation on *different* sources. The events slice is
+// reordered in place.
+func Run(events []graph.Event, workers int, apply func(Group)) {
+	if len(events) == 0 {
+		return
+	}
+	groups := Plan(events)
+	if workers <= 1 || len(groups) == 1 {
+		for _, g := range groups {
+			apply(g)
+		}
+		return
+	}
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	// Shard groups by source hash: deterministic, and any future groups for
+	// the same source land on the same worker.
+	shards := make([][]Group, workers)
+	for _, g := range groups {
+		w := int(mix(uint64(g.Src)^uint64(g.Type)<<56) % uint64(workers))
+		shards[w] = append(shards[w], g)
+	}
+	var wg sync.WaitGroup
+	for _, shard := range shards {
+		if len(shard) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(shard []Group) {
+			defer wg.Done()
+			for _, g := range shard {
+				apply(g)
+			}
+		}(shard)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,274 @@
+// Package sampler implements the TF-operator-layer sampling primitives of
+// PlatoD2GL (Sec. III): node sampling (draw vertices from the whole graph),
+// neighbor sampling (fixed-fanout weighted neighbors for a batch of seeds),
+// and subgraph sampling (multi-hop meta-path expansion pivoted at a seed,
+// Sec. VII-C). All three operate against any storage.TopologyStore, so the
+// benchmark harness can compare engines under identical query plans.
+package sampler
+
+import (
+	"math/rand"
+	"sync"
+
+	"platod2gl/internal/graph"
+	"platod2gl/internal/storage"
+)
+
+// Options configure batch samplers.
+type Options struct {
+	// Parallelism bounds worker goroutines for batch queries; 0 = serial.
+	Parallelism int
+	// Seed makes sampling deterministic; worker w derives seed+w.
+	Seed int64
+}
+
+// Sampler executes sampling operators against a topology store.
+type Sampler struct {
+	store storage.TopologyStore
+	opt   Options
+}
+
+// New returns a sampler over the given store.
+func New(store storage.TopologyStore, opt Options) *Sampler {
+	return &Sampler{store: store, opt: opt}
+}
+
+// SampleNodes draws k source vertices of relation et uniformly at random
+// (with replacement). This is the paper's node-sampling operator, used to
+// form mini-batch seeds.
+func (s *Sampler) SampleNodes(et graph.EdgeType, k int, rng *rand.Rand) []graph.VertexID {
+	srcs := s.store.Sources(et)
+	if len(srcs) == 0 {
+		return nil
+	}
+	out := make([]graph.VertexID, k)
+	for i := range out {
+		out[i] = srcs[rng.Intn(len(srcs))]
+	}
+	return out
+}
+
+// NeighborBatch is the result of batched neighbor sampling: for seed i,
+// Neighbors[i*Fanout:(i+1)*Fanout] holds its samples. Seeds without
+// out-neighbors fall back to the seed itself (a self-loop), keeping the
+// result dense for tensor consumption.
+type NeighborBatch struct {
+	Seeds     []graph.VertexID
+	Fanout    int
+	Neighbors []graph.VertexID
+}
+
+// SampleNeighbors draws fanout weighted neighbors (with replacement) for
+// each seed under relation et, in parallel for large batches.
+func (s *Sampler) SampleNeighbors(seeds []graph.VertexID, et graph.EdgeType, fanout int) *NeighborBatch {
+	out := &NeighborBatch{
+		Seeds:     seeds,
+		Fanout:    fanout,
+		Neighbors: make([]graph.VertexID, len(seeds)*fanout),
+	}
+	s.forEachSeed(len(seeds), func(w int, i int, rng *rand.Rand) {
+		base := i * fanout
+		got := s.store.SampleNeighbors(seeds[i], et, fanout, rng, out.Neighbors[base:base])
+		for j := len(got); j < fanout; j++ {
+			out.Neighbors[base+j] = seeds[i] // self-loop fallback
+		}
+	})
+	return out
+}
+
+// SampleNeighborsUniform draws fanout unweighted neighbors (each with
+// probability 1/degree) per seed — the sampling mode plain GraphSAGE uses.
+func (s *Sampler) SampleNeighborsUniform(seeds []graph.VertexID, et graph.EdgeType, fanout int) *NeighborBatch {
+	out := &NeighborBatch{
+		Seeds:     seeds,
+		Fanout:    fanout,
+		Neighbors: make([]graph.VertexID, len(seeds)*fanout),
+	}
+	s.forEachSeed(len(seeds), func(w int, i int, rng *rand.Rand) {
+		base := i * fanout
+		got := s.store.SampleNeighborsUniform(seeds[i], et, fanout, rng, out.Neighbors[base:base])
+		for j := len(got); j < fanout; j++ {
+			out.Neighbors[base+j] = seeds[i]
+		}
+	})
+	return out
+}
+
+// RandomWalk performs length steps of a weighted random walk from every
+// seed over relation et (the KnightKing-style primitive, ref. [34] of the
+// paper), returning the walks as rows of length+1 vertices (seed included).
+// A walk that reaches a sink vertex stays there.
+func (s *Sampler) RandomWalk(seeds []graph.VertexID, et graph.EdgeType, length int) [][]graph.VertexID {
+	walks := make([][]graph.VertexID, len(seeds))
+	s.forEachSeed(len(seeds), func(w int, i int, rng *rand.Rand) {
+		walk := make([]graph.VertexID, 0, length+1)
+		cur := seeds[i]
+		walk = append(walk, cur)
+		var buf [1]graph.VertexID
+		for step := 0; step < length; step++ {
+			got := s.store.SampleNeighbors(cur, et, 1, rng, buf[:0])
+			if len(got) == 0 {
+				walk = append(walk, cur) // sink: stay put
+				continue
+			}
+			cur = got[0]
+			walk = append(walk, cur)
+		}
+		walks[i] = walk
+	})
+	return walks
+}
+
+// Layer is one hop of a sampled subgraph.
+type Layer struct {
+	// Type is the relation traversed to reach this layer.
+	Type graph.EdgeType
+	// Nodes holds the sampled frontier: node j expands seed-layer node
+	// j/Fanout.
+	Nodes  []graph.VertexID
+	Fanout int
+}
+
+// Subgraph is the result of meta-path subgraph sampling: Layers[0] expands
+// the seeds, Layers[i] expands Layers[i-1].
+type Subgraph struct {
+	Seeds  []graph.VertexID
+	Layers []Layer
+}
+
+// NumNodes returns the total node count across seeds and layers.
+func (g *Subgraph) NumNodes() int {
+	n := len(g.Seeds)
+	for _, l := range g.Layers {
+		n += len(l.Nodes)
+	}
+	return n
+}
+
+// Compact deduplicates the subgraph's node set: Nodes lists every distinct
+// vertex (seeds first, in first-appearance order) and Index maps each
+// original position (seeds, then layers in order, concatenated) to its row
+// in Nodes. GNN feature gathering over a compacted subgraph touches each
+// vertex once instead of once per appearance.
+func (g *Subgraph) Compact() (nodes []graph.VertexID, index []int32) {
+	total := g.NumNodes()
+	index = make([]int32, 0, total)
+	rowOf := make(map[graph.VertexID]int32, total)
+	appendID := func(id graph.VertexID) {
+		row, ok := rowOf[id]
+		if !ok {
+			row = int32(len(nodes))
+			rowOf[id] = row
+			nodes = append(nodes, id)
+		}
+		index = append(index, row)
+	}
+	for _, id := range g.Seeds {
+		appendID(id)
+	}
+	for _, l := range g.Layers {
+		for _, id := range l.Nodes {
+			appendID(id)
+		}
+	}
+	return nodes, index
+}
+
+// SampleSubgraph expands each seed along the meta-path with the given
+// per-hop fanouts (the paper's subgraph-sampling operator; Fig. 10(d-f) uses
+// 2-hop meta-paths). len(path) must equal len(fanouts).
+func (s *Sampler) SampleSubgraph(seeds []graph.VertexID, path graph.MetaPath, fanouts []int) *Subgraph {
+	if len(path) != len(fanouts) {
+		panic("sampler: meta-path and fanout lengths differ")
+	}
+	sg := &Subgraph{Seeds: seeds, Layers: make([]Layer, len(path))}
+	frontier := seeds
+	for hop, et := range path {
+		fanout := fanouts[hop]
+		nodes := make([]graph.VertexID, len(frontier)*fanout)
+		// Capture per-hop loop state for the closure.
+		fr := frontier
+		s.forEachSeed(len(fr), func(w int, i int, rng *rand.Rand) {
+			base := i * fanout
+			got := s.store.SampleNeighbors(fr[i], et, fanout, rng, nodes[base:base])
+			for j := len(got); j < fanout; j++ {
+				nodes[base+j] = fr[i]
+			}
+		})
+		sg.Layers[hop] = Layer{Type: et, Nodes: nodes, Fanout: fanout}
+		frontier = nodes
+	}
+	return sg
+}
+
+// forEachSeed runs fn(worker, index, rng) for indexes [0, n), either
+// serially or across the configured parallelism. Each worker owns a
+// deterministic rng derived from the seed.
+func (s *Sampler) forEachSeed(n int, fn func(w, i int, rng *rand.Rand)) {
+	p := s.opt.Parallelism
+	if p <= 1 || n < 64 {
+		rng := rand.New(rand.NewSource(s.opt.Seed + 1))
+		for i := 0; i < n; i++ {
+			fn(0, i, rng)
+		}
+		return
+	}
+	if p > n {
+		p = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + p - 1) / p
+	for w := 0; w < p; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(s.opt.Seed + int64(w) + 1))
+			for i := lo; i < hi; i++ {
+				fn(w, i, rng)
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// SampleNodesByDegree draws k source vertices of relation et with
+// probability proportional to out-degree — the standard seed distribution
+// when mini-batches should reflect edge mass rather than vertex count.
+func (s *Sampler) SampleNodesByDegree(et graph.EdgeType, k int, rng *rand.Rand) []graph.VertexID {
+	srcs := s.store.Sources(et)
+	if len(srcs) == 0 {
+		return nil
+	}
+	cum := make([]int64, len(srcs))
+	var total int64
+	for i, src := range srcs {
+		total += int64(s.store.Degree(src, et))
+		cum[i] = total
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]graph.VertexID, k)
+	for i := range out {
+		r := rng.Int63n(total)
+		lo, hi := 0, len(cum)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] > r {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		out[i] = srcs[lo]
+	}
+	return out
+}

@@ -1,0 +1,324 @@
+package sampler
+
+import (
+	"math/rand"
+	"testing"
+
+	"platod2gl/internal/core"
+	"platod2gl/internal/graph"
+	"platod2gl/internal/storage"
+)
+
+func buildStore(t testing.TB) *storage.DynamicStore {
+	t.Helper()
+	s := storage.NewDynamicStore(storage.Options{Tree: core.Options{Capacity: 16}})
+	// Relation 0: vertices 0..99 each with 20 neighbors.
+	for src := uint64(0); src < 100; src++ {
+		for j := uint64(0); j < 20; j++ {
+			s.AddEdge(graph.Edge{
+				Src: graph.VertexID(src), Dst: graph.VertexID(1000 + src*20 + j),
+				Type: 0, Weight: float64(j + 1),
+			})
+		}
+	}
+	// Relation 1: second-hop edges from the 1000.. range.
+	for src := uint64(1000); src < 3000; src++ {
+		for j := uint64(0); j < 5; j++ {
+			s.AddEdge(graph.Edge{
+				Src: graph.VertexID(src), Dst: graph.VertexID(10000 + src*5 + j),
+				Type: 1, Weight: 1,
+			})
+		}
+	}
+	return s
+}
+
+func TestSampleNodes(t *testing.T) {
+	s := New(buildStore(t), Options{Seed: 1})
+	rng := rand.New(rand.NewSource(2))
+	nodes := s.SampleNodes(0, 50, rng)
+	if len(nodes) != 50 {
+		t.Fatalf("got %d nodes", len(nodes))
+	}
+	for _, n := range nodes {
+		if uint64(n) >= 100 {
+			t.Fatalf("sampled non-source node %v", n)
+		}
+	}
+	if got := s.SampleNodes(7, 5, rng); got != nil {
+		t.Fatalf("sampled from empty relation: %v", got)
+	}
+}
+
+func TestSampleNeighborsShape(t *testing.T) {
+	st := buildStore(t)
+	for _, par := range []int{0, 4} {
+		s := New(st, Options{Parallelism: par, Seed: 3})
+		seeds := []graph.VertexID{0, 1, 2, 99}
+		nb := s.SampleNeighbors(seeds, 0, 7)
+		if len(nb.Neighbors) != len(seeds)*7 {
+			t.Fatalf("par=%d: %d neighbors", par, len(nb.Neighbors))
+		}
+		for i, seed := range seeds {
+			for j := 0; j < 7; j++ {
+				got := nb.Neighbors[i*7+j]
+				lo := 1000 + uint64(seed)*20
+				if uint64(got) < lo || uint64(got) >= lo+20 {
+					t.Fatalf("par=%d: seed %v sampled foreign neighbor %v", par, seed, got)
+				}
+			}
+		}
+	}
+}
+
+func TestSampleNeighborsSelfLoopFallback(t *testing.T) {
+	st := storage.NewDynamicStore(storage.Options{})
+	st.AddEdge(graph.Edge{Src: 1, Dst: 2, Weight: 1})
+	s := New(st, Options{Seed: 1})
+	// Seed 42 has no out-edges: all slots must fall back to itself.
+	nb := s.SampleNeighbors([]graph.VertexID{42}, 0, 4)
+	for _, id := range nb.Neighbors {
+		if id != 42 {
+			t.Fatalf("fallback neighbor = %v, want 42", id)
+		}
+	}
+}
+
+func TestSampleNeighborsWeighted(t *testing.T) {
+	st := storage.NewDynamicStore(storage.Options{})
+	st.AddEdge(graph.Edge{Src: 1, Dst: 10, Weight: 9})
+	st.AddEdge(graph.Edge{Src: 1, Dst: 20, Weight: 1})
+	s := New(st, Options{Seed: 5})
+	nb := s.SampleNeighbors([]graph.VertexID{1}, 0, 20000)
+	count10 := 0
+	for _, id := range nb.Neighbors {
+		if id == 10 {
+			count10++
+		}
+	}
+	frac := float64(count10) / 20000
+	if frac < 0.85 || frac > 0.95 {
+		t.Fatalf("heavy neighbor sampled %.3f of the time, want ~0.9", frac)
+	}
+}
+
+func TestSampleSubgraphTwoHop(t *testing.T) {
+	st := buildStore(t)
+	for _, par := range []int{0, 4} {
+		s := New(st, Options{Parallelism: par, Seed: 9})
+		seeds := []graph.VertexID{0, 5, 10}
+		sg := s.SampleSubgraph(seeds, graph.MetaPath{0, 1}, []int{4, 3})
+		if len(sg.Layers) != 2 {
+			t.Fatalf("layers = %d", len(sg.Layers))
+		}
+		if len(sg.Layers[0].Nodes) != 3*4 || len(sg.Layers[1].Nodes) != 3*4*3 {
+			t.Fatalf("layer sizes = %d/%d", len(sg.Layers[0].Nodes), len(sg.Layers[1].Nodes))
+		}
+		if sg.NumNodes() != 3+12+36 {
+			t.Fatalf("NumNodes = %d", sg.NumNodes())
+		}
+		// Hop-1 nodes expand their parent seeds.
+		for i, n := range sg.Layers[0].Nodes {
+			seed := seeds[i/4]
+			lo := 1000 + uint64(seed)*20
+			if uint64(n) < lo || uint64(n) >= lo+20 {
+				t.Fatalf("par=%d hop1[%d]=%v not a neighbor of %v", par, i, n, seed)
+			}
+		}
+		// Hop-2 nodes are relation-1 neighbors of their hop-1 parents.
+		for i, n := range sg.Layers[1].Nodes {
+			parent := sg.Layers[0].Nodes[i/3]
+			lo := 10000 + uint64(parent)*5
+			if uint64(n) < lo || uint64(n) >= lo+5 {
+				t.Fatalf("hop2[%d]=%v not rel-1 neighbor of %v", i, n, parent)
+			}
+		}
+	}
+}
+
+func TestSampleSubgraphPanicsOnLengthMismatch(t *testing.T) {
+	s := New(buildStore(t), Options{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.SampleSubgraph([]graph.VertexID{1}, graph.MetaPath{0, 1}, []int{5})
+}
+
+func TestDeterministicWithSameSeed(t *testing.T) {
+	st := buildStore(t)
+	a := New(st, Options{Seed: 42}).SampleNeighbors([]graph.VertexID{1, 2, 3}, 0, 5)
+	b := New(st, Options{Seed: 42}).SampleNeighbors([]graph.VertexID{1, 2, 3}, 0, 5)
+	for i := range a.Neighbors {
+		if a.Neighbors[i] != b.Neighbors[i] {
+			t.Fatal("same seed produced different samples")
+		}
+	}
+}
+
+func TestParallelMatchesSerialCoverage(t *testing.T) {
+	// Parallel sampling cannot be bitwise-equal to serial (different rng
+	// streams), but every sample must still be a valid neighbor.
+	st := buildStore(t)
+	s := New(st, Options{Parallelism: 8, Seed: 11})
+	seeds := make([]graph.VertexID, 100)
+	for i := range seeds {
+		seeds[i] = graph.VertexID(i)
+	}
+	nb := s.SampleNeighbors(seeds, 0, 10)
+	for i, seed := range seeds {
+		for j := 0; j < 10; j++ {
+			got := nb.Neighbors[i*10+j]
+			lo := 1000 + uint64(seed)*20
+			if uint64(got) < lo || uint64(got) >= lo+20 {
+				t.Fatalf("invalid parallel sample %v for seed %v", got, seed)
+			}
+		}
+	}
+}
+
+func BenchmarkNeighborSamplingBatch1024(b *testing.B) {
+	st := buildStore(b)
+	s := New(st, Options{Parallelism: 4, Seed: 1})
+	seeds := make([]graph.VertexID, 1024)
+	for i := range seeds {
+		seeds[i] = graph.VertexID(i % 100)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SampleNeighbors(seeds, 0, 50)
+	}
+}
+
+func TestSampleNeighborsUniformIgnoresWeights(t *testing.T) {
+	st := storage.NewDynamicStore(storage.Options{})
+	st.AddEdge(graph.Edge{Src: 1, Dst: 10, Weight: 1000})
+	st.AddEdge(graph.Edge{Src: 1, Dst: 20, Weight: 1})
+	s := New(st, Options{Seed: 2})
+	nb := s.SampleNeighborsUniform([]graph.VertexID{1}, 0, 40000)
+	count10 := 0
+	for _, id := range nb.Neighbors {
+		if id == 10 {
+			count10++
+		}
+	}
+	frac := float64(count10) / 40000
+	if frac < 0.47 || frac > 0.53 {
+		t.Fatalf("uniform sampling skewed: %.3f", frac)
+	}
+	// Fallback for unknown seed.
+	nb = s.SampleNeighborsUniform([]graph.VertexID{99}, 0, 3)
+	for _, id := range nb.Neighbors {
+		if id != 99 {
+			t.Fatalf("fallback = %v", id)
+		}
+	}
+}
+
+func TestRandomWalk(t *testing.T) {
+	st := storage.NewDynamicStore(storage.Options{})
+	// A path graph 0 -> 1 -> 2 -> 3; 3 is a sink.
+	for i := uint64(0); i < 3; i++ {
+		st.AddEdge(graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID(i + 1), Weight: 1})
+	}
+	s := New(st, Options{Seed: 4})
+	walks := s.RandomWalk([]graph.VertexID{0, 2}, 0, 5)
+	if len(walks) != 2 {
+		t.Fatalf("got %d walks", len(walks))
+	}
+	for _, w := range walks {
+		if len(w) != 6 {
+			t.Fatalf("walk length %d, want 6", len(w))
+		}
+	}
+	// Walk from 0 deterministically follows the path then parks at 3.
+	want := []graph.VertexID{0, 1, 2, 3, 3, 3}
+	for i, v := range walks[0] {
+		if v != want[i] {
+			t.Fatalf("walk[0] = %v, want %v", walks[0], want)
+		}
+	}
+	// Walk from an isolated vertex stays put.
+	walks = s.RandomWalk([]graph.VertexID{42}, 0, 3)
+	for _, v := range walks[0] {
+		if v != 42 {
+			t.Fatalf("isolated walk moved: %v", walks[0])
+		}
+	}
+}
+
+func TestRandomWalkWeighted(t *testing.T) {
+	st := storage.NewDynamicStore(storage.Options{})
+	st.AddEdge(graph.Edge{Src: 1, Dst: 2, Weight: 99})
+	st.AddEdge(graph.Edge{Src: 1, Dst: 3, Weight: 1})
+	s := New(st, Options{Seed: 6})
+	seeds := make([]graph.VertexID, 5000)
+	for i := range seeds {
+		seeds[i] = 1
+	}
+	walks := s.RandomWalk(seeds, 0, 1)
+	hit2 := 0
+	for _, w := range walks {
+		if w[1] == 2 {
+			hit2++
+		}
+	}
+	if frac := float64(hit2) / 5000; frac < 0.95 {
+		t.Fatalf("heavy edge followed only %.3f of walks", frac)
+	}
+}
+
+func TestSubgraphCompact(t *testing.T) {
+	sg := &Subgraph{
+		Seeds: []graph.VertexID{1, 2},
+		Layers: []Layer{
+			{Nodes: []graph.VertexID{2, 3, 1, 3}, Fanout: 2},
+		},
+	}
+	nodes, index := sg.Compact()
+	// Distinct: 1, 2, 3 in first-appearance order.
+	if len(nodes) != 3 || nodes[0] != 1 || nodes[1] != 2 || nodes[2] != 3 {
+		t.Fatalf("nodes = %v", nodes)
+	}
+	wantIdx := []int32{0, 1, 1, 2, 0, 2}
+	if len(index) != len(wantIdx) {
+		t.Fatalf("index len = %d", len(index))
+	}
+	for i, w := range wantIdx {
+		if index[i] != w {
+			t.Fatalf("index = %v, want %v", index, wantIdx)
+		}
+	}
+	// Reconstruction: nodes[index[k]] equals the original flattened node k.
+	flat := append(append([]graph.VertexID{}, sg.Seeds...), sg.Layers[0].Nodes...)
+	for k, orig := range flat {
+		if nodes[index[k]] != orig {
+			t.Fatalf("reconstruction broke at %d", k)
+		}
+	}
+}
+
+func TestSampleNodesByDegree(t *testing.T) {
+	st := storage.NewDynamicStore(storage.Options{})
+	// Source 1: degree 90; source 2: degree 10.
+	for i := uint64(0); i < 90; i++ {
+		st.AddEdge(graph.Edge{Src: 1, Dst: graph.VertexID(100 + i), Weight: 1})
+	}
+	for i := uint64(0); i < 10; i++ {
+		st.AddEdge(graph.Edge{Src: 2, Dst: graph.VertexID(500 + i), Weight: 1})
+	}
+	s := New(st, Options{Seed: 1})
+	rng := rand.New(rand.NewSource(7))
+	counts := map[graph.VertexID]int{}
+	for _, v := range s.SampleNodesByDegree(0, 20000, rng) {
+		counts[v]++
+	}
+	frac := float64(counts[1]) / 20000
+	if frac < 0.87 || frac > 0.93 {
+		t.Fatalf("degree-weighted sampling: source 1 drawn %.3f, want ~0.9", frac)
+	}
+	if got := s.SampleNodesByDegree(9, 5, rng); got != nil {
+		t.Fatalf("empty relation returned %v", got)
+	}
+}

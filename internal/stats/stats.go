@@ -1,0 +1,107 @@
+// Package stats provides the small numerical summaries the benchmark
+// harness and the load generator report: quantiles, log-2 histograms for
+// degree distributions, and mean/max accumulation.
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// Quantile returns the q-quantile (0 <= q <= 1) of values using nearest-rank
+// on a sorted copy. Returns 0 for empty input.
+func Quantile(values []float64, q float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// Histogram is a log-2 bucketed histogram of non-negative integers: bucket
+// b counts values v with 2^b <= v+1 < 2^(b+1) (so 0 lands in bucket 0).
+type Histogram struct {
+	buckets [64]int64
+	count   int64
+	sum     int64
+	max     int64
+}
+
+// Add records one value.
+func (h *Histogram) Add(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	b := bits.Len64(uint64(v+1)) - 1
+	h.buckets[b]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded values.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Mean returns the mean recorded value.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Max returns the largest recorded value.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Bucket returns the count in log-2 bucket b.
+func (h *Histogram) Bucket(b int) int64 {
+	if b < 0 || b >= len(h.buckets) {
+		return 0
+	}
+	return h.buckets[b]
+}
+
+// QuantileApprox returns an approximate q-quantile from the buckets (the
+// lower bound of the bucket containing the rank).
+func (h *Histogram) QuantileApprox(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(h.count-1))
+	var seen int64
+	for b, c := range h.buckets {
+		seen += c
+		if seen > rank {
+			return (1 << b) - 1
+		}
+	}
+	return h.max
+}
+
+// String renders the non-empty buckets as "[lo,hi): count" lines.
+func (h *Histogram) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "n=%d mean=%.1f max=%d", h.count, h.Mean(), h.max)
+	for b, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		lo := int64(1)<<b - 1
+		hi := int64(1)<<(b+1) - 1
+		fmt.Fprintf(&sb, "\n  [%d,%d): %d", lo, hi, c)
+	}
+	return sb.String()
+}

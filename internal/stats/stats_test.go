@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantile(t *testing.T) {
+	vals := []float64{5, 1, 3, 2, 4}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {0.5, 3}, {1, 5}, {-1, 1}, {2, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(vals, c.q); got != c.want {
+			t.Errorf("Quantile(%.1f) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("empty quantile = %v", got)
+	}
+	// Input must not be mutated.
+	if vals[0] != 5 {
+		t.Error("Quantile mutated input")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 2, 3, 100, -5} {
+		h.Add(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Max() != 100 {
+		t.Fatalf("Max = %d", h.Max())
+	}
+	// 0 and -5 (clamped) land in bucket 0; 1,2 in bucket 1; 3 in bucket 2.
+	if h.Bucket(0) != 2 || h.Bucket(1) != 2 || h.Bucket(2) != 1 {
+		t.Fatalf("buckets: %d %d %d", h.Bucket(0), h.Bucket(1), h.Bucket(2))
+	}
+	if h.Bucket(-1) != 0 || h.Bucket(99) != 0 {
+		t.Fatal("out-of-range buckets not zero")
+	}
+	if !strings.Contains(h.String(), "n=6") {
+		t.Fatalf("String = %q", h.String())
+	}
+}
+
+func TestHistogramQuantileApprox(t *testing.T) {
+	var h Histogram
+	for i := int64(0); i < 1000; i++ {
+		h.Add(i)
+	}
+	// Median of 0..999 is ~500; the approx returns its bucket lower bound
+	// (2^8-1 = 255 or 2^9-1 = 511 depending on rank bucket).
+	med := h.QuantileApprox(0.5)
+	if med < 255 || med > 511 {
+		t.Fatalf("median approx = %d", med)
+	}
+	if h.QuantileApprox(1.0) > h.Max() {
+		t.Fatal("q=1 above max")
+	}
+	var empty Histogram
+	if empty.QuantileApprox(0.5) != 0 {
+		t.Fatal("empty quantile nonzero")
+	}
+}
+
+func TestHistogramMeanMatchesDirect(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(1))
+	var sum, n int64
+	for i := 0; i < 10000; i++ {
+		v := int64(rng.Intn(1 << 20))
+		h.Add(v)
+		sum += v
+		n++
+	}
+	want := float64(sum) / float64(n)
+	if got := h.Mean(); got != want {
+		t.Fatalf("Mean = %v, want %v", got, want)
+	}
+}
+
+func TestQuickQuantileMonotone(t *testing.T) {
+	prop := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		return Quantile(raw, 0.1) <= Quantile(raw, 0.5) &&
+			Quantile(raw, 0.5) <= Quantile(raw, 0.9)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,21 @@
+package storage_test
+
+import (
+	"testing"
+
+	"platod2gl/internal/core"
+	"platod2gl/internal/storage"
+	"platod2gl/internal/storetest"
+)
+
+func TestConformanceCompressed(t *testing.T) {
+	storetest.Run(t, func() storage.TopologyStore {
+		return storage.NewDynamicStore(storage.Options{Tree: core.Options{Capacity: 16, Compress: true}})
+	})
+}
+
+func TestConformanceUncompressed(t *testing.T) {
+	storetest.Run(t, func() storage.TopologyStore {
+		return storage.NewDynamicStore(storage.Options{Tree: core.Options{Capacity: 64, Alpha: 4}})
+	})
+}

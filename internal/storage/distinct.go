@@ -1,0 +1,93 @@
+package storage
+
+import (
+	"math/rand"
+
+	"platod2gl/internal/graph"
+)
+
+// SampleNeighborsDistinct draws up to k *distinct* weighted neighbors of src
+// (without replacement) — the sampling mode GNN frameworks use when fanout
+// should not duplicate neighbors. When k >= degree it returns all neighbors.
+//
+// Strategy: weighted rejection sampling against a seen-set while the
+// acceptance rate stays healthy, falling back to full enumeration with
+// weighted partial selection when k approaches the degree (where rejection
+// degenerates).
+func (s *DynamicStore) SampleNeighborsDistinct(src graph.VertexID, et graph.EdgeType, k int, rng *rand.Rand, dst []graph.VertexID) []graph.VertexID {
+	ent := s.entry(src, et, false)
+	if ent == nil || k <= 0 {
+		return dst
+	}
+	ent.mu.RLock()
+	defer ent.mu.RUnlock()
+	n := ent.tree.Len()
+	if n == 0 {
+		return dst
+	}
+	if k >= n {
+		ids, _ := ent.tree.Neighbors()
+		for _, id := range ids {
+			dst = append(dst, graph.VertexID(id))
+		}
+		return dst
+	}
+	if k*4 <= n {
+		// Sparse regime: rejection sampling terminates quickly.
+		seen := make(map[uint64]bool, k)
+		attempts := 0
+		maxAttempts := 16 * k
+		for len(seen) < k && attempts < maxAttempts {
+			attempts++
+			v, ok := ent.tree.SampleOne(rng)
+			if !ok {
+				break
+			}
+			if !seen[v] {
+				seen[v] = true
+				dst = append(dst, graph.VertexID(v))
+			}
+		}
+		if len(seen) == k {
+			return dst
+		}
+		// Pathological weight skew: fall through to enumeration for the
+		// remainder.
+		return s.distinctByEnumeration(ent, k-len(seen), rng, dst, seen)
+	}
+	return s.distinctByEnumeration(ent, k, rng, dst, nil)
+}
+
+// distinctByEnumeration materializes the neighbor list and performs weighted
+// selection without replacement (k rounds of cumulative draw over the
+// remainder) — O(n·k) worst case, used only when k is a large fraction of n.
+func (s *DynamicStore) distinctByEnumeration(ent *treeEntry, k int, rng *rand.Rand, dst []graph.VertexID, exclude map[uint64]bool) []graph.VertexID {
+	ids, weights := ent.tree.Neighbors()
+	cand := make([]int, 0, len(ids))
+	total := 0.0
+	for i, id := range ids {
+		if exclude != nil && exclude[id] {
+			continue
+		}
+		cand = append(cand, i)
+		total += weights[i]
+	}
+	for round := 0; round < k && len(cand) > 0 && total > 0; round++ {
+		r := rng.Float64() * total
+		cum := 0.0
+		pick := len(cand) - 1
+		for ci, i := range cand {
+			cum += weights[i]
+			if cum > r {
+				pick = ci
+				break
+			}
+		}
+		i := cand[pick]
+		dst = append(dst, graph.VertexID(ids[i]))
+		total -= weights[i]
+		cand[pick] = cand[len(cand)-1]
+		cand = cand[:len(cand)-1]
+	}
+	return dst
+}

@@ -1,0 +1,94 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+
+	"platod2gl/internal/graph"
+)
+
+func TestDistinctReturnsUniqueNeighbors(t *testing.T) {
+	s := NewDynamicStore(Options{})
+	for i := uint64(0); i < 100; i++ {
+		s.AddEdge(graph.Edge{Src: 1, Dst: graph.VertexID(i), Weight: float64(i%7) + 1})
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, k := range []int{1, 5, 25, 60, 99, 100, 150} {
+		got := s.SampleNeighborsDistinct(1, 0, k, rng, nil)
+		want := k
+		if want > 100 {
+			want = 100
+		}
+		if len(got) != want {
+			t.Fatalf("k=%d: got %d distinct neighbors, want %d", k, len(got), want)
+		}
+		seen := map[graph.VertexID]bool{}
+		for _, id := range got {
+			if seen[id] {
+				t.Fatalf("k=%d: duplicate neighbor %v", k, id)
+			}
+			seen[id] = true
+			if uint64(id) >= 100 {
+				t.Fatalf("k=%d: foreign neighbor %v", k, id)
+			}
+		}
+	}
+}
+
+func TestDistinctWeightBias(t *testing.T) {
+	// One heavy neighbor must be selected in nearly every k=2 draw.
+	s := NewDynamicStore(Options{})
+	s.AddEdge(graph.Edge{Src: 1, Dst: 999, Weight: 1000})
+	for i := uint64(0); i < 20; i++ {
+		s.AddEdge(graph.Edge{Src: 1, Dst: graph.VertexID(i), Weight: 1})
+	}
+	rng := rand.New(rand.NewSource(2))
+	hits := 0
+	const trials = 2000
+	for trial := 0; trial < trials; trial++ {
+		got := s.SampleNeighborsDistinct(1, 0, 2, rng, nil)
+		for _, id := range got {
+			if id == 999 {
+				hits++
+			}
+		}
+	}
+	if frac := float64(hits) / trials; frac < 0.95 {
+		t.Fatalf("heavy neighbor selected in only %.3f of draws", frac)
+	}
+}
+
+func TestDistinctPathologicalSkewFallsBack(t *testing.T) {
+	// Extreme skew defeats rejection sampling (the same heavy neighbor is
+	// drawn over and over); the enumeration fallback must still deliver k
+	// distinct neighbors.
+	s := NewDynamicStore(Options{})
+	s.AddEdge(graph.Edge{Src: 1, Dst: 999, Weight: 1e12})
+	for i := uint64(0); i < 200; i++ {
+		s.AddEdge(graph.Edge{Src: 1, Dst: graph.VertexID(i), Weight: 1e-6})
+	}
+	rng := rand.New(rand.NewSource(3))
+	got := s.SampleNeighborsDistinct(1, 0, 10, rng, nil)
+	if len(got) != 10 {
+		t.Fatalf("got %d distinct neighbors under skew, want 10", len(got))
+	}
+	seen := map[graph.VertexID]bool{}
+	for _, id := range got {
+		if seen[id] {
+			t.Fatalf("duplicate %v", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestDistinctEmptyAndUnknown(t *testing.T) {
+	s := NewDynamicStore(Options{})
+	rng := rand.New(rand.NewSource(4))
+	if got := s.SampleNeighborsDistinct(9, 0, 5, rng, nil); len(got) != 0 {
+		t.Fatalf("unknown source returned %v", got)
+	}
+	s.AddEdge(graph.Edge{Src: 9, Dst: 1, Weight: 1})
+	if got := s.SampleNeighborsDistinct(9, 0, 0, rng, nil); len(got) != 0 {
+		t.Fatalf("k=0 returned %v", got)
+	}
+}

@@ -1,0 +1,123 @@
+package storage
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"platod2gl/internal/graph"
+)
+
+// Snapshot persistence: a graph server must survive restarts without
+// replaying the full event history, so the store can serialize its topology
+// to any io.Writer and rebuild from it. The format is a gob stream of
+// per-source adjacency records — deliberately engine-independent, so a
+// snapshot taken from one configuration (capacity, α, compression) loads
+// into any other.
+
+const (
+	snapshotMagic   = "platod2gl-snapshot"
+	snapshotVersion = 1
+)
+
+type snapHeader struct {
+	Magic        string
+	Version      int
+	NumRelations int
+}
+
+type snapRelation struct {
+	Type       graph.EdgeType
+	NumSources int
+}
+
+type snapSource struct {
+	Src     graph.VertexID
+	IDs     []uint64
+	Weights []float64
+}
+
+// Save serializes the full topology. Concurrent updates during Save are
+// safe but may or may not be included.
+func (s *DynamicStore) Save(w io.Writer) error {
+	enc := gob.NewEncoder(w)
+	s.relsMu.RLock()
+	types := make([]graph.EdgeType, 0, len(s.rels))
+	for et := range s.rels {
+		types = append(types, et)
+	}
+	s.relsMu.RUnlock()
+	if err := enc.Encode(snapHeader{Magic: snapshotMagic, Version: snapshotVersion, NumRelations: len(types)}); err != nil {
+		return fmt.Errorf("storage: encode header: %w", err)
+	}
+	for _, et := range types {
+		r := s.rel(et, false)
+		srcs := r.trees.Keys()
+		if err := enc.Encode(snapRelation{Type: et, NumSources: len(srcs)}); err != nil {
+			return fmt.Errorf("storage: encode relation %d: %w", et, err)
+		}
+		for _, src := range srcs {
+			ent, _ := r.trees.Get(src)
+			if ent == nil {
+				// Deleted concurrently: emit an empty record to keep counts.
+				if err := enc.Encode(snapSource{Src: graph.VertexID(src)}); err != nil {
+					return err
+				}
+				continue
+			}
+			ent.mu.RLock()
+			ids, weights := ent.tree.Neighbors()
+			ent.mu.RUnlock()
+			if err := enc.Encode(snapSource{Src: graph.VertexID(src), IDs: ids, Weights: weights}); err != nil {
+				return fmt.Errorf("storage: encode source %d: %w", src, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Load rebuilds topology from a snapshot into the store (which should be
+// empty; loaded edges merge with any existing ones otherwise).
+func (s *DynamicStore) Load(rd io.Reader) error {
+	dec := gob.NewDecoder(rd)
+	var h snapHeader
+	if err := dec.Decode(&h); err != nil {
+		return fmt.Errorf("storage: decode header: %w", err)
+	}
+	if h.Magic != snapshotMagic {
+		return fmt.Errorf("storage: not a platod2gl snapshot (magic %q)", h.Magic)
+	}
+	if h.Version != snapshotVersion {
+		return fmt.Errorf("storage: unsupported snapshot version %d", h.Version)
+	}
+	for rel := 0; rel < h.NumRelations; rel++ {
+		var sr snapRelation
+		if err := dec.Decode(&sr); err != nil {
+			return fmt.Errorf("storage: decode relation %d: %w", rel, err)
+		}
+		for i := 0; i < sr.NumSources; i++ {
+			var rec snapSource
+			if err := dec.Decode(&rec); err != nil {
+				return fmt.Errorf("storage: decode source %d/%d: %w", i, sr.NumSources, err)
+			}
+			if len(rec.IDs) != len(rec.Weights) {
+				return fmt.Errorf("storage: corrupt record for source %v: %d ids, %d weights",
+					rec.Src, len(rec.IDs), len(rec.Weights))
+			}
+			if len(rec.IDs) == 0 {
+				continue
+			}
+			ent := s.entry(rec.Src, sr.Type, true)
+			ent.mu.Lock()
+			var added int64
+			for j, id := range rec.IDs {
+				if ent.tree.Insert(id, rec.Weights[j]) {
+					added++
+				}
+			}
+			ent.mu.Unlock()
+			s.numEdges.Add(added)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package storage
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"platod2gl/internal/core"
+	"platod2gl/internal/dataset"
+	"platod2gl/internal/graph"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	src := NewDynamicStore(Options{Tree: core.Options{Capacity: 16, Compress: true}})
+	gen := dataset.NewGenerator(dataset.WeChatSim().Scale(5e-7), dataset.DynamicMix, 3)
+	for i := 0; i < 10; i++ {
+		src.ApplyBatch(gen.Next(2000))
+	}
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Load into a differently-configured store: format is engine-neutral.
+	dst := NewDynamicStore(Options{Tree: core.Options{Capacity: 64, Alpha: 4}})
+	if err := dst.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if src.NumEdges() != dst.NumEdges() {
+		t.Fatalf("edges: %d vs %d", src.NumEdges(), dst.NumEdges())
+	}
+	for _, et := range []graph.EdgeType{0, 1, 2, 3, 128, 129, 130, 131} {
+		for _, v := range src.Sources(et) {
+			si, sw := src.Neighbors(v, et)
+			dm := map[graph.VertexID]float64{}
+			di, dw := dst.Neighbors(v, et)
+			for i, id := range di {
+				dm[id] = dw[i]
+			}
+			if len(si) != len(di) {
+				t.Fatalf("src %v et %d: %d vs %d neighbors", v, et, len(si), len(di))
+			}
+			for i, id := range si {
+				got, ok := dm[id]
+				if !ok || math.Abs(got-sw[i]) > 1e-9 {
+					t.Fatalf("src %v dst %v: %v,%v want %v", v, id, got, ok, sw[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSnapshotEmptyStore(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewDynamicStore(Options{}).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewDynamicStore(Options{})
+	if err := dst.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if dst.NumEdges() != 0 {
+		t.Fatalf("edges = %d", dst.NumEdges())
+	}
+}
+
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	dst := NewDynamicStore(Options{})
+	if err := dst.Load(strings.NewReader("not a snapshot at all")); err == nil {
+		t.Fatal("expected error on garbage input")
+	}
+}
+
+func TestSnapshotRejectsWrongMagic(t *testing.T) {
+	var buf bytes.Buffer
+	// Hand-craft a gob stream with a bad header by saving then corrupting
+	// is fragile; instead encode a compatible header with wrong magic.
+	s := NewDynamicStore(Options{})
+	s.AddEdge(graph.Edge{Src: 1, Dst: 2, Weight: 1})
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Flip a byte inside the magic string.
+	idx := bytes.Index(raw, []byte("platod2gl-snapshot"))
+	if idx < 0 {
+		t.Skip("magic not found in serialized form")
+	}
+	raw[idx] = 'X'
+	if err := NewDynamicStore(Options{}).Load(bytes.NewReader(raw)); err == nil {
+		t.Fatal("expected magic mismatch error")
+	}
+}
+
+func TestSnapshotTruncatedStream(t *testing.T) {
+	s := NewDynamicStore(Options{})
+	for i := uint64(0); i < 500; i++ {
+		s.AddEdge(graph.Edge{Src: graph.VertexID(i % 10), Dst: graph.VertexID(i), Weight: 1})
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	truncated := buf.Bytes()[:buf.Len()/2]
+	if err := NewDynamicStore(Options{}).Load(bytes.NewReader(truncated)); err == nil {
+		t.Fatal("expected error on truncated snapshot")
+	}
+}

@@ -1,0 +1,427 @@
+// Package storage implements PlatoD2GL's dynamic graph storage layer
+// (Sec. III, Fig. 2): per-relation topology held in samtrees reachable
+// through a concurrent cuckoo hashmap, with batch latch-free updates and
+// weighted neighbor sampling.
+//
+// It also defines the TopologyStore interface shared with the baseline
+// systems (PlatoGL's block-based key-value store and AliGraph's static
+// hash-by-source store) so the benchmark harness can drive all three through
+// one API.
+package storage
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"platod2gl/internal/core"
+	"platod2gl/internal/cuckoo"
+	"platod2gl/internal/graph"
+	"platod2gl/internal/palm"
+)
+
+// TopologyStore is the storage-engine contract: dynamic topology updates
+// plus weighted neighbor access, per heterogeneous relation.
+type TopologyStore interface {
+	// Name identifies the engine in benchmark output.
+	Name() string
+	// AddEdge inserts e, or updates its weight if present. Reports whether
+	// the edge was new.
+	AddEdge(e graph.Edge) bool
+	// DeleteEdge removes the edge; reports whether it existed.
+	DeleteEdge(src, dst graph.VertexID, et graph.EdgeType) bool
+	// UpdateWeight changes an existing edge's weight; reports whether the
+	// edge existed.
+	UpdateWeight(src, dst graph.VertexID, et graph.EdgeType, w float64) bool
+	// EdgeWeight returns the weight of the edge, if present.
+	EdgeWeight(src, dst graph.VertexID, et graph.EdgeType) (float64, bool)
+	// Degree returns the out-degree of src under relation et.
+	Degree(src graph.VertexID, et graph.EdgeType) int
+	// SampleNeighbors draws k weighted samples (with replacement) of src's
+	// out-neighbors under et, appending to dst. Returns dst unchanged if
+	// src has no such neighbors.
+	SampleNeighbors(src graph.VertexID, et graph.EdgeType, k int, rng *rand.Rand, dst []graph.VertexID) []graph.VertexID
+	// SampleNeighborsUniform draws k unweighted samples (each neighbor with
+	// probability 1/degree), appending to dst.
+	SampleNeighborsUniform(src graph.VertexID, et graph.EdgeType, k int, rng *rand.Rand, dst []graph.VertexID) []graph.VertexID
+	// Neighbors returns all out-neighbors and weights of src under et.
+	Neighbors(src graph.VertexID, et graph.EdgeType) ([]graph.VertexID, []float64)
+	// ApplyBatch applies a batch of update events (the dynamic-update entry
+	// point; events may be reordered).
+	ApplyBatch(events []graph.Event)
+	// Sources returns all source vertices that have out-edges under et.
+	Sources(et graph.EdgeType) []graph.VertexID
+	// NumEdges returns the current edge count across all relations.
+	NumEdges() int64
+	// MemoryBytes returns the structural memory footprint.
+	MemoryBytes() int64
+}
+
+// Options configure a DynamicStore.
+type Options struct {
+	// Tree configures the samtrees (capacity, α, compression, counters).
+	Tree core.Options
+	// Workers bounds batch-update parallelism; 0 means auto.
+	Workers int
+}
+
+// treeEntry pairs a samtree with its writer lock. Batch updates bypass the
+// lock's contention entirely (one worker per tree); the lock serializes
+// stray single-edge updates against concurrent readers.
+type treeEntry struct {
+	mu   sync.RWMutex
+	tree *core.Tree
+}
+
+// relation is the per-edge-type topology: source vertex → samtree.
+type relation struct {
+	trees *cuckoo.Map[*treeEntry]
+}
+
+// DynamicStore is the PlatoD2GL topology store.
+type DynamicStore struct {
+	opt      Options
+	relsMu   sync.RWMutex
+	rels     map[graph.EdgeType]*relation
+	numEdges atomic.Int64
+}
+
+var _ TopologyStore = (*DynamicStore)(nil)
+
+// NewDynamicStore returns an empty store.
+func NewDynamicStore(opt Options) *DynamicStore {
+	return &DynamicStore{opt: opt, rels: make(map[graph.EdgeType]*relation)}
+}
+
+// Name implements TopologyStore.
+func (s *DynamicStore) Name() string {
+	if s.opt.Tree.Compress {
+		return "PlatoD2GL"
+	}
+	return "PlatoD2GL(w/o CP)"
+}
+
+// Counters returns the shared samtree operation counters, if configured.
+func (s *DynamicStore) Counters() *core.Counters { return s.opt.Tree.Counters }
+
+func (s *DynamicStore) rel(et graph.EdgeType, create bool) *relation {
+	s.relsMu.RLock()
+	r := s.rels[et]
+	s.relsMu.RUnlock()
+	if r != nil || !create {
+		return r
+	}
+	s.relsMu.Lock()
+	defer s.relsMu.Unlock()
+	if r = s.rels[et]; r == nil {
+		r = &relation{trees: cuckoo.New[*treeEntry]()}
+		s.rels[et] = r
+	}
+	return r
+}
+
+func (s *DynamicStore) entry(src graph.VertexID, et graph.EdgeType, create bool) *treeEntry {
+	r := s.rel(et, create)
+	if r == nil {
+		return nil
+	}
+	if !create {
+		e, _ := r.trees.Get(uint64(src))
+		return e
+	}
+	e, _ := r.trees.GetOrCreate(uint64(src), func() *treeEntry {
+		return &treeEntry{tree: core.NewTree(s.opt.Tree)}
+	})
+	return e
+}
+
+// AddEdge implements TopologyStore.
+func (s *DynamicStore) AddEdge(e graph.Edge) bool {
+	ent := s.entry(e.Src, e.Type, true)
+	ent.mu.Lock()
+	isNew := ent.tree.Insert(uint64(e.Dst), e.Weight)
+	ent.mu.Unlock()
+	if isNew {
+		s.numEdges.Add(1)
+	}
+	return isNew
+}
+
+// DeleteEdge implements TopologyStore.
+func (s *DynamicStore) DeleteEdge(src, dst graph.VertexID, et graph.EdgeType) bool {
+	ent := s.entry(src, et, false)
+	if ent == nil {
+		return false
+	}
+	ent.mu.Lock()
+	ok := ent.tree.Delete(uint64(dst))
+	ent.mu.Unlock()
+	if ok {
+		s.numEdges.Add(-1)
+	}
+	return ok
+}
+
+// UpdateWeight implements TopologyStore.
+func (s *DynamicStore) UpdateWeight(src, dst graph.VertexID, et graph.EdgeType, w float64) bool {
+	ent := s.entry(src, et, false)
+	if ent == nil {
+		return false
+	}
+	ent.mu.Lock()
+	ok := ent.tree.UpdateWeight(uint64(dst), w)
+	ent.mu.Unlock()
+	return ok
+}
+
+// EdgeWeight implements TopologyStore.
+func (s *DynamicStore) EdgeWeight(src, dst graph.VertexID, et graph.EdgeType) (float64, bool) {
+	ent := s.entry(src, et, false)
+	if ent == nil {
+		return 0, false
+	}
+	ent.mu.RLock()
+	w, ok := ent.tree.Weight(uint64(dst))
+	ent.mu.RUnlock()
+	return w, ok
+}
+
+// Degree implements TopologyStore.
+func (s *DynamicStore) Degree(src graph.VertexID, et graph.EdgeType) int {
+	ent := s.entry(src, et, false)
+	if ent == nil {
+		return 0
+	}
+	ent.mu.RLock()
+	n := ent.tree.Len()
+	ent.mu.RUnlock()
+	return n
+}
+
+// SampleNeighbors implements TopologyStore: the combined ITS-over-internal /
+// FTS-at-leaf descent of Sec. V-C, k times with replacement.
+func (s *DynamicStore) SampleNeighbors(src graph.VertexID, et graph.EdgeType, k int, rng *rand.Rand, dst []graph.VertexID) []graph.VertexID {
+	ent := s.entry(src, et, false)
+	if ent == nil {
+		return dst
+	}
+	ent.mu.RLock()
+	for i := 0; i < k; i++ {
+		if v, ok := ent.tree.SampleOne(rng); ok {
+			dst = append(dst, graph.VertexID(v))
+		}
+	}
+	ent.mu.RUnlock()
+	return dst
+}
+
+// SampleNeighborsUniform implements TopologyStore via the samtree's
+// count-guided uniform descent.
+func (s *DynamicStore) SampleNeighborsUniform(src graph.VertexID, et graph.EdgeType, k int, rng *rand.Rand, dst []graph.VertexID) []graph.VertexID {
+	ent := s.entry(src, et, false)
+	if ent == nil {
+		return dst
+	}
+	ent.mu.RLock()
+	for i := 0; i < k; i++ {
+		if v, ok := ent.tree.SampleOneUniform(rng); ok {
+			dst = append(dst, graph.VertexID(v))
+		}
+	}
+	ent.mu.RUnlock()
+	return dst
+}
+
+// Neighbors implements TopologyStore.
+func (s *DynamicStore) Neighbors(src graph.VertexID, et graph.EdgeType) ([]graph.VertexID, []float64) {
+	ent := s.entry(src, et, false)
+	if ent == nil {
+		return nil, nil
+	}
+	ent.mu.RLock()
+	ids, weights := ent.tree.Neighbors()
+	ent.mu.RUnlock()
+	out := make([]graph.VertexID, len(ids))
+	for i, id := range ids {
+		out[i] = graph.VertexID(id)
+	}
+	return out, weights
+}
+
+// NeighborsInRange returns src's out-neighbors with lo <= id <= hi (an
+// ordered samtree range scan; only intersecting leaves are visited).
+func (s *DynamicStore) NeighborsInRange(src graph.VertexID, et graph.EdgeType, lo, hi graph.VertexID) ([]graph.VertexID, []float64) {
+	ent := s.entry(src, et, false)
+	if ent == nil {
+		return nil, nil
+	}
+	ent.mu.RLock()
+	rawIDs, weights := ent.tree.RangeNeighbors(uint64(lo), uint64(hi))
+	ent.mu.RUnlock()
+	ids := make([]graph.VertexID, len(rawIDs))
+	for i, id := range rawIDs {
+		ids[i] = graph.VertexID(id)
+	}
+	return ids, weights
+}
+
+// ApplyBatch implements TopologyStore using the PALM-style batch mechanism:
+// events are sorted and grouped per samtree, groups are sharded across
+// workers, and each tree is mutated latch-free by its single owner.
+func (s *DynamicStore) ApplyBatch(events []graph.Event) {
+	workers := s.opt.Workers
+	if workers <= 0 {
+		workers = palm.DefaultWorkers(len(events))
+	}
+	var added, removed atomic.Int64
+	palm.Run(events, workers, func(g palm.Group) {
+		// Translate the group into tree ops and apply them with the
+		// intra-tree batch path (sorted IDs reuse root-to-leaf searches).
+		ops := make([]core.Op, len(g.Events))
+		for i, ev := range g.Events {
+			op := core.Op{ID: uint64(ev.Edge.Dst), Weight: ev.Edge.Weight}
+			switch ev.Kind {
+			case graph.DeleteEdge:
+				op.Kind = core.OpDelete
+			case graph.UpdateWeight:
+				op.Kind = core.OpUpdate
+			default:
+				op.Kind = core.OpInsert
+			}
+			ops[i] = op
+		}
+		ent := s.entry(g.Src, g.Type, true)
+		ent.mu.Lock()
+		a, r := ent.tree.ApplyBatch(ops)
+		ent.mu.Unlock()
+		added.Add(int64(a))
+		removed.Add(int64(r))
+	})
+	s.numEdges.Add(added.Load() - removed.Load())
+}
+
+// Sources implements TopologyStore.
+func (s *DynamicStore) Sources(et graph.EdgeType) []graph.VertexID {
+	r := s.rel(et, false)
+	if r == nil {
+		return nil
+	}
+	keys := r.trees.Keys()
+	out := make([]graph.VertexID, len(keys))
+	for i, k := range keys {
+		out[i] = graph.VertexID(k)
+	}
+	return out
+}
+
+// NumEdges implements TopologyStore.
+func (s *DynamicStore) NumEdges() int64 { return s.numEdges.Load() }
+
+// MemoryBytes implements TopologyStore: the cuckoo index plus every samtree.
+func (s *DynamicStore) MemoryBytes() int64 {
+	var total int64
+	s.relsMu.RLock()
+	rels := make([]*relation, 0, len(s.rels))
+	for _, r := range s.rels {
+		rels = append(rels, r)
+	}
+	s.relsMu.RUnlock()
+	for _, r := range rels {
+		total += r.trees.MemoryBytes(8) // 8-byte tree pointer per slot
+		r.trees.Range(func(_ uint64, ent *treeEntry) bool {
+			ent.mu.RLock()
+			total += ent.tree.MemoryBytes() + 32 // entry struct + lock
+			ent.mu.RUnlock()
+			return true
+		})
+	}
+	return total
+}
+
+// TreeStats summarizes the samtree population (used by the benchmark
+// harness's Table V instrumentation).
+type TreeStats struct {
+	Trees     int
+	MaxHeight int
+	SumHeight int64
+}
+
+// RelationStats summarizes one relation's topology.
+type RelationStats struct {
+	Type       graph.EdgeType
+	Sources    int
+	Edges      int64
+	MaxDegree  int
+	MeanDegree float64
+	MaxHeight  int
+}
+
+// RelationStats walks one relation and summarizes its population.
+func (s *DynamicStore) RelationStats(et graph.EdgeType) RelationStats {
+	st := RelationStats{Type: et}
+	r := s.rel(et, false)
+	if r == nil {
+		return st
+	}
+	r.trees.Range(func(_ uint64, ent *treeEntry) bool {
+		ent.mu.RLock()
+		deg := ent.tree.Len()
+		h := ent.tree.Height()
+		ent.mu.RUnlock()
+		if deg == 0 {
+			return true
+		}
+		st.Sources++
+		st.Edges += int64(deg)
+		if deg > st.MaxDegree {
+			st.MaxDegree = deg
+		}
+		if h > st.MaxHeight {
+			st.MaxHeight = h
+		}
+		return true
+	})
+	if st.Sources > 0 {
+		st.MeanDegree = float64(st.Edges) / float64(st.Sources)
+	}
+	return st
+}
+
+// AllStats summarizes every relation present in the store, ordered by edge
+// type.
+func (s *DynamicStore) AllStats() []RelationStats {
+	s.relsMu.RLock()
+	types := make([]graph.EdgeType, 0, len(s.rels))
+	for et := range s.rels {
+		types = append(types, et)
+	}
+	s.relsMu.RUnlock()
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+	out := make([]RelationStats, 0, len(types))
+	for _, et := range types {
+		out = append(out, s.RelationStats(et))
+	}
+	return out
+}
+
+// Stats walks all samtrees of a relation and reports population statistics.
+func (s *DynamicStore) Stats(et graph.EdgeType) TreeStats {
+	var st TreeStats
+	r := s.rel(et, false)
+	if r == nil {
+		return st
+	}
+	r.trees.Range(func(_ uint64, ent *treeEntry) bool {
+		ent.mu.RLock()
+		h := ent.tree.Height()
+		ent.mu.RUnlock()
+		st.Trees++
+		st.SumHeight += int64(h)
+		if h > st.MaxHeight {
+			st.MaxHeight = h
+		}
+		return true
+	})
+	return st
+}
