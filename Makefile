@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test vet race tier1 bench
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race leg of the tier-1 loop: the concurrent retry/redial/breaker paths in
+# the cluster client and the storage engine the chaos tests hammer.
+race: vet
+	$(GO) test -race ./internal/cluster/... ./internal/storage/...
+
+tier1: test race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

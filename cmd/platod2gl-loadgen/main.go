@@ -12,7 +12,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"net/rpc"
 	"os"
 	"strings"
 	"time"
@@ -45,6 +44,8 @@ func main() {
 		mixName = flag.String("mix", "build", "event mix: build (inserts only) or dynamic")
 		servers = flag.String("servers", "", "comma-separated server addresses; empty = dry run")
 		degrees = flag.Bool("degrees", false, "print the generated out-degree distribution")
+		timeout = flag.Duration("call-timeout", 5*time.Second, "per-RPC-attempt timeout (0 = none)")
+		retries = flag.Int("retries", 4, "retry attempts per failed call (batches are at-most-once)")
 	)
 	flag.Parse()
 
@@ -62,15 +63,18 @@ func main() {
 
 	var client *cluster.Client
 	if *servers != "" {
-		var peers []*rpc.Client
+		var addrs []string
 		for _, addr := range strings.Split(*servers, ",") {
-			c, err := rpc.Dial("tcp", strings.TrimSpace(addr))
-			if err != nil {
-				log.Fatalf("dial %s: %v", addr, err)
-			}
-			peers = append(peers, c)
+			addrs = append(addrs, strings.TrimSpace(addr))
 		}
-		client = cluster.NewClient(peers)
+		opts := cluster.DefaultOptions()
+		opts.CallTimeout = *timeout
+		opts.MaxRetries = *retries
+		var err error
+		client, err = cluster.Dial(addrs, opts)
+		if err != nil {
+			log.Fatalf("dial cluster: %v", err)
+		}
 		defer client.Close()
 	}
 

@@ -6,6 +6,12 @@
 // Usage:
 //
 //	platod2gl-server -addr :7090 -capacity 256
+//
+// Durability (see docs/OPERATIONS.md): -snapshot loads at boot and saves on
+// SIGINT/SIGTERM, then atomically truncates the WAL so a restart never
+// replays batches the snapshot already contains; -wal appends every applied
+// batch with its at-most-once identity, and -wal-sync picks the fsync
+// policy (always, interval, never).
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"platod2gl/internal/cluster"
 	"platod2gl/internal/core"
@@ -36,8 +43,15 @@ func main() {
 		snapshot = flag.String("snapshot", "", "snapshot file: loaded at startup if present, written on SIGINT/SIGTERM")
 		metrics  = flag.String("metrics-addr", "", "HTTP address serving /debug/vars metrics (empty = disabled)")
 		walPath  = flag.String("wal", "", "write-ahead log: replayed at startup, appended per batch")
+		walSync  = flag.String("wal-sync", "always", "WAL fsync policy: always (fsync per batch), interval (background fsync), never (OS decides)")
+		walEvery = flag.Duration("wal-sync-interval", 200*time.Millisecond, "fsync period for -wal-sync=interval")
 	)
 	flag.Parse()
+	switch *walSync {
+	case "always", "interval", "never":
+	default:
+		log.Fatalf("invalid -wal-sync %q (always, interval, never)", *walSync)
+	}
 
 	store := storage.NewDynamicStore(storage.Options{
 		Tree: core.Options{
@@ -59,15 +73,17 @@ func main() {
 		}
 	}
 	svc := cluster.NewService(store, kvstore.New())
+	var wal *eventlog.Writer
 	if *walPath != "" {
-		// Recovery: replay every complete batch (the snapshot, if any,
-		// already restored a prefix; replaying it again is idempotent for
-		// inserts and weight updates but not deletes of re-added edges, so
-		// with both -snapshot and -wal the snapshot should be taken with a
-		// fresh/truncated WAL — see README).
+		// Recovery: the snapshot (if any) restored a prefix and truncated
+		// the WAL on its way out (see the shutdown path below), so the WAL
+		// holds only batches past the snapshot. Replay them, and rebuild
+		// the at-most-once dedup table from each batch's identity so a
+		// client retry that straddles the restart is not double-applied.
 		if _, err := os.Stat(*walPath); err == nil {
-			n, err := eventlog.Replay(*walPath, func(_ uint64, events []graph.Event) error {
-				store.ApplyBatch(events)
+			n, err := eventlog.ReplayBatches(*walPath, func(rec eventlog.BatchRecord) error {
+				store.ApplyBatch(rec.Events)
+				svc.MarkApplied(rec.ClientID, rec.ClientSeq)
 				return nil
 			})
 			if err != nil {
@@ -75,14 +91,36 @@ func main() {
 			}
 			log.Printf("replayed %d wal batches: %d edges", n, store.NumEdges())
 		}
-		wal, err := eventlog.Create(*walPath)
+		var err error
+		wal, err = eventlog.Create(*walPath)
 		if err != nil {
 			log.Fatalf("open wal %s: %v", *walPath, err)
 		}
-		svc.SetBatchHook(func(events []graph.Event) error {
-			_, err := wal.Append(events)
-			return err
+		syncAlways := *walSync == "always"
+		svc.SetBatchHook(func(clientID, seq uint64, events []graph.Event) error {
+			if _, err := wal.AppendBatch(clientID, seq, events); err != nil {
+				return err
+			}
+			if syncAlways {
+				// An acknowledged batch must survive a crash: fsync before
+				// the apply so the client's success reply implies
+				// durability.
+				return wal.Sync()
+			}
+			return nil
 		})
+		if *walSync == "interval" {
+			go func() {
+				tick := time.NewTicker(*walEvery)
+				defer tick.Stop()
+				for range tick.C {
+					if err := wal.Sync(); err != nil {
+						log.Printf("wal sync: %v", err)
+						return
+					}
+				}
+			}()
+		}
 	}
 	srv := cluster.NewServer(svc)
 
@@ -91,6 +129,9 @@ func main() {
 		signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 		go func() {
 			<-sigs
+			// Quiesce: drain in-flight batches and block new ones so the
+			// snapshot and the truncated WAL describe the same state.
+			svc.Pause()
 			tmp := *snapshot + ".tmp"
 			f, err := os.Create(tmp)
 			if err != nil {
@@ -106,6 +147,15 @@ func main() {
 				log.Fatalf("rename snapshot: %v", err)
 			}
 			log.Printf("saved snapshot %s: %d edges", *snapshot, store.NumEdges())
+			if wal != nil {
+				// The snapshot now contains every applied batch; truncate
+				// the WAL atomically so restart does not re-apply them
+				// (deletes of re-added edges are not idempotent).
+				if err := wal.Reset(); err != nil {
+					log.Fatalf("truncate wal after snapshot: %v", err)
+				}
+				log.Printf("truncated wal %s", *walPath)
+			}
 			os.Exit(0)
 		}()
 	}
@@ -125,7 +175,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("listen %s: %v", *addr, err)
 	}
-	log.Printf("platod2gl-server listening on %s (capacity=%d alpha=%d compress=%v)",
-		lis.Addr(), *capacity, *alpha, !*noCP)
+	log.Printf("platod2gl-server listening on %s (capacity=%d alpha=%d compress=%v wal-sync=%s)",
+		lis.Addr(), *capacity, *alpha, !*noCP, *walSync)
 	srv.Serve(lis)
 }

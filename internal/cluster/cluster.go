@@ -9,13 +9,25 @@
 // binary, in-memory pipes for tests and single-process clusters — the
 // paper's cluster of 54 storage servers is simulated as N in-process servers
 // (see DESIGN.md, substitutions).
+//
+// The client side is fault tolerant (see retry.go, health.go): per-call
+// timeouts, bounded retries with exponential backoff and jitter, automatic
+// redial of dead peers, per-peer circuit breakers, and optional graceful
+// degradation for sampling fan-outs. ApplyBatch is at-most-once: batches
+// carry client-assigned sequence numbers deduplicated server-side (see
+// dedup.go), so retries never double-apply deletes. The server side
+// survives accept-loop hiccups and recovers handler panics into RPC errors.
 package cluster
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/rpc"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"platod2gl/internal/graph"
 	"platod2gl/internal/kvstore"
@@ -25,14 +37,21 @@ import (
 // ServiceName is the registered RPC receiver name.
 const ServiceName = "PlatoD2GL"
 
-// BatchArgs carries a topology update batch.
+// BatchArgs carries a topology update batch. ClientID and Seq identify the
+// batch for server-side at-most-once deduplication: a retried batch carries
+// the same pair and is applied at most once. Zero values bypass dedup
+// (legacy clients).
 type BatchArgs struct {
-	Events []graph.Event
+	Events   []graph.Event
+	ClientID uint64
+	Seq      uint64
 }
 
-// BatchReply reports the resulting edge count on the server.
+// BatchReply reports the resulting edge count on the server. Duplicate is
+// set when the batch had already been applied and was skipped.
 type BatchReply struct {
-	NumEdges int64
+	NumEdges  int64
+	Duplicate bool
 }
 
 // SampleArgs requests fanout weighted neighbor samples for each seed.
@@ -93,27 +112,80 @@ type StatsReply struct {
 	NumSources  int
 }
 
+// BatchHook is the durability hook invoked before every applied batch. It
+// receives the batch's dedup identity so write-ahead logs can persist it and
+// rebuild the dedup table on recovery.
+type BatchHook func(clientID, seq uint64, events []graph.Event) error
+
 // Service is the RPC receiver for one graph server.
 type Service struct {
 	store   storage.TopologyStore
 	attrs   *kvstore.Store
-	onBatch func([]graph.Event) error
+	onBatch BatchHook
+	dedup   *batchDedup
+	pauseMu sync.RWMutex // held for writing while the server drains for shutdown
 }
 
 // NewService wraps a topology store and an attribute store.
 func NewService(store storage.TopologyStore, attrs *kvstore.Store) *Service {
-	return &Service{store: store, attrs: attrs}
+	return &Service{store: store, attrs: attrs, dedup: newBatchDedup()}
 }
 
 // SetBatchHook installs a durability hook invoked before every applied
 // batch (e.g. a write-ahead log append). A hook error rejects the batch.
-func (s *Service) SetBatchHook(fn func([]graph.Event) error) { s.onBatch = fn }
+func (s *Service) SetBatchHook(fn BatchHook) { s.onBatch = fn }
 
-// ApplyBatch applies a topology update batch, invoking the durability hook
-// first.
-func (s *Service) ApplyBatch(args *BatchArgs, reply *BatchReply) error {
+// MarkApplied seeds the dedup table with a batch identity recovered from a
+// write-ahead log, so client retries that straddle a server restart stay
+// at-most-once.
+func (s *Service) MarkApplied(clientID, seq uint64) { s.dedup.markApplied(clientID, seq) }
+
+// Pause blocks new batch applications (in-flight ones drain first) and
+// returns a resume function. Used to quiesce the store before a shutdown
+// snapshot so the snapshot and the truncated WAL agree.
+func (s *Service) Pause() (resume func()) {
+	s.pauseMu.Lock()
+	var once sync.Once
+	return func() { once.Do(s.pauseMu.Unlock) }
+}
+
+// guard converts a handler panic into an RPC error so one poisoned request
+// cannot kill the connection goroutine (and with it every multiplexed
+// in-flight call on that conn).
+func guard(method string, err *error) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("cluster: %s: recovered panic: %v", method, r)
+	}
+}
+
+// ApplyBatch applies a topology update batch at most once, invoking the
+// durability hook first. Duplicate (ClientID, Seq) pairs are skipped and
+// reported as success.
+func (s *Service) ApplyBatch(args *BatchArgs, reply *BatchReply) (err error) {
+	s.pauseMu.RLock()
+	defer s.pauseMu.RUnlock()
+	var finish func(error)
+	if args.ClientID != 0 && args.Seq != 0 {
+		var apply bool
+		var derr error
+		apply, finish, derr = s.dedup.claim(args.ClientID, args.Seq)
+		if derr != nil {
+			return derr
+		}
+		if !apply {
+			reply.NumEdges = s.store.NumEdges()
+			reply.Duplicate = true
+			return nil
+		}
+	}
+	defer func() {
+		guard("ApplyBatch", &err)
+		if finish != nil {
+			finish(err)
+		}
+	}()
 	if s.onBatch != nil {
-		if err := s.onBatch(args.Events); err != nil {
+		if err := s.onBatch(args.ClientID, args.Seq, args.Events); err != nil {
 			return fmt.Errorf("cluster: batch hook: %w", err)
 		}
 	}
@@ -123,7 +195,8 @@ func (s *Service) ApplyBatch(args *BatchArgs, reply *BatchReply) error {
 }
 
 // SampleNeighbors draws weighted neighbor samples for each seed.
-func (s *Service) SampleNeighbors(args *SampleArgs, reply *SampleReply) error {
+func (s *Service) SampleNeighbors(args *SampleArgs, reply *SampleReply) (err error) {
+	defer guard("SampleNeighbors", &err)
 	if args.Fanout < 0 {
 		return fmt.Errorf("cluster: negative fanout %d", args.Fanout)
 	}
@@ -133,7 +206,8 @@ func (s *Service) SampleNeighbors(args *SampleArgs, reply *SampleReply) error {
 }
 
 // Degree returns out-degrees.
-func (s *Service) Degree(args *DegreeArgs, reply *DegreeReply) error {
+func (s *Service) Degree(args *DegreeArgs, reply *DegreeReply) (err error) {
+	defer guard("Degree", &err)
 	reply.Degrees = make([]int, len(args.Nodes))
 	for i, n := range args.Nodes {
 		reply.Degrees[i] = s.store.Degree(n, args.Type)
@@ -142,7 +216,8 @@ func (s *Service) Degree(args *DegreeArgs, reply *DegreeReply) error {
 }
 
 // Features gathers feature rows.
-func (s *Service) Features(args *FeatureArgs, reply *FeatureReply) error {
+func (s *Service) Features(args *FeatureArgs, reply *FeatureReply) (err error) {
+	defer guard("Features", &err)
 	if s.attrs == nil {
 		return fmt.Errorf("cluster: server has no attribute store")
 	}
@@ -151,7 +226,8 @@ func (s *Service) Features(args *FeatureArgs, reply *FeatureReply) error {
 }
 
 // SetFeatures stores feature rows (and optional labels) on this server.
-func (s *Service) SetFeatures(args *SetFeaturesArgs, _ *SetFeaturesReply) error {
+func (s *Service) SetFeatures(args *SetFeaturesArgs, _ *SetFeaturesReply) (err error) {
+	defer guard("SetFeatures", &err)
 	if s.attrs == nil {
 		return fmt.Errorf("cluster: server has no attribute store")
 	}
@@ -173,10 +249,18 @@ func (s *Service) SetFeatures(args *SetFeaturesArgs, _ *SetFeaturesReply) error 
 	return nil
 }
 
-// Stats reports server statistics.
-func (s *Service) Stats(_ *StatsArgs, reply *StatsReply) error {
+// Stats reports server statistics. NumSources counts distinct source
+// vertices with out-edges across all relations, when the store exposes
+// per-relation stats (DynamicStore does).
+func (s *Service) Stats(_ *StatsArgs, reply *StatsReply) (err error) {
+	defer guard("Stats", &err)
 	reply.NumEdges = s.store.NumEdges()
 	reply.MemoryBytes = s.store.MemoryBytes()
+	if rs, ok := s.store.(interface{ AllStats() []storage.RelationStats }); ok {
+		for _, st := range rs.AllStats() {
+			reply.NumSources += st.Sources
+		}
+	}
 	return nil
 }
 
@@ -194,13 +278,29 @@ func NewServer(svc *Service) *Server {
 	return &Server{rpcServer: rs}
 }
 
-// Serve accepts connections until the listener closes.
+// acceptBackoffMax caps the accept-loop retry delay.
+const acceptBackoffMax = time.Second
+
+// Serve accepts connections until the listener closes. Transient accept
+// errors (EMFILE, ECONNABORTED, ...) are retried with exponential backoff
+// instead of silently killing the server's accept loop.
 func (s *Server) Serve(lis net.Listener) {
+	var delay time.Duration
 	for {
 		conn, err := lis.Accept()
 		if err != nil {
-			return
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			if delay == 0 {
+				delay = 5 * time.Millisecond
+			} else if delay *= 2; delay > acceptBackoffMax {
+				delay = acceptBackoffMax
+			}
+			time.Sleep(delay)
+			continue
 		}
+		delay = 0
 		go s.rpcServer.ServeConn(conn)
 	}
 }
@@ -208,18 +308,113 @@ func (s *Server) Serve(lis net.Listener) {
 // ServeConn serves a single connection (blocking).
 func (s *Server) ServeConn(conn net.Conn) { s.rpcServer.ServeConn(conn) }
 
+// ShardError is one shard's failure inside a degraded fan-out.
+type ShardError struct {
+	Shard int
+	Err   error
+}
+
+func (e ShardError) Error() string { return fmt.Sprintf("shard %d: %v", e.Shard, e.Err) }
+
+func (e ShardError) Unwrap() error { return e.Err }
+
+// FanoutReport describes a fan-out's per-shard outcome in degradation mode.
+type FanoutReport struct {
+	Shards int          // shards the request fanned out to
+	Errors []ShardError // shards that failed (their slots were backfilled)
+}
+
+// Degraded reports whether any shard failed.
+func (r *FanoutReport) Degraded() bool { return r != nil && len(r.Errors) > 0 }
+
+// Err returns nil for a clean fan-out, or an error summarizing the failed
+// shards.
+func (r *FanoutReport) Err() error {
+	if !r.Degraded() {
+		return nil
+	}
+	return fmt.Errorf("cluster: %d/%d shards failed (first: %v)", len(r.Errors), r.Shards, r.Errors[0])
+}
+
 // Client is the fan-out client over a set of graph servers. Sources are
 // partitioned hash-by-source: server(src) = h(src) mod N.
 type Client struct {
-	peers []*rpc.Client
+	peers    []*peer
+	opts     Options
+	clientID uint64
+	seq      atomic.Uint64
+
+	jitterMu sync.Mutex
+	jitter   *rand.Rand
 }
 
-// NewClient wraps established per-server RPC connections.
+// newClientID draws a nonzero dedup identity for this client.
+func newClientID(rng *rand.Rand) uint64 {
+	for {
+		if id := rng.Uint64(); id != 0 {
+			return id
+		}
+	}
+}
+
+// NewClient wraps established per-server RPC connections with legacy
+// semantics: no timeouts, no retries, no redial. Prefer Dial or
+// NewClientOptions for fault tolerance.
 func NewClient(peers []*rpc.Client) *Client {
-	if len(peers) == 0 {
+	return NewClientOptions(peers, nil, Options{})
+}
+
+// NewClientOptions builds a fault-tolerant client from established
+// connections plus optional per-peer dialers for reconnection. conns[i] may
+// be nil when dialers[i] can establish the connection lazily; dialers may be
+// nil (no redial) or hold nil entries.
+func NewClientOptions(conns []*rpc.Client, dialers []Dialer, opts Options) *Client {
+	n := len(conns)
+	if n == 0 {
+		n = len(dialers)
+	}
+	if n == 0 {
 		panic("cluster: client needs at least one peer")
 	}
-	return &Client{peers: peers}
+	jitter := newJitterRNG(opts.Seed)
+	c := &Client{opts: opts, jitter: jitter}
+	c.clientID = newClientID(jitter)
+	c.peers = make([]*peer, n)
+	for i := range c.peers {
+		p := &peer{idx: i, br: newBreaker(opts.BreakerThreshold, opts.BreakerCooldown)}
+		if i < len(conns) {
+			p.rc = conns[i]
+		}
+		if i < len(dialers) {
+			p.dial = dialers[i]
+		}
+		c.peers[i] = p
+	}
+	return c
+}
+
+// Dial connects to a cluster of graph servers over TCP with fault-tolerant
+// options; dead peers are redialed automatically.
+func Dial(addrs []string, opts Options) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("cluster: no server addresses")
+	}
+	conns := make([]*rpc.Client, len(addrs))
+	dialers := make([]Dialer, len(addrs))
+	for i, addr := range addrs {
+		dialers[i] = TCPDialer(addr, opts.CallTimeout)
+		conn, err := dialers[i]()
+		if err != nil {
+			for _, c := range conns {
+				if c != nil {
+					c.Close()
+				}
+			}
+			return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+		}
+		conns[i] = rpc.NewClient(conn)
+	}
+	return NewClientOptions(conns, dialers, opts), nil
 }
 
 // NumServers returns the cluster size.
@@ -237,27 +432,55 @@ func (c *Client) serverFor(src graph.VertexID) int {
 }
 
 // ApplyBatch partitions events by source and applies the per-server
-// sub-batches in parallel.
+// sub-batches in parallel. Each sub-batch carries a (ClientID, Seq) identity
+// so server-side dedup makes retries at-most-once even for deletes.
 func (c *Client) ApplyBatch(events []graph.Event) error {
 	parts := make([][]graph.Event, len(c.peers))
 	for _, ev := range events {
 		p := c.serverFor(ev.Edge.Src)
 		parts[p] = append(parts[p], ev)
 	}
+	seqs := make([]uint64, len(c.peers))
+	for p := range parts {
+		if len(parts[p]) != 0 {
+			seqs[p] = c.seq.Add(1)
+		}
+	}
 	return c.fanOut(func(p int) error {
 		if len(parts[p]) == 0 {
 			return nil
 		}
 		var reply BatchReply
-		return c.peers[p].Call(ServiceName+".ApplyBatch", &BatchArgs{Events: parts[p]}, &reply)
+		args := &BatchArgs{Events: parts[p], ClientID: c.clientID, Seq: seqs[p]}
+		return c.callPeer(p, ServiceName+".ApplyBatch", args, &reply)
 	})
 }
 
 // SampleNeighbors draws fanout samples per seed across the cluster,
 // reassembling results in seed order. Missing slots hold the seed itself.
+// With Options.Degraded set, a failed shard degrades its seeds to self-loop
+// fallbacks instead of failing the batch; use SampleNeighborsDegraded to
+// also receive the per-shard error report.
 func (c *Client) SampleNeighbors(seeds []graph.VertexID, et graph.EdgeType, fanout int, seed int64) ([]graph.VertexID, error) {
+	out, report, err := c.sampleNeighbors(seeds, et, fanout, seed, c.opts.Degraded)
+	if err != nil {
+		return nil, err
+	}
+	_ = report // degradation details available via SampleNeighborsDegraded
+	return out, nil
+}
+
+// SampleNeighborsDegraded is SampleNeighbors in explicit degradation mode:
+// it always returns full-length results — a dead shard's slots fall back to
+// the seed itself, exactly the protocol's existing convention for unknown
+// vertices — plus a report of which shards failed and why.
+func (c *Client) SampleNeighborsDegraded(seeds []graph.VertexID, et graph.EdgeType, fanout int, seed int64) ([]graph.VertexID, *FanoutReport, error) {
+	return c.sampleNeighbors(seeds, et, fanout, seed, true)
+}
+
+func (c *Client) sampleNeighbors(seeds []graph.VertexID, et graph.EdgeType, fanout int, seed int64, degraded bool) ([]graph.VertexID, *FanoutReport, error) {
 	if fanout < 0 {
-		return nil, fmt.Errorf("cluster: negative fanout %d", fanout)
+		return nil, nil, fmt.Errorf("cluster: negative fanout %d", fanout)
 	}
 	out := make([]graph.VertexID, len(seeds)*fanout)
 	partSeeds := make([][]graph.VertexID, len(c.peers))
@@ -267,13 +490,19 @@ func (c *Client) SampleNeighbors(seeds []graph.VertexID, et graph.EdgeType, fano
 		partSeeds[p] = append(partSeeds[p], s)
 		partIdx[p] = append(partIdx[p], i)
 	}
-	err := c.fanOut(func(p int) error {
+	report := &FanoutReport{}
+	for p := range partSeeds {
+		if len(partSeeds[p]) != 0 {
+			report.Shards++
+		}
+	}
+	errs := c.fanOutAll(func(p int) error {
 		if len(partSeeds[p]) == 0 {
 			return nil
 		}
 		args := &SampleArgs{Seeds: partSeeds[p], Type: et, Fanout: fanout, Seed: seed + int64(p)}
 		var reply SampleReply
-		if err := c.peers[p].Call(ServiceName+".SampleNeighbors", args, &reply); err != nil {
+		if err := c.callPeer(p, ServiceName+".SampleNeighbors", args, &reply); err != nil {
 			return err
 		}
 		if len(reply.Neighbors) != len(partSeeds[p])*fanout {
@@ -285,7 +514,25 @@ func (c *Client) SampleNeighbors(seeds []graph.VertexID, et graph.EdgeType, fano
 		}
 		return nil
 	})
-	return out, err
+	for p, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !degraded {
+			return nil, nil, err
+		}
+		report.Errors = append(report.Errors, ShardError{Shard: p, Err: err})
+		// Graceful degradation: the dead shard's seeds fall back to
+		// themselves, keeping the result full-length so training proceeds
+		// on partial neighborhoods.
+		for _, origIdx := range partIdx[p] {
+			base := origIdx * fanout
+			for k := 0; k < fanout; k++ {
+				out[base+k] = seeds[origIdx]
+			}
+		}
+	}
+	return out, report, nil
 }
 
 // SampleSubgraph expands seeds along a meta-path hop by hop across the
@@ -322,7 +569,7 @@ func (c *Client) Degree(nodes []graph.VertexID, et graph.EdgeType) ([]int, error
 			return nil
 		}
 		var reply DegreeReply
-		if err := c.peers[p].Call(ServiceName+".Degree", &DegreeArgs{Nodes: partNodes[p], Type: et}, &reply); err != nil {
+		if err := c.callPeer(p, ServiceName+".Degree", &DegreeArgs{Nodes: partNodes[p], Type: et}, &reply); err != nil {
 			return err
 		}
 		for j, origIdx := range partIdx[p] {
@@ -334,7 +581,8 @@ func (c *Client) Degree(nodes []graph.VertexID, et graph.EdgeType) ([]int, error
 }
 
 // SetFeatures pushes features (and optional labels) to the servers owning
-// each node under hash-by-source partitioning.
+// each node under hash-by-source partitioning. Feature writes are absolute
+// (last write wins), so retries are safe without dedup.
 func (c *Client) SetFeatures(nodes []graph.VertexID, dim int, data []float32, labels []int32) error {
 	if len(data) != len(nodes)*dim {
 		return fmt.Errorf("cluster: feature payload %d != %d nodes x %d dim", len(data), len(nodes), dim)
@@ -359,7 +607,7 @@ func (c *Client) SetFeatures(nodes []graph.VertexID, dim int, data []float32, la
 		}
 		args := &SetFeaturesArgs{Nodes: parts[p].nodes, Dim: dim, Data: parts[p].data, Labels: parts[p].labels}
 		var reply SetFeaturesReply
-		return c.peers[p].Call(ServiceName+".SetFeatures", args, &reply)
+		return c.callPeer(p, ServiceName+".SetFeatures", args, &reply)
 	})
 }
 
@@ -379,7 +627,7 @@ func (c *Client) Features(nodes []graph.VertexID, dim int) ([]float32, error) {
 			return nil
 		}
 		var reply FeatureReply
-		if err := c.peers[p].Call(ServiceName+".Features", &FeatureArgs{Nodes: partNodes[p], Dim: dim}, &reply); err != nil {
+		if err := c.callPeer(p, ServiceName+".Features", &FeatureArgs{Nodes: partNodes[p], Dim: dim}, &reply); err != nil {
 			return err
 		}
 		if len(reply.Data) != len(partNodes[p])*dim {
@@ -399,12 +647,13 @@ func (c *Client) Stats() (StatsReply, error) {
 	var agg StatsReply
 	err := c.fanOut(func(p int) error {
 		var reply StatsReply
-		if err := c.peers[p].Call(ServiceName+".Stats", &StatsArgs{}, &reply); err != nil {
+		if err := c.callPeer(p, ServiceName+".Stats", &StatsArgs{}, &reply); err != nil {
 			return err
 		}
 		mu.Lock()
 		agg.NumEdges += reply.NumEdges
 		agg.MemoryBytes += reply.MemoryBytes
+		agg.NumSources += reply.NumSources
 		mu.Unlock()
 		return nil
 	})
@@ -415,7 +664,7 @@ func (c *Client) Stats() (StatsReply, error) {
 func (c *Client) Close() error {
 	var first error
 	for _, p := range c.peers {
-		if err := p.Close(); err != nil && first == nil {
+		if err := p.close(); err != nil && first == nil {
 			first = err
 		}
 	}
@@ -424,6 +673,17 @@ func (c *Client) Close() error {
 
 // fanOut runs fn(p) for every peer concurrently, returning the first error.
 func (c *Client) fanOut(fn func(p int) error) error {
+	for _, err := range c.fanOutAll(fn) {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fanOutAll runs fn(p) for every peer concurrently, returning every peer's
+// outcome (the degraded-mode building block).
+func (c *Client) fanOutAll(fn func(p int) error) []error {
 	errs := make([]error, len(c.peers))
 	var wg sync.WaitGroup
 	for p := range c.peers {
@@ -434,33 +694,5 @@ func (c *Client) fanOut(fn func(p int) error) error {
 		}(p)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// NewLocalCluster spins up n in-process graph servers connected through
-// in-memory pipes and returns a client plus a shutdown function. factory
-// builds each server's topology store.
-func NewLocalCluster(n int, factory func(i int) (storage.TopologyStore, *kvstore.Store)) (*Client, func()) {
-	peers := make([]*rpc.Client, n)
-	var conns []net.Conn
-	for i := 0; i < n; i++ {
-		store, attrs := factory(i)
-		srv := NewServer(NewService(store, attrs))
-		cliConn, srvConn := net.Pipe()
-		go srv.ServeConn(srvConn)
-		peers[i] = rpc.NewClient(cliConn)
-		conns = append(conns, cliConn, srvConn)
-	}
-	client := NewClient(peers)
-	return client, func() {
-		client.Close()
-		for _, c := range conns {
-			c.Close()
-		}
-	}
+	return errs
 }

@@ -45,6 +45,11 @@ func TestApplyBatchAndStats(t *testing.T) {
 	if stats.MemoryBytes <= 0 {
 		t.Fatalf("MemoryBytes = %d", stats.MemoryBytes)
 	}
+	// Sources are partitioned hash-by-source, so per-server NumSources sum
+	// to the 100 distinct sources in the stream.
+	if stats.NumSources != 100 {
+		t.Fatalf("NumSources = %d, want 100", stats.NumSources)
+	}
 }
 
 func TestDistributedDegreeAndSampling(t *testing.T) {

@@ -1,0 +1,124 @@
+// At-most-once ApplyBatch: clients stamp every batch with a (ClientID, Seq)
+// pair; servers deduplicate so a retry after a lost reply never re-applies
+// its events. Idempotence cannot be assumed — re-applying a batch that
+// deletes an edge later re-added by another batch corrupts the topology —
+// so dedup is the only safe way to retry writes.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+)
+
+// dedupWindow bounds how many completed sequence numbers are remembered per
+// client. Retries are immediate (bounded by the client's retry budget), so a
+// small window is ample; the cap keeps a long-lived server's memory bounded
+// under client churn.
+const dedupWindow = 4096
+
+type dedupKey struct {
+	client uint64
+	seq    uint64
+}
+
+// inflightBatch tracks a batch currently being applied so a concurrent
+// duplicate (a retry racing its own abandoned first attempt) waits for the
+// outcome instead of double-applying or wrongly reporting success.
+type inflightBatch struct {
+	done chan struct{}
+	err  error
+}
+
+// clientWindow is one client's completed-batch history: a FIFO-bounded set.
+type clientWindow struct {
+	seen  map[uint64]struct{}
+	order []uint64 // insertion order, for pruning
+}
+
+func (w *clientWindow) add(seq uint64) {
+	if _, ok := w.seen[seq]; ok {
+		return
+	}
+	w.seen[seq] = struct{}{}
+	w.order = append(w.order, seq)
+	if len(w.order) > dedupWindow {
+		old := w.order[0]
+		w.order = w.order[1:]
+		delete(w.seen, old)
+	}
+}
+
+// batchDedup is the server-side at-most-once filter.
+type batchDedup struct {
+	mu       sync.Mutex
+	clients  map[uint64]*clientWindow
+	inflight map[dedupKey]*inflightBatch
+}
+
+func newBatchDedup() *batchDedup {
+	return &batchDedup{
+		clients:  make(map[uint64]*clientWindow),
+		inflight: make(map[dedupKey]*inflightBatch),
+	}
+}
+
+// claim registers intent to apply (client, seq). It returns:
+//   - apply=true: the caller owns the batch and must call finish() with the
+//     apply outcome.
+//   - apply=false, err=nil: the batch was already applied (duplicate retry);
+//     report success without re-applying.
+//   - apply=false, err!=nil: a concurrent attempt applied it and failed, or
+//     the wait was interrupted; surface err so the client retries.
+func (d *batchDedup) claim(client, seq uint64) (apply bool, finish func(error), err error) {
+	key := dedupKey{client, seq}
+	d.mu.Lock()
+	if w, ok := d.clients[client]; ok {
+		if _, done := w.seen[seq]; done {
+			d.mu.Unlock()
+			return false, nil, nil
+		}
+	}
+	if fl, ok := d.inflight[key]; ok {
+		d.mu.Unlock()
+		<-fl.done
+		if fl.err != nil {
+			return false, nil, fmt.Errorf("cluster: concurrent attempt for batch %d/%d failed: %w", client, seq, fl.err)
+		}
+		return false, nil, nil
+	}
+	fl := &inflightBatch{done: make(chan struct{})}
+	d.inflight[key] = fl
+	d.mu.Unlock()
+	return true, func(applyErr error) {
+		d.mu.Lock()
+		delete(d.inflight, key)
+		if applyErr == nil {
+			w := d.clients[client]
+			if w == nil {
+				w = &clientWindow{seen: make(map[uint64]struct{})}
+				d.clients[client] = w
+			}
+			w.add(seq)
+		}
+		fl.err = applyErr
+		d.mu.Unlock()
+		close(fl.done)
+	}, nil
+}
+
+// markApplied records (client, seq) as completed without applying anything —
+// used when rebuilding dedup state from a write-ahead log at startup, so
+// client retries that straddle a server restart stay at-most-once.
+func (d *batchDedup) markApplied(client, seq uint64) {
+	if client == 0 || seq == 0 {
+		return
+	}
+	d.mu.Lock()
+	w := d.clients[client]
+	if w == nil {
+		w = &clientWindow{seen: make(map[uint64]struct{})}
+		d.clients[client] = w
+	}
+	w.add(seq)
+	d.mu.Unlock()
+}

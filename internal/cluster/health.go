@@ -1,0 +1,150 @@
+// Per-peer health tracking: a small circuit breaker in front of each graph
+// server so a dead shard fails fast instead of eating a full
+// timeout-and-retry cycle on every training step, plus the health snapshot
+// the client exposes for operators.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrPeerUnavailable wraps failures rejected by an open circuit breaker.
+var ErrPeerUnavailable = errors.New("cluster: peer unavailable (circuit open)")
+
+// breakerState is the classic three-state circuit.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota // healthy: all calls pass
+	breakerOpen                       // tripped: calls fail fast until cooldown
+	breakerHalfOpen                   // probing: one call allowed through
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("breakerState(%d)", int(s))
+}
+
+// breaker is a per-peer circuit breaker. Threshold consecutive failures trip
+// it open; after Cooldown it lets one probe through (half-open); the probe's
+// outcome closes or re-opens it. A Threshold <= 0 disables the breaker.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	state     breakerState
+	failures  int       // consecutive failures while closed
+	openedAt  time.Time // when the circuit last tripped
+	lastErr   error     // the failure that tripped it, for reporting
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether a call may proceed now. When the breaker is open and
+// the cooldown has elapsed it transitions to half-open and admits exactly
+// one probe; concurrent callers during the probe are rejected.
+func (b *breaker) allow(now time.Time) error {
+	if b == nil || b.threshold <= 0 {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		if now.Sub(b.openedAt) >= b.cooldown {
+			b.state = breakerHalfOpen
+			return nil // the probe
+		}
+		return fmt.Errorf("%w: %v", ErrPeerUnavailable, b.lastErr)
+	case breakerHalfOpen:
+		return fmt.Errorf("%w: probe in flight", ErrPeerUnavailable)
+	}
+	return nil
+}
+
+// success records a completed call, closing the circuit.
+func (b *breaker) success() {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.state = breakerClosed
+	b.failures = 0
+	b.lastErr = nil
+	b.mu.Unlock()
+}
+
+// failure records a transport-level failure; enough of them in a row trip
+// the circuit. A failed half-open probe re-opens it immediately.
+func (b *breaker) failure(now time.Time, err error) {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.lastErr = err
+	switch b.state {
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = now
+	case breakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = now
+		}
+	case breakerOpen:
+		// Already open (e.g. a call that started before the trip); keep the
+		// original openedAt so the cooldown is not extended forever under
+		// a stream of stragglers.
+	}
+}
+
+// snapshot returns the current state for health reporting.
+func (b *breaker) snapshot() (state breakerState, consecutiveFailures int, lastErr error) {
+	if b == nil || b.threshold <= 0 {
+		return breakerClosed, 0, nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.failures, b.lastErr
+}
+
+// PeerHealth is one peer's view in a Client health report.
+type PeerHealth struct {
+	Peer      int
+	Connected bool   // an RPC connection is currently established
+	Breaker   string // "closed", "open", or "half-open"
+	Failures  int    // consecutive transport failures
+	LastErr   string // failure that tripped (or is accumulating on) the breaker
+}
+
+// Health reports per-peer connection and breaker state.
+func (c *Client) Health() []PeerHealth {
+	out := make([]PeerHealth, len(c.peers))
+	for i, p := range c.peers {
+		p.mu.Lock()
+		connected := p.rc != nil
+		p.mu.Unlock()
+		st, fails, lastErr := p.br.snapshot()
+		out[i] = PeerHealth{Peer: i, Connected: connected, Breaker: st.String(), Failures: fails}
+		if lastErr != nil {
+			out[i].LastErr = lastErr.Error()
+		}
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+// In-process cluster harness: N graph servers connected through in-memory
+// pipes, with per-shard stop/restart and pluggable connection wrapping so
+// chaos tests (internal/faultinject) can disturb the links. This simulates
+// the paper's 54-storage-server deployment inside one test process.
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"platod2gl/internal/kvstore"
+	"platod2gl/internal/storage"
+)
+
+// LocalOptions configure an in-process cluster.
+type LocalOptions struct {
+	// Client tunes the fan-out client's fault tolerance.
+	Client Options
+	// WrapConn, if set, wraps each new client-side connection to shard i —
+	// the hook where faultinject.Injector.WrapConn plugs in.
+	WrapConn func(shard int, c net.Conn) net.Conn
+	// ServiceFactory builds shard i's service; called at startup and again
+	// on RestartShard. When nil, StoreFactory must be set and the service
+	// is NewService(StoreFactory(i)).
+	ServiceFactory func(i int) *Service
+	// StoreFactory builds shard i's stores when ServiceFactory is nil.
+	StoreFactory func(i int) (storage.TopologyStore, *kvstore.Store)
+}
+
+// LocalCluster is a restartable in-process cluster.
+type LocalCluster struct {
+	opts   LocalOptions
+	client *Client
+	shards []*localShard
+}
+
+// localShard hosts one in-process graph server. Stopping it severs every
+// live connection and fails future dials until restart; the server's state
+// is discarded on restart (the service factory decides what, if anything,
+// is recovered — e.g. by replaying a WAL).
+type localShard struct {
+	idx  int
+	mu   sync.Mutex
+	srv  *Server
+	svc  *Service
+	down bool
+	// conns holds both endpoints of every live pipe so StopShard can sever
+	// them (unblocking client calls with EOF, terminating server goroutines).
+	conns []net.Conn
+}
+
+func (sh *localShard) dial(wrap func(int, net.Conn) net.Conn) (net.Conn, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.down {
+		return nil, fmt.Errorf("cluster: local shard %d is down", sh.idx)
+	}
+	cliConn, srvConn := net.Pipe()
+	var cli net.Conn = cliConn
+	if wrap != nil {
+		cli = wrap(sh.idx, cliConn)
+	}
+	sh.conns = append(sh.conns, cli, srvConn)
+	go sh.srv.ServeConn(srvConn)
+	return cli, nil
+}
+
+func (sh *localShard) stop() {
+	sh.mu.Lock()
+	sh.down = true
+	conns := sh.conns
+	sh.conns = nil
+	sh.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+func (sh *localShard) restart(svc *Service) {
+	sh.mu.Lock()
+	sh.svc = svc
+	sh.srv = NewServer(svc)
+	sh.down = false
+	sh.mu.Unlock()
+}
+
+// NewLocalClusterOptions spins up n in-process graph servers and a
+// fault-tolerant client wired to them through (optionally wrapped)
+// in-memory pipes. Dead shard connections are redialed automatically, so
+// StopShard + RestartShard round-trips are transparent to the client modulo
+// the errors surfaced while the shard was down.
+func NewLocalClusterOptions(n int, opts LocalOptions) *LocalCluster {
+	if opts.ServiceFactory == nil {
+		if opts.StoreFactory == nil {
+			panic("cluster: LocalOptions needs ServiceFactory or StoreFactory")
+		}
+		sf := opts.StoreFactory
+		opts.ServiceFactory = func(i int) *Service { return NewService(sf(i)) }
+	}
+	lc := &LocalCluster{opts: opts, shards: make([]*localShard, n)}
+	dialers := make([]Dialer, n)
+	for i := 0; i < n; i++ {
+		svc := opts.ServiceFactory(i)
+		sh := &localShard{idx: i, svc: svc, srv: NewServer(svc)}
+		lc.shards[i] = sh
+		dialers[i] = func() (net.Conn, error) { return sh.dial(opts.WrapConn) }
+	}
+	lc.client = NewClientOptions(nil, dialers, opts.Client)
+	return lc
+}
+
+// Client returns the cluster's fan-out client.
+func (lc *LocalCluster) Client() *Client { return lc.client }
+
+// Service returns shard i's current service (nil while stopped).
+func (lc *LocalCluster) Service(i int) *Service {
+	sh := lc.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.down {
+		return nil
+	}
+	return sh.svc
+}
+
+// StopShard simulates a shard crash: every live connection is severed and
+// new dials fail until RestartShard.
+func (lc *LocalCluster) StopShard(i int) { lc.shards[i].stop() }
+
+// RestartShard brings shard i back with a fresh service from the factory
+// (which may recover state from a snapshot or WAL).
+func (lc *LocalCluster) RestartShard(i int) {
+	lc.shards[i].restart(lc.opts.ServiceFactory(i))
+}
+
+// Shutdown closes the client and stops every shard.
+func (lc *LocalCluster) Shutdown() {
+	lc.client.Close()
+	for _, sh := range lc.shards {
+		sh.stop()
+	}
+}
+
+// NewLocalCluster spins up n in-process graph servers connected through
+// in-memory pipes and returns a client plus a shutdown function, with
+// legacy (no-retry) client semantics. factory builds each server's
+// topology store.
+func NewLocalCluster(n int, factory func(i int) (storage.TopologyStore, *kvstore.Store)) (*Client, func()) {
+	lc := NewLocalClusterOptions(n, LocalOptions{StoreFactory: factory})
+	return lc.Client(), lc.Shutdown
+}

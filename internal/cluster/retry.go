@@ -1,0 +1,255 @@
+// Fault-tolerant call path for the cluster client: per-call timeouts on top
+// of rpc.Client.Go, exponential backoff with jitter, bounded retries for
+// idempotent calls, and automatic redial of dead peers through a pluggable
+// Dialer. The paper's deployment (54 storage servers under continuous
+// training traffic, Sec. VI) makes slow or crashed shards an expected
+// condition, not an exception: without this layer one wedged shard stalls
+// every training step forever.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/rpc"
+	"sync"
+	"time"
+)
+
+// ErrCallTimeout is returned when a single RPC attempt exceeds
+// Options.CallTimeout. The underlying connection is torn down (the reply
+// could arrive arbitrarily late and must not be mistaken for a later
+// call's), so the next attempt redials.
+var ErrCallTimeout = errors.New("cluster: rpc call timed out")
+
+// Dialer establishes a transport to one graph server. The client invokes it
+// on first use and again whenever the previous connection died, so it must
+// be safe to call repeatedly.
+type Dialer func() (net.Conn, error)
+
+// TCPDialer returns a Dialer for addr with a connect timeout.
+func TCPDialer(addr string, timeout time.Duration) Dialer {
+	return func() (net.Conn, error) {
+		if timeout <= 0 {
+			return net.Dial("tcp", addr)
+		}
+		return net.DialTimeout("tcp", addr, timeout)
+	}
+}
+
+// Options tune the client's fault-tolerance behavior. The zero value means
+// "legacy": no timeouts, no retries, no breaker, fail the whole fan-out on
+// the first shard error — exactly the pre-fault-tolerance client.
+// DefaultOptions is the production starting point.
+type Options struct {
+	// CallTimeout bounds each RPC attempt. 0 disables (not recommended:
+	// a partitioned peer then blocks forever).
+	CallTimeout time.Duration
+	// MaxRetries is the number of additional attempts after the first, for
+	// idempotent calls (SampleNeighbors, Degree, Features, Stats,
+	// SetFeatures) and for ApplyBatch, whose at-most-once batch sequence
+	// numbers make retries safe. 0 disables retries.
+	MaxRetries int
+	// RetryBaseDelay is the backoff before the first retry; each further
+	// retry doubles it up to RetryMaxDelay, with uniform jitter in
+	// [delay/2, delay) to avoid synchronized retry storms across a fan-out.
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+	// BreakerThreshold consecutive transport failures open a peer's circuit
+	// breaker; while open, calls to that peer fail fast. <= 0 disables.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects calls before
+	// letting a probe through.
+	BreakerCooldown time.Duration
+	// Degraded enables graceful degradation for sampling fan-outs: if a
+	// shard is down, SampleNeighbors fills its slots with the seed itself
+	// (the protocol's existing fallback for unknown vertices) and reports
+	// the failure in a FanoutReport instead of failing the whole batch.
+	Degraded bool
+	// Seed seeds the retry-jitter RNG and the client's dedup identity.
+	// 0 draws an unpredictable seed.
+	Seed int64
+}
+
+// DefaultOptions are sane production defaults: 2s per-attempt timeout,
+// 4 retries starting at 25ms backoff, breaker at 5 failures / 1s cooldown.
+func DefaultOptions() Options {
+	return Options{
+		CallTimeout:      2 * time.Second,
+		MaxRetries:       4,
+		RetryBaseDelay:   25 * time.Millisecond,
+		RetryMaxDelay:    time.Second,
+		BreakerThreshold: 5,
+		BreakerCooldown:  time.Second,
+	}
+}
+
+// peer is one graph server endpoint: its current RPC connection (if any),
+// the dialer that can replace it, and its circuit breaker.
+type peer struct {
+	idx  int
+	dial Dialer // nil: no redial — a dead connection stays dead (legacy mode)
+	br   *breaker
+
+	mu sync.Mutex
+	rc *rpc.Client
+}
+
+// client returns the established RPC client, dialing if necessary.
+func (p *peer) client() (*rpc.Client, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.rc != nil {
+		return p.rc, nil
+	}
+	if p.dial == nil {
+		return nil, fmt.Errorf("cluster: peer %d: connection closed and no dialer configured", p.idx)
+	}
+	conn, err := p.dial()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: redial peer %d: %w", p.idx, err)
+	}
+	p.rc = rpc.NewClient(conn)
+	return p.rc, nil
+}
+
+// fail discards rc if it is still the peer's current connection, closing it
+// so any stuck goroutines unblock. Safe to call with an already-replaced rc:
+// a concurrent call that failed on the old connection must not kill the new
+// one.
+func (p *peer) fail(rc *rpc.Client) {
+	p.mu.Lock()
+	if p.rc == rc {
+		p.rc = nil
+	}
+	p.mu.Unlock()
+	if rc != nil {
+		rc.Close()
+	}
+}
+
+// close shuts down the current connection without forgetting the dialer.
+func (p *peer) close() error {
+	p.mu.Lock()
+	rc := p.rc
+	p.rc = nil
+	p.mu.Unlock()
+	if rc != nil {
+		return rc.Close()
+	}
+	return nil
+}
+
+// callTimeout runs one RPC attempt with a deadline. On timeout the
+// connection is abandoned by the caller (via peer.fail), because a late
+// reply on a shared rpc.Client would otherwise complete a future call's
+// slot.
+func callTimeout(rc *rpc.Client, method string, args, reply any, d time.Duration) error {
+	if d <= 0 {
+		return rc.Call(method, args, reply)
+	}
+	// rpc.Client.Go writes the request synchronously before returning, so a
+	// partitioned (blackholed) connection would block it forever — the
+	// whole attempt runs in a goroutine and only the select enforces the
+	// deadline. On timeout the caller closes rc, which unblocks the stuck
+	// write and completes the abandoned call with an error.
+	done := make(chan error, 1)
+	go func() {
+		call := rc.Go(method, args, reply, make(chan *rpc.Call, 1))
+		<-call.Done
+		done <- call.Error
+	}()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return ErrCallTimeout
+	case err := <-done:
+		return err
+	}
+}
+
+// retryable reports whether err is a transport-level failure worth retrying
+// on a fresh connection. Application errors returned by the service
+// (rpc.ServerError) are deterministic — retrying them wastes a round trip —
+// except in-progress duplicate failures, which servers never return as
+// ServerError anyway.
+func retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var serverErr rpc.ServerError
+	return !errors.As(err, &serverErr)
+}
+
+// backoff returns the delay before retry attempt (1-based), exponential
+// from base capped at max, with uniform jitter in [delay/2, delay).
+func (c *Client) backoff(attempt int) time.Duration {
+	base := c.opts.RetryBaseDelay
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	d := base << (attempt - 1)
+	if maxD := c.opts.RetryMaxDelay; maxD > 0 && d > maxD {
+		d = maxD
+	}
+	c.jitterMu.Lock()
+	f := 0.5 + 0.5*c.jitter.Float64()
+	c.jitterMu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// callPeer performs one fault-tolerant RPC against peer p: breaker check,
+// (re)dial, per-attempt timeout, and bounded retries with backoff for
+// transport failures. Transport outcomes feed the breaker; application
+// errors do not (the peer is healthy, the request was bad).
+func (c *Client) callPeer(p int, method string, args, reply any) error {
+	pe := c.peers[p]
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if attempt > c.opts.MaxRetries {
+				return lastErr
+			}
+			t := time.NewTimer(c.backoff(attempt))
+			<-t.C
+		}
+		if err := pe.br.allow(time.Now()); err != nil {
+			lastErr = err
+			// An open breaker rejects without consuming a network attempt,
+			// but still honors the retry budget: the cooldown may expire
+			// between attempts, letting a later probe through.
+			continue
+		}
+		rc, err := pe.client()
+		if err != nil {
+			pe.br.failure(time.Now(), err)
+			lastErr = err
+			continue
+		}
+		err = callTimeout(rc, method, args, reply, c.opts.CallTimeout)
+		if err == nil {
+			pe.br.success()
+			return nil
+		}
+		lastErr = err
+		if !retryable(err) {
+			pe.br.success() // the transport worked; the request was rejected
+			return err
+		}
+		// Transport failure: drop the connection so the next attempt
+		// redials, and record it against the breaker.
+		pe.fail(rc)
+		pe.br.failure(time.Now(), err)
+	}
+}
+
+// newJitterRNG builds the retry-jitter RNG from Options.Seed, falling back
+// to an unpredictable seed.
+func newJitterRNG(seed int64) *rand.Rand {
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return rand.New(rand.NewSource(seed))
+}

@@ -35,6 +35,21 @@ const maxFrame = 1 << 30
 type logRecord struct {
 	Seq    uint64
 	Events []graph.Event
+	// ClientID/ClientSeq carry the cluster batch's at-most-once identity
+	// (zero for batches without one). Persisting them lets a restarted
+	// server rebuild its dedup table, so a client retry that straddles the
+	// restart is still applied at most once. Gob tolerates their absence in
+	// logs written before these fields existed.
+	ClientID  uint64
+	ClientSeq uint64
+}
+
+// BatchRecord is one replayed WAL record with its dedup identity.
+type BatchRecord struct {
+	Seq       uint64 // log sequence number
+	ClientID  uint64 // cluster client identity (0 = none)
+	ClientSeq uint64 // client batch sequence (0 = none)
+	Events    []graph.Event
 }
 
 // Writer appends event batches to a log file.
@@ -85,7 +100,7 @@ func Create(path string) (*Writer, error) {
 // scan validates the log, invoking fn (if non-nil) per complete record, and
 // returns the last sequence number plus the byte offset of the end of the
 // last complete frame.
-func scan(path string, fn func(seq uint64, events []graph.Event) error) (uint64, int64, error) {
+func scan(path string, fn func(rec BatchRecord) error) (uint64, int64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, 0, fmt.Errorf("eventlog: open %s: %w", path, err)
@@ -116,7 +131,8 @@ func scan(path string, fn func(seq uint64, events []graph.Event) error) (uint64,
 			return lastSeq, offset, nil // corrupt payload: stop here
 		}
 		if fn != nil {
-			if err := fn(rec.Seq, rec.Events); err != nil {
+			br := BatchRecord{Seq: rec.Seq, ClientID: rec.ClientID, ClientSeq: rec.ClientSeq, Events: rec.Events}
+			if err := fn(br); err != nil {
 				return lastSeq, offset, err
 			}
 		}
@@ -128,13 +144,21 @@ func scan(path string, fn func(seq uint64, events []graph.Event) error) (uint64,
 // Append writes one event batch and flushes it to the OS. Returns the
 // record's sequence number.
 func (w *Writer) Append(events []graph.Event) (uint64, error) {
+	return w.AppendBatch(0, 0, events)
+}
+
+// AppendBatch writes one event batch stamped with its cluster at-most-once
+// identity (clientID, clientSeq); zeros mean "no identity". Returns the
+// record's log sequence number.
+func (w *Writer) AppendBatch(clientID, clientSeq uint64, events []graph.Event) (uint64, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if !w.open {
 		return 0, errors.New("eventlog: writer closed")
 	}
 	var payload bytes.Buffer
-	if err := gob.NewEncoder(&payload).Encode(logRecord{Seq: w.seq + 1, Events: events}); err != nil {
+	rec := logRecord{Seq: w.seq + 1, Events: events, ClientID: clientID, ClientSeq: clientSeq}
+	if err := gob.NewEncoder(&payload).Encode(rec); err != nil {
 		return 0, fmt.Errorf("eventlog: encode: %w", err)
 	}
 	var frame bytes.Buffer
@@ -183,13 +207,63 @@ func (w *Writer) Close() error {
 // to fn, stopping early if fn errors. A torn final frame is skipped
 // silently. Returns the number of batches replayed.
 func Replay(path string, fn func(seq uint64, events []graph.Event) error) (int, error) {
+	return ReplayBatches(path, func(rec BatchRecord) error {
+		return fn(rec.Seq, rec.Events)
+	})
+}
+
+// ReplayBatches is Replay with full records, including each batch's cluster
+// at-most-once identity — what a recovering server uses to rebuild its
+// dedup table alongside its topology.
+func ReplayBatches(path string, fn func(rec BatchRecord) error) (int, error) {
 	n := 0
-	_, _, err := scan(path, func(seq uint64, events []graph.Event) error {
-		if err := fn(seq, events); err != nil {
+	_, _, err := scan(path, func(rec BatchRecord) error {
+		if err := fn(rec); err != nil {
 			return err
 		}
 		n++
 		return nil
 	})
 	return n, err
+}
+
+// Reset atomically truncates the log to an empty file (header only) and
+// resets the sequence counter. It is the snapshot-barrier primitive: after
+// a snapshot captures the store, Reset guarantees a restart will not replay
+// batches the snapshot already contains (re-applying deletes of re-added
+// edges is not idempotent). The fresh file is created beside the log and
+// renamed over it, so a crash during Reset leaves either the old complete
+// log or the new empty one — never a torn file.
+func (w *Writer) Reset() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.open {
+		return errors.New("eventlog: writer closed")
+	}
+	path := w.f.Name()
+	tmp := path + ".reset"
+	nf, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("eventlog: reset: %w", err)
+	}
+	if _, err := nf.WriteString(header); err != nil {
+		nf.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("eventlog: reset header: %w", err)
+	}
+	if err := nf.Sync(); err != nil {
+		nf.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("eventlog: reset sync: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		nf.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("eventlog: reset rename: %w", err)
+	}
+	old := w.f
+	w.f = nf
+	w.seq = 0
+	old.Close()
+	return nil
 }

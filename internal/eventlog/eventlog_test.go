@@ -202,3 +202,81 @@ func TestRecoveryRecipe(t *testing.T) {
 		}
 	}
 }
+
+func TestAppendBatchIdentityRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendBatch(42, 7, mkEvents(1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(mkEvents(2, 2)); err != nil { // no identity
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var recs []BatchRecord
+	n, err := ReplayBatches(path, func(rec BatchRecord) error {
+		recs = append(recs, rec)
+		return nil
+	})
+	if err != nil || n != 2 {
+		t.Fatalf("replayed %d, err %v", n, err)
+	}
+	if recs[0].ClientID != 42 || recs[0].ClientSeq != 7 || len(recs[0].Events) != 3 {
+		t.Fatalf("record 0 = %+v", recs[0])
+	}
+	if recs[1].ClientID != 0 || recs[1].ClientSeq != 0 {
+		t.Fatalf("record 1 carries a spurious identity: %+v", recs[1])
+	}
+}
+
+// TestResetTruncatesAtomically: after Reset the log is empty (header only),
+// the sequence restarts, and the writer keeps appending to the new file —
+// the snapshot-barrier contract that prevents double replay.
+func TestResetTruncatesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 3; i++ {
+		if _, err := w.Append(mkEvents(i, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() != int64(len(header)) {
+		t.Fatalf("post-reset size = %v (err %v), want bare header", fi.Size(), err)
+	}
+	if n, err := Replay(path, func(uint64, []graph.Event) error { return nil }); err != nil || n != 0 {
+		t.Fatalf("post-reset replay: %d batches, err %v", n, err)
+	}
+	// The writer stays usable: sequence restarts and new appends land in
+	// the fresh file.
+	seq, err := w.Append(mkEvents(9, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 1 {
+		t.Fatalf("post-reset seq = %d, want 1", seq)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	if _, err := Replay(path, func(_ uint64, events []graph.Event) error {
+		got += len(events)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("post-reset replay saw %d events, want 2", got)
+	}
+}

@@ -1,0 +1,322 @@
+// Package faultinject wraps net.Conn and net.Listener with deterministic,
+// seedable fault injection: added latency, message drops, connection resets,
+// and one-sided partitions. It exists so the cluster fault-tolerance layer
+// (internal/cluster: timeouts, retries, redial, circuit breakers) can be
+// exercised by ordinary `go test` runs instead of requiring a real flaky
+// network — the same role tc/netem or a proxy like toxiproxy plays for
+// process-level chaos testing.
+//
+// Faults are decided by a single seeded RNG shared across all connections an
+// Injector has wrapped, so a fixed seed yields a reproducible fault sequence
+// for a fixed operation order. Configuration can be swapped at runtime
+// (SetConfig, Partition) to script scenarios: run clean, partition one shard,
+// heal it, raise the drop rate, and so on.
+package faultinject
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjectedReset is returned by operations on a connection the injector
+// has reset. It satisfies net.Error (non-temporary, non-timeout) so callers
+// treat it like a peer-closed connection.
+var ErrInjectedReset = &injectedError{msg: "faultinject: connection reset"}
+
+// ErrInjectedDrop is the terminal error of a connection whose write was
+// dropped: the bytes vanished, and rather than desync the stream the
+// connection is broken, the way a TCP connection dies when retransmission
+// gives up.
+var ErrInjectedDrop = &injectedError{msg: "faultinject: message dropped, connection broken"}
+
+type injectedError struct{ msg string }
+
+func (e *injectedError) Error() string   { return e.msg }
+func (e *injectedError) Timeout() bool   { return false }
+func (e *injectedError) Temporary() bool { return false }
+
+var _ net.Error = (*injectedError)(nil)
+
+// Config holds the fault probabilities and delays applied to wrapped
+// connections. The zero value injects nothing.
+type Config struct {
+	// Latency is added before every Write, plus a uniform random extra in
+	// [0, LatencyJitter).
+	Latency       time.Duration
+	LatencyJitter time.Duration
+	// DropProb is the per-Write probability that the payload is silently
+	// swallowed. A dropped write breaks the connection (both directions):
+	// a stream protocol cannot survive missing bytes, so the conn behaves
+	// like a TCP session that lost a segment and timed out — subsequent
+	// operations fail with ErrInjectedDrop and the peer side unblocks with
+	// an error. Retry-with-redial layers recover; naive callers hang or
+	// fail, which is the point.
+	DropProb float64
+	// ResetProb is the per-operation (Read and Write) probability that the
+	// connection is reset immediately: the operation fails with
+	// ErrInjectedReset and the conn is closed.
+	ResetProb float64
+	// PartitionIn blackholes the inbound direction: Reads block (until the
+	// partition lifts or the conn closes) instead of delivering data.
+	// PartitionOut blackholes outbound Writes the same way. Blocking — not
+	// erroring — is deliberate: a partition looks like silence, and only a
+	// deadline or per-call timeout can detect it.
+	PartitionIn  bool
+	PartitionOut bool
+}
+
+// Injector produces fault-injecting wrappers that share one seeded RNG and
+// one mutable Config.
+type Injector struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	cfg     Config
+	healed  chan struct{} // closed + replaced whenever cfg changes, to wake partition waiters
+	conns   map[*Conn]struct{}
+	nDrops  int
+	nResets int
+}
+
+// New returns an Injector with the given seed and initial config.
+func New(seed int64, cfg Config) *Injector {
+	return &Injector{
+		rng:    rand.New(rand.NewSource(seed)),
+		cfg:    cfg,
+		healed: make(chan struct{}),
+		conns:  make(map[*Conn]struct{}),
+	}
+}
+
+// SetConfig replaces the fault configuration and wakes any partition-blocked
+// operations so they re-evaluate.
+func (in *Injector) SetConfig(cfg Config) {
+	in.mu.Lock()
+	in.cfg = cfg
+	close(in.healed)
+	in.healed = make(chan struct{})
+	in.mu.Unlock()
+}
+
+// Config returns the current configuration.
+func (in *Injector) Config() Config {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.cfg
+}
+
+// Partition toggles the two blackhole directions, keeping other faults.
+func (in *Injector) Partition(inbound, outbound bool) {
+	in.mu.Lock()
+	in.cfg.PartitionIn = inbound
+	in.cfg.PartitionOut = outbound
+	close(in.healed)
+	in.healed = make(chan struct{})
+	in.mu.Unlock()
+}
+
+// Stats reports how many drops and resets have been injected so far.
+func (in *Injector) Stats() (drops, resets int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.nDrops, in.nResets
+}
+
+// CloseAll force-closes every live wrapped connection (a crash of the whole
+// link layer). New connections wrapped afterwards work normally.
+func (in *Injector) CloseAll() {
+	in.mu.Lock()
+	conns := make([]*Conn, 0, len(in.conns))
+	for c := range in.conns {
+		conns = append(conns, c)
+	}
+	in.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+func (in *Injector) forget(c *Conn) {
+	in.mu.Lock()
+	delete(in.conns, c)
+	in.mu.Unlock()
+}
+
+// writeFaults samples the per-Write faults under the injector lock so the
+// fault sequence is a pure function of (seed, operation order). A drop
+// preempts a reset: at most one fault fires per write.
+func (in *Injector) writeFaults() (latency time.Duration, drop, reset bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	cfg := in.cfg
+	latency = cfg.Latency
+	if cfg.LatencyJitter > 0 {
+		latency += time.Duration(in.rng.Int63n(int64(cfg.LatencyJitter)))
+	}
+	if cfg.DropProb > 0 && in.rng.Float64() < cfg.DropProb {
+		in.nDrops++
+		return latency, true, false
+	}
+	if cfg.ResetProb > 0 && in.rng.Float64() < cfg.ResetProb {
+		in.nResets++
+		return latency, false, true
+	}
+	return latency, false, false
+}
+
+func (in *Injector) readFaults() (reset bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.cfg.ResetProb > 0 && in.rng.Float64() < in.cfg.ResetProb {
+		in.nResets++
+		return true
+	}
+	return false
+}
+
+// partitionState reports whether the given direction is blackholed, along
+// with the channel that will be closed on the next config change.
+func (in *Injector) partitionState(isWrite bool) (blocked bool, healed chan struct{}) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if isWrite {
+		return in.cfg.PartitionOut, in.healed
+	}
+	return in.cfg.PartitionIn, in.healed
+}
+
+// Conn is a net.Conn with injected faults. Both directions of the wrapped
+// conn pass through it, so wrapping one endpoint is enough to disturb a
+// whole request/response exchange.
+type Conn struct {
+	net.Conn
+	in        *Injector
+	closeOnce sync.Once
+	closed    chan struct{}
+	brokenMu  sync.Mutex
+	broken    error
+}
+
+// WrapConn wraps c with fault injection driven by the injector.
+func (in *Injector) WrapConn(c net.Conn) *Conn {
+	fc := &Conn{Conn: c, in: in, closed: make(chan struct{})}
+	in.mu.Lock()
+	in.conns[fc] = struct{}{}
+	in.mu.Unlock()
+	return fc
+}
+
+// breakConn marks the connection permanently failed and closes the
+// underlying conn so the peer unblocks.
+func (c *Conn) breakConn(err error) {
+	c.brokenMu.Lock()
+	if c.broken == nil {
+		c.broken = err
+	}
+	c.brokenMu.Unlock()
+	c.Close()
+}
+
+func (c *Conn) brokenErr() error {
+	c.brokenMu.Lock()
+	defer c.brokenMu.Unlock()
+	return c.broken
+}
+
+// waitPartition blocks while the direction is blackholed, returning an error
+// only if the connection closed while blocked.
+func (c *Conn) waitPartition(isWrite bool) error {
+	for {
+		blocked, healed := c.in.partitionState(isWrite)
+		if !blocked {
+			return nil
+		}
+		select {
+		case <-c.closed:
+			return net.ErrClosed
+		case <-healed:
+		}
+	}
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	if err := c.brokenErr(); err != nil {
+		return 0, err
+	}
+	if err := c.waitPartition(false); err != nil {
+		return 0, err
+	}
+	if c.in.readFaults() {
+		c.breakConn(ErrInjectedReset)
+		return 0, ErrInjectedReset
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	if err := c.brokenErr(); err != nil {
+		return 0, err
+	}
+	if err := c.waitPartition(true); err != nil {
+		return 0, err
+	}
+	latency, drop, reset := c.in.writeFaults()
+	if latency > 0 {
+		t := time.NewTimer(latency)
+		select {
+		case <-c.closed:
+			t.Stop()
+			return 0, net.ErrClosed
+		case <-t.C:
+		}
+	}
+	if drop {
+		c.breakConn(ErrInjectedDrop)
+		// The caller believes the write succeeded; the bytes are gone.
+		return len(p), nil
+	}
+	if reset {
+		c.breakConn(ErrInjectedReset)
+		return 0, ErrInjectedReset
+	}
+	return c.Conn.Write(p)
+}
+
+// Close closes the underlying connection once and unblocks partition waits.
+func (c *Conn) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		c.in.forget(c)
+		err = c.Conn.Close()
+	})
+	return err
+}
+
+// Listener wraps accepted connections with fault injection.
+type Listener struct {
+	net.Listener
+	in *Injector
+}
+
+// WrapListener returns a listener whose accepted conns are fault-injected.
+func (in *Injector) WrapListener(l net.Listener) *Listener {
+	return &Listener{Listener: l, in: in}
+}
+
+// Accept accepts and wraps the next connection.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.in.WrapConn(c), nil
+}
+
+// Pipe returns an in-memory connection pair whose client endpoint is fault
+// injected — the standard wiring for chaos-testing an in-process cluster.
+func (in *Injector) Pipe() (client net.Conn, server net.Conn) {
+	c, s := net.Pipe()
+	return in.WrapConn(c), s
+}

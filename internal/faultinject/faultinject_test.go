@@ -1,0 +1,233 @@
+package faultinject
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoPipe returns a wrapped client conn whose peer echoes everything back.
+func echoPipe(t *testing.T, in *Injector) net.Conn {
+	t.Helper()
+	cli, srv := in.Pipe()
+	go func() {
+		buf := make([]byte, 1024)
+		for {
+			n, err := srv.Read(buf)
+			if err != nil {
+				return
+			}
+			if _, err := srv.Write(buf[:n]); err != nil {
+				return
+			}
+		}
+	}()
+	t.Cleanup(func() { cli.Close(); srv.Close() })
+	return cli
+}
+
+func roundTrip(c net.Conn, payload []byte) error {
+	if _, err := c.Write(payload); err != nil {
+		return err
+	}
+	buf := make([]byte, len(payload))
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	_, err := c.Read(buf)
+	return err
+}
+
+func TestCleanConnPassesTraffic(t *testing.T) {
+	in := New(1, Config{})
+	c := echoPipe(t, in)
+	for i := 0; i < 50; i++ {
+		if err := roundTrip(c, []byte("hello")); err != nil {
+			t.Fatalf("round trip %d: %v", i, err)
+		}
+	}
+	if d, r := in.Stats(); d != 0 || r != 0 {
+		t.Fatalf("injected %d drops, %d resets on a clean config", d, r)
+	}
+}
+
+func TestDropBreaksConnection(t *testing.T) {
+	in := New(7, Config{DropProb: 1})
+	c := echoPipe(t, in)
+	n, err := c.Write([]byte("doomed"))
+	if err != nil || n != len("doomed") {
+		t.Fatalf("dropped write should look successful, got n=%d err=%v", n, err)
+	}
+	// The connection is now broken: further ops fail with the drop error.
+	if _, err := c.Write([]byte("x")); !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("post-drop write err = %v, want ErrInjectedDrop", err)
+	}
+	if _, err := c.Read(make([]byte, 1)); !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("post-drop read err = %v, want ErrInjectedDrop", err)
+	}
+	if d, _ := in.Stats(); d != 1 {
+		t.Fatalf("drops = %d, want 1", d)
+	}
+}
+
+func TestResetFailsOperation(t *testing.T) {
+	in := New(3, Config{ResetProb: 1})
+	c := echoPipe(t, in)
+	if _, err := c.Write([]byte("x")); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("write err = %v, want ErrInjectedReset", err)
+	}
+	if _, r := in.Stats(); r != 1 {
+		t.Fatalf("resets = %d, want 1", r)
+	}
+}
+
+func TestLatencyDelaysWrites(t *testing.T) {
+	const lat = 30 * time.Millisecond
+	in := New(5, Config{Latency: lat})
+	c := echoPipe(t, in)
+	start := time.Now()
+	if err := roundTrip(c, []byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	if got := time.Since(start); got < lat {
+		t.Fatalf("round trip took %v, want >= %v", got, lat)
+	}
+}
+
+func TestPartitionBlocksUntilHealed(t *testing.T) {
+	in := New(9, Config{PartitionOut: true})
+	c := echoPipe(t, in)
+	done := make(chan error, 1)
+	go func() { done <- roundTrip(c, []byte("stuck")) }()
+	select {
+	case err := <-done:
+		t.Fatalf("write completed through a partition: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	in.Partition(false, false) // heal
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("after heal: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("write still blocked after partition healed")
+	}
+}
+
+func TestPartitionOneSided(t *testing.T) {
+	// Outbound-only partition: the inbound direction still works, which is
+	// what makes one-sided partitions nastier than clean disconnects.
+	in := New(11, Config{})
+	cli, srv := in.Pipe()
+	defer cli.Close()
+	defer srv.Close()
+	in.Partition(true, false) // inbound blackholed, outbound open
+	go func() {
+		buf := make([]byte, 8)
+		srv.Read(buf)
+		srv.Write([]byte("reply"))
+	}()
+	if _, err := cli.Write([]byte("ping")); err != nil {
+		t.Fatalf("outbound write through in-only partition: %v", err)
+	}
+	got := make(chan struct{})
+	go func() {
+		cli.Read(make([]byte, 8))
+		close(got)
+	}()
+	select {
+	case <-got:
+		t.Fatal("read returned through an inbound partition")
+	case <-time.After(50 * time.Millisecond):
+	}
+	in.Partition(false, false)
+	select {
+	case <-got:
+	case <-time.After(2 * time.Second):
+		t.Fatal("read still blocked after heal")
+	}
+}
+
+func TestDeterministicFaultSequence(t *testing.T) {
+	// Same seed + same single-goroutine op sequence = same fault pattern.
+	run := func(seed int64) []bool {
+		in := New(seed, Config{DropProb: 0.3})
+		var drops []bool
+		for i := 0; i < 64; i++ {
+			cli, srv := in.Pipe()
+			go func() { // drain until the conn dies so writes never block
+				buf := make([]byte, 16)
+				for {
+					if _, err := srv.Read(buf); err != nil {
+						return
+					}
+				}
+			}()
+			_, werr := cli.Write([]byte("probe"))
+			_ = werr
+			_, err := cli.Write([]byte("check"))
+			drops = append(drops, err != nil)
+			cli.Close()
+			srv.Close()
+		}
+		return drops
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault sequence diverged at op %d", i)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+func TestCloseAll(t *testing.T) {
+	in := New(1, Config{})
+	c1 := echoPipe(t, in)
+	c2 := echoPipe(t, in)
+	in.CloseAll()
+	if _, err := c1.Write([]byte("x")); err == nil {
+		t.Fatal("write succeeded on a force-closed conn")
+	}
+	if _, err := c2.Write([]byte("x")); err == nil {
+		t.Fatal("write succeeded on a force-closed conn")
+	}
+}
+
+func TestWrapListener(t *testing.T) {
+	in := New(1, Config{ResetProb: 1})
+	base, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis := in.WrapListener(base)
+	defer lis.Close()
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		// Server-side conn is fault injected: this write resets.
+		conn.Write([]byte("hello"))
+		conn.Close()
+	}()
+	cli, err := net.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	cli.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := cli.Read(make([]byte, 8)); err == nil {
+		t.Fatal("expected reset server write to kill the connection")
+	}
+}
