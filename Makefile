@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race tier1 bench
+.PHONY: build test vet race chaos tier1 bench
 
 build:
 	$(GO) build ./...
@@ -12,9 +12,15 @@ vet:
 	$(GO) vet ./...
 
 # Race leg of the tier-1 loop: the concurrent retry/redial/breaker paths in
-# the cluster client and the storage engine the chaos tests hammer.
+# the cluster client, the storage engine the chaos tests hammer, the WAL the
+# replica catch-up tails, and the fault-injection transport.
 race: vet
-	$(GO) test -race ./internal/cluster/... ./internal/storage/...
+	$(GO) test -race ./internal/cluster/... ./internal/storage/... ./internal/eventlog/... ./internal/faultinject/...
+
+# Replication chaos drill: replica kill + failover + WAL-shipped rejoin,
+# twice, under the race detector.
+chaos: build
+	$(GO) test -race -count=2 -run 'TestChaosReplicaFailoverAndCatchUp' ./internal/cluster/
 
 tier1: test race
 

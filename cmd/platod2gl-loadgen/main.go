@@ -6,6 +6,12 @@
 //
 //	platod2gl-loadgen -dataset wechat -edges 100000                  # dry run, print stats
 //	platod2gl-loadgen -dataset ogbn -edges 100000 -servers :7090,:7091
+//	platod2gl-loadgen -edges 100000 -servers :7090,:7091,:7092,:7093 -replicas 2
+//
+// With -replicas R, consecutive runs of R addresses form one replica group:
+// writes fan out to every replica of the owning shard and reads fail over
+// across them (see internal/cluster/replica.go). The final summary includes
+// the client's retry / breaker / failover counters.
 package main
 
 import (
@@ -37,15 +43,16 @@ func specByName(name string) (*dataset.Spec, error) {
 
 func main() {
 	var (
-		ds      = flag.String("dataset", "wechat", "dataset: ogbn, reddit, wechat")
-		edges   = flag.Int64("edges", 100_000, "logical edges to generate")
-		batch   = flag.Int("batch", 8192, "events per batch")
-		seed    = flag.Int64("seed", 1, "generator seed")
-		mixName = flag.String("mix", "build", "event mix: build (inserts only) or dynamic")
-		servers = flag.String("servers", "", "comma-separated server addresses; empty = dry run")
-		degrees = flag.Bool("degrees", false, "print the generated out-degree distribution")
-		timeout = flag.Duration("call-timeout", 5*time.Second, "per-RPC-attempt timeout (0 = none)")
-		retries = flag.Int("retries", 4, "retry attempts per failed call (batches are at-most-once)")
+		ds       = flag.String("dataset", "wechat", "dataset: ogbn, reddit, wechat")
+		edges    = flag.Int64("edges", 100_000, "logical edges to generate")
+		batch    = flag.Int("batch", 8192, "events per batch")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		mixName  = flag.String("mix", "build", "event mix: build (inserts only) or dynamic")
+		servers  = flag.String("servers", "", "comma-separated server addresses; empty = dry run")
+		degrees  = flag.Bool("degrees", false, "print the generated out-degree distribution")
+		timeout  = flag.Duration("call-timeout", 5*time.Second, "per-RPC-attempt timeout (0 = none)")
+		retries  = flag.Int("retries", 4, "retry attempts per failed call (batches are at-most-once)")
+		replicas = flag.Int("replicas", 1, "replica-group size R; servers are grouped in consecutive runs of R")
 	)
 	flag.Parse()
 
@@ -62,6 +69,7 @@ func main() {
 	gen := dataset.NewGenerator(spec, mix, *seed)
 
 	var client *cluster.Client
+	metrics := &cluster.Metrics{}
 	if *servers != "" {
 		var addrs []string
 		for _, addr := range strings.Split(*servers, ",") {
@@ -70,6 +78,8 @@ func main() {
 		opts := cluster.DefaultOptions()
 		opts.CallTimeout = *timeout
 		opts.MaxRetries = *retries
+		opts.Replicas = *replicas
+		opts.Metrics = metrics
 		var err error
 		client, err = cluster.Dial(addrs, opts)
 		if err != nil {
@@ -119,7 +129,9 @@ func main() {
 		if err != nil {
 			log.Fatalf("stats: %v", err)
 		}
-		fmt.Printf("cluster: %d edges, %.2f MB across %d servers\n",
-			st.NumEdges, float64(st.MemoryBytes)/(1<<20), client.NumServers())
+		fmt.Printf("cluster: %d edges, %.2f MB across %d servers (%d shards x %d replicas)\n",
+			st.NumEdges, float64(st.MemoryBytes)/(1<<20), client.NumServers(),
+			client.NumShards(), client.NumReplicas())
+		fmt.Printf("rpc: %s\n", metrics.Snapshot())
 	}
 }

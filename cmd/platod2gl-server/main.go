@@ -12,6 +12,15 @@
 // replays batches the snapshot already contains; -wal appends every applied
 // batch with its at-most-once identity, and -wal-sync picks the fsync
 // policy (always, interval, never).
+//
+// Replication (see internal/cluster/replica.go): run R identical servers
+// per logical shard and point clients at all of them with -replicas R on
+// the loadgen side. A server rejoining its group after a crash or
+// replacement starts with -catchup-from <live-replica-addr>: local
+// snapshot/WAL state is discarded (the group may have deleted edges this
+// replica still holds), the store is rebuilt from the peer's snapshot plus
+// its WAL tail while reads fail over elsewhere, and once converged a fresh
+// local snapshot is written so durability matches the synced state.
 package main
 
 import (
@@ -33,6 +42,24 @@ import (
 	"platod2gl/internal/storage"
 )
 
+// saveSnapshot writes the store to path atomically (tmp file + rename). The
+// caller quiesces the service first so the bytes describe one batch boundary.
+func saveSnapshot(store *storage.DynamicStore, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := store.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
 func main() {
 	var (
 		addr     = flag.String("addr", ":7090", "listen address")
@@ -45,6 +72,8 @@ func main() {
 		walPath  = flag.String("wal", "", "write-ahead log: replayed at startup, appended per batch")
 		walSync  = flag.String("wal-sync", "always", "WAL fsync policy: always (fsync per batch), interval (background fsync), never (OS decides)")
 		walEvery = flag.Duration("wal-sync-interval", 200*time.Millisecond, "fsync period for -wal-sync=interval")
+		catchup  = flag.String("catchup-from", "", "live replica address to rebuild from at boot; local snapshot/WAL are discarded first")
+		catchupT = flag.Duration("catchup-call-timeout", 30*time.Second, "per-RPC timeout for catch-up snapshot/WAL-tail calls")
 	)
 	flag.Parse()
 	switch *walSync {
@@ -61,6 +90,17 @@ func main() {
 		},
 		Workers: *workers,
 	})
+	if *catchup != "" {
+		// A rejoining replica rebuilds from its live sibling, not from its
+		// own stale history: the group may have deleted edges this replica
+		// still holds, and Load/replay merge rather than replace.
+		if *snapshot != "" {
+			os.Remove(*snapshot)
+		}
+		if *walPath != "" {
+			os.Remove(*walPath)
+		}
+	}
 	if *snapshot != "" {
 		if f, err := os.Open(*snapshot); err == nil {
 			if err := store.Load(f); err != nil {
@@ -73,6 +113,8 @@ func main() {
 		}
 	}
 	svc := cluster.NewService(store, kvstore.New())
+	cm := &cluster.Metrics{}
+	svc.SetMetrics(cm)
 	var wal *eventlog.Writer
 	if *walPath != "" {
 		// Recovery: the snapshot (if any) restored a prefix and truncated
@@ -121,8 +163,42 @@ func main() {
 				}
 			}()
 		}
+		// With a WAL this server can seed a rejoining replica: FetchSnapshot
+		// and FetchWALTail become serveable.
+		svc.EnableSync(wal)
 	}
 	srv := cluster.NewServer(svc)
+
+	if *catchup != "" {
+		// Hold writes (rejected, then parked near convergence) and reads
+		// (fail over to live replicas) until the store matches the group.
+		svc.BeginCatchUp()
+		peerAddr := *catchup
+		go func() {
+			dial := func() (net.Conn, error) { return net.DialTimeout("tcp", peerAddr, 10*time.Second) }
+			start := time.Now()
+			if err := cluster.SyncFromPeer(svc, dial, cluster.SyncOptions{CallTimeout: *catchupT, Metrics: cm}); err != nil {
+				log.Fatalf("catch-up from %s: %v", peerAddr, err)
+			}
+			log.Printf("caught up from %s in %v: %d edges", peerAddr, time.Since(start).Round(time.Millisecond), store.NumEdges())
+			if *snapshot != "" {
+				// The peer's snapshot never touched our disk and the local WAL
+				// holds only the tail, so persist the full synced state and
+				// truncate the WAL to match — otherwise a crash now would
+				// recover just the tail.
+				resume := svc.Pause()
+				err := saveSnapshot(store, *snapshot)
+				if err == nil && wal != nil {
+					err = wal.Reset()
+				}
+				resume()
+				if err != nil {
+					log.Fatalf("post-catch-up snapshot %s: %v", *snapshot, err)
+				}
+				log.Printf("saved post-catch-up snapshot %s: %d edges", *snapshot, store.NumEdges())
+			}
+		}()
+	}
 
 	if *snapshot != "" {
 		sigs := make(chan os.Signal, 1)
@@ -132,19 +208,8 @@ func main() {
 			// Quiesce: drain in-flight batches and block new ones so the
 			// snapshot and the truncated WAL describe the same state.
 			svc.Pause()
-			tmp := *snapshot + ".tmp"
-			f, err := os.Create(tmp)
-			if err != nil {
-				log.Fatalf("create snapshot %s: %v", tmp, err)
-			}
-			if err := store.Save(f); err != nil {
-				log.Fatalf("save snapshot: %v", err)
-			}
-			if err := f.Close(); err != nil {
-				log.Fatalf("close snapshot: %v", err)
-			}
-			if err := os.Rename(tmp, *snapshot); err != nil {
-				log.Fatalf("rename snapshot: %v", err)
+			if err := saveSnapshot(store, *snapshot); err != nil {
+				log.Fatalf("save snapshot %s: %v", *snapshot, err)
 			}
 			log.Printf("saved snapshot %s: %d edges", *snapshot, store.NumEdges())
 			if wal != nil {
@@ -163,6 +228,8 @@ func main() {
 	if *metrics != "" {
 		expvar.Publish("platod2gl_edges", expvar.Func(func() any { return store.NumEdges() }))
 		expvar.Publish("platod2gl_memory_bytes", expvar.Func(func() any { return store.MemoryBytes() }))
+		expvar.Publish("platod2gl_cluster", cm.Expvar())
+		expvar.Publish("platod2gl_sync_ready", expvar.Func(func() any { return svc.Ready() }))
 		go func() {
 			if err := http.ListenAndServe(*metrics, nil); err != nil {
 				log.Printf("metrics server: %v", err)

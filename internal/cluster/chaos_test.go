@@ -224,7 +224,7 @@ func TestChaosDegradedSampling(t *testing.T) {
 	}
 	deadSeeds, liveSeeds := 0, 0
 	for i, seed := range seeds {
-		owner := client.serverFor(seed)
+		owner := client.shardFor(seed)
 		for j := 0; j < fanout; j++ {
 			got := out[i*fanout+j]
 			if owner == deadShard {

@@ -17,6 +17,14 @@
 // carry client-assigned sequence numbers deduplicated server-side (see
 // dedup.go), so retries never double-apply deletes. The server side
 // survives accept-loop hiccups and recovers handler panics into RPC errors.
+//
+// Shards can be replicated (see replica.go, sync.go): with Options.Replicas
+// = R each logical shard maps to a group of R peers. Writes fan out to the
+// whole group and converge through the at-most-once identity; reads
+// load-balance across live replicas and fail over on timeout, circuit-open,
+// or a replica still catching up. A rejoining replica converges by pulling
+// a live peer's snapshot plus WAL tail (SyncFromPeer) before re-entering
+// the read rotation.
 package cluster
 
 import (
@@ -29,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"platod2gl/internal/eventlog"
 	"platod2gl/internal/graph"
 	"platod2gl/internal/kvstore"
 	"platod2gl/internal/storage"
@@ -123,12 +132,31 @@ type Service struct {
 	attrs   *kvstore.Store
 	onBatch BatchHook
 	dedup   *batchDedup
+	metrics *Metrics     // catch-up/snapshot counters; may be nil
 	pauseMu sync.RWMutex // held for writing while the server drains for shutdown
+
+	// Replica sync state (see sync.go). ready gates reads: a replica that is
+	// still catching up rejects them so the client fails over to a converged
+	// sibling. syncEpoch changes on every completed catch-up, letting clients
+	// distinguish "re-synced since my write was missed" from "still the
+	// replica that missed it". syncWAL, set via EnableSync, is the local WAL
+	// this server streams to catching-up siblings.
+	ready     atomic.Bool
+	syncBlock atomic.Bool // writes park on readyCh instead of being rejected
+	syncMu    sync.Mutex  // guards readyCh and the ready/epoch transitions
+	readyCh   chan struct{}
+	syncEpoch atomic.Uint64
+	syncWAL   *eventlog.Writer
 }
 
-// NewService wraps a topology store and an attribute store.
+// NewService wraps a topology store and an attribute store. The service
+// starts ready (serving reads); replicated deployments that must catch up
+// first call BeginCatchUp before exposing it.
 func NewService(store storage.TopologyStore, attrs *kvstore.Store) *Service {
-	return &Service{store: store, attrs: attrs, dedup: newBatchDedup()}
+	s := &Service{store: store, attrs: attrs, dedup: newBatchDedup()}
+	s.ready.Store(true)
+	s.syncEpoch.Store(nextSyncEpoch())
+	return s
 }
 
 // SetBatchHook installs a durability hook invoked before every applied
@@ -162,6 +190,18 @@ func guard(method string, err *error) {
 // durability hook first. Duplicate (ClientID, Seq) pairs are skipped and
 // reported as success.
 func (s *Service) ApplyBatch(args *BatchArgs, reply *BatchReply) (err error) {
+	// Gate before pauseMu: a write parked on the catch-up gate must not hold
+	// the read lock, or the catch-up's own Pause() would deadlock against it.
+	if err := s.gateWrite(); err != nil {
+		return err
+	}
+	return s.applyBatch(args, reply)
+}
+
+// applyBatch is ApplyBatch without the catch-up gate — the entry point for
+// WAL-tail records during catch-up, which must apply while the gate holds
+// direct writes back.
+func (s *Service) applyBatch(args *BatchArgs, reply *BatchReply) (err error) {
 	s.pauseMu.RLock()
 	defer s.pauseMu.RUnlock()
 	var finish func(error)
@@ -197,6 +237,9 @@ func (s *Service) ApplyBatch(args *BatchArgs, reply *BatchReply) (err error) {
 // SampleNeighbors draws weighted neighbor samples for each seed.
 func (s *Service) SampleNeighbors(args *SampleArgs, reply *SampleReply) (err error) {
 	defer guard("SampleNeighbors", &err)
+	if !s.ready.Load() {
+		return ErrReplicaNotReady
+	}
 	if args.Fanout < 0 {
 		return fmt.Errorf("cluster: negative fanout %d", args.Fanout)
 	}
@@ -208,6 +251,9 @@ func (s *Service) SampleNeighbors(args *SampleArgs, reply *SampleReply) (err err
 // Degree returns out-degrees.
 func (s *Service) Degree(args *DegreeArgs, reply *DegreeReply) (err error) {
 	defer guard("Degree", &err)
+	if !s.ready.Load() {
+		return ErrReplicaNotReady
+	}
 	reply.Degrees = make([]int, len(args.Nodes))
 	for i, n := range args.Nodes {
 		reply.Degrees[i] = s.store.Degree(n, args.Type)
@@ -218,6 +264,9 @@ func (s *Service) Degree(args *DegreeArgs, reply *DegreeReply) (err error) {
 // Features gathers feature rows.
 func (s *Service) Features(args *FeatureArgs, reply *FeatureReply) (err error) {
 	defer guard("Features", &err)
+	if !s.ready.Load() {
+		return ErrReplicaNotReady
+	}
 	if s.attrs == nil {
 		return fmt.Errorf("cluster: server has no attribute store")
 	}
@@ -228,6 +277,9 @@ func (s *Service) Features(args *FeatureArgs, reply *FeatureReply) (err error) {
 // SetFeatures stores feature rows (and optional labels) on this server.
 func (s *Service) SetFeatures(args *SetFeaturesArgs, _ *SetFeaturesReply) (err error) {
 	defer guard("SetFeatures", &err)
+	if err := s.gateWrite(); err != nil {
+		return err
+	}
 	if s.attrs == nil {
 		return fmt.Errorf("cluster: server has no attribute store")
 	}
@@ -254,6 +306,9 @@ func (s *Service) SetFeatures(args *SetFeaturesArgs, _ *SetFeaturesReply) (err e
 // per-relation stats (DynamicStore does).
 func (s *Service) Stats(_ *StatsArgs, reply *StatsReply) (err error) {
 	defer guard("Stats", &err)
+	if !s.ready.Load() {
+		return ErrReplicaNotReady
+	}
 	reply.NumEdges = s.store.NumEdges()
 	reply.MemoryBytes = s.store.MemoryBytes()
 	if rs, ok := s.store.(interface{ AllStats() []storage.RelationStats }); ok {
@@ -337,12 +392,24 @@ func (r *FanoutReport) Err() error {
 }
 
 // Client is the fan-out client over a set of graph servers. Sources are
-// partitioned hash-by-source: server(src) = h(src) mod N.
+// partitioned hash-by-source across logical shards: shard(src) = h(src) mod
+// NumShards. With Options.Replicas = R, each shard is served by a replica
+// group of R peers (consecutive in the peer list): writes fan out to every
+// replica, reads load-balance across them with automatic failover.
 type Client struct {
-	peers    []*peer
+	peers    []*peer // grouped: shard s owns peers[s*replicas:(s+1)*replicas]
+	shards   int
+	replicas int
 	opts     Options
+	metrics  *Metrics
 	clientID uint64
 	seq      atomic.Uint64
+	// rr holds one read-rotation counter per logical shard. Per-shard (not
+	// global) counters matter: a fan-out touching every shard advances a
+	// global counter by exactly NumShards, so with stable goroutine
+	// scheduling each shard would see a constant rotation phase — starving
+	// some replicas of reads (and stale replicas of re-sync probes) forever.
+	rr []atomic.Uint64
 
 	jitterMu sync.Mutex
 	jitter   *rand.Rand
@@ -367,7 +434,9 @@ func NewClient(peers []*rpc.Client) *Client {
 // NewClientOptions builds a fault-tolerant client from established
 // connections plus optional per-peer dialers for reconnection. conns[i] may
 // be nil when dialers[i] can establish the connection lazily; dialers may be
-// nil (no redial) or hold nil entries.
+// nil (no redial) or hold nil entries. With Options.Replicas = R > 1 the
+// peer list must be grouped consecutively by shard — shard s's replicas at
+// indices [s*R, (s+1)*R) — and its length must be a multiple of R.
 func NewClientOptions(conns []*rpc.Client, dialers []Dialer, opts Options) *Client {
 	n := len(conns)
 	if n == 0 {
@@ -376,12 +445,23 @@ func NewClientOptions(conns []*rpc.Client, dialers []Dialer, opts Options) *Clie
 	if n == 0 {
 		panic("cluster: client needs at least one peer")
 	}
+	r := opts.Replicas
+	if r <= 0 {
+		r = 1
+	}
+	if n%r != 0 {
+		panic(fmt.Sprintf("cluster: %d peers not divisible into replica groups of %d", n, r))
+	}
 	jitter := newJitterRNG(opts.Seed)
-	c := &Client{opts: opts, jitter: jitter}
+	c := &Client{opts: opts, metrics: opts.Metrics, jitter: jitter, shards: n / r, replicas: r}
 	c.clientID = newClientID(jitter)
+	c.rr = make([]atomic.Uint64, c.shards)
 	c.peers = make([]*peer, n)
 	for i := range c.peers {
-		p := &peer{idx: i, br: newBreaker(opts.BreakerThreshold, opts.BreakerCooldown)}
+		p := &peer{
+			idx: i, shard: i / r, replica: i % r,
+			br: newBreaker(opts.BreakerThreshold, opts.BreakerCooldown, c.metrics),
+		}
 		if i < len(conns) {
 			p.rc = conns[i]
 		}
@@ -394,10 +474,30 @@ func NewClientOptions(conns []*rpc.Client, dialers []Dialer, opts Options) *Clie
 }
 
 // Dial connects to a cluster of graph servers over TCP with fault-tolerant
-// options; dead peers are redialed automatically.
+// options; dead peers are redialed automatically. With Options.Replicas = R
+// the address list is grouped consecutively by shard: addrs[s*R:(s+1)*R]
+// are shard s's replicas. A replicated cluster is expected to be dialable
+// with some replicas down, so with R > 1 an unreachable peer is tolerated —
+// it reconnects lazily on first use — as long as every replica group has at
+// least one live member; with R = 1 every server must answer.
 func Dial(addrs []string, opts Options) (*Client, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("cluster: no server addresses")
+	}
+	r := opts.Replicas
+	if r < 1 {
+		r = 1
+	}
+	if len(addrs)%r != 0 {
+		return nil, fmt.Errorf("cluster: %d addresses not divisible into replica groups of %d", len(addrs), r)
+	}
+	fail := func(conns []*rpc.Client, err error) (*Client, error) {
+		for _, c := range conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+		return nil, err
 	}
 	conns := make([]*rpc.Client, len(addrs))
 	dialers := make([]Dialer, len(addrs))
@@ -405,20 +505,38 @@ func Dial(addrs []string, opts Options) (*Client, error) {
 		dialers[i] = TCPDialer(addr, opts.CallTimeout)
 		conn, err := dialers[i]()
 		if err != nil {
-			for _, c := range conns {
-				if c != nil {
-					c.Close()
-				}
+			if r == 1 {
+				return fail(conns, fmt.Errorf("cluster: dial %s: %w", addr, err))
 			}
-			return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+			continue
 		}
 		conns[i] = rpc.NewClient(conn)
+	}
+	for s := 0; s*r < len(addrs); s++ {
+		live := 0
+		for i := s * r; i < (s+1)*r; i++ {
+			if conns[i] != nil {
+				live++
+			}
+		}
+		if live == 0 {
+			return fail(conns, fmt.Errorf("cluster: no live replica for shard %d (%v)", s, addrs[s*r:(s+1)*r]))
+		}
 	}
 	return NewClientOptions(conns, dialers, opts), nil
 }
 
-// NumServers returns the cluster size.
+// NumServers returns the total peer count (shards x replicas).
 func (c *Client) NumServers() int { return len(c.peers) }
+
+// Metrics returns the client's fault-tolerance counters (never nil; a
+// private instance is used when Options.Metrics was unset).
+func (c *Client) Metrics() *Metrics {
+	if c.metrics == nil {
+		c.metrics = &Metrics{}
+	}
+	return c.metrics
+}
 
 func mix(x uint64) uint64 {
 	x ^= x >> 33
@@ -427,32 +545,42 @@ func mix(x uint64) uint64 {
 	return x
 }
 
-func (c *Client) serverFor(src graph.VertexID) int {
-	return int(mix(uint64(src)) % uint64(len(c.peers)))
+// shardFor maps a source vertex to its owning logical shard. Replication
+// does not change placement: the same hash that picked a server before
+// picks a replica group now.
+func (c *Client) shardFor(src graph.VertexID) int {
+	return int(mix(uint64(src)) % uint64(c.shards))
 }
 
-// ApplyBatch partitions events by source and applies the per-server
-// sub-batches in parallel. Each sub-batch carries a (ClientID, Seq) identity
-// so server-side dedup makes retries at-most-once even for deletes.
+// ApplyBatch partitions events by source shard and applies the per-shard
+// sub-batches in parallel, fanning each sub-batch out to every replica of
+// its shard. All replicas receive the same (ClientID, Seq) identity, so
+// server-side dedup both makes retries at-most-once (even for deletes) and
+// lets a batch that reaches a replica twice — directly and via catch-up
+// WAL streaming — apply exactly once. A sub-batch succeeds when any replica
+// acknowledges it; replicas that missed it are marked stale and repaired by
+// catch-up.
 func (c *Client) ApplyBatch(events []graph.Event) error {
-	parts := make([][]graph.Event, len(c.peers))
+	parts := make([][]graph.Event, c.shards)
 	for _, ev := range events {
-		p := c.serverFor(ev.Edge.Src)
+		p := c.shardFor(ev.Edge.Src)
 		parts[p] = append(parts[p], ev)
 	}
-	seqs := make([]uint64, len(c.peers))
+	seqs := make([]uint64, c.shards)
 	for p := range parts {
 		if len(parts[p]) != 0 {
 			seqs[p] = c.seq.Add(1)
 		}
 	}
-	return c.fanOut(func(p int) error {
-		if len(parts[p]) == 0 {
+	return c.fanOut(func(s int) error {
+		if len(parts[s]) == 0 {
 			return nil
 		}
-		var reply BatchReply
-		args := &BatchArgs{Events: parts[p], ClientID: c.clientID, Seq: seqs[p]}
-		return c.callPeer(p, ServiceName+".ApplyBatch", args, &reply)
+		args := &BatchArgs{Events: parts[s], ClientID: c.clientID, Seq: seqs[s]}
+		return c.writeShard(s, func(peerIdx, maxRetries int) error {
+			var reply BatchReply
+			return c.callPeerBudget(peerIdx, ServiceName+".ApplyBatch", args, &reply, maxRetries)
+		})
 	})
 }
 
@@ -483,10 +611,10 @@ func (c *Client) sampleNeighbors(seeds []graph.VertexID, et graph.EdgeType, fano
 		return nil, nil, fmt.Errorf("cluster: negative fanout %d", fanout)
 	}
 	out := make([]graph.VertexID, len(seeds)*fanout)
-	partSeeds := make([][]graph.VertexID, len(c.peers))
-	partIdx := make([][]int, len(c.peers))
+	partSeeds := make([][]graph.VertexID, c.shards)
+	partIdx := make([][]int, c.shards)
 	for i, s := range seeds {
-		p := c.serverFor(s)
+		p := c.shardFor(s)
 		partSeeds[p] = append(partSeeds[p], s)
 		partIdx[p] = append(partIdx[p], i)
 	}
@@ -502,11 +630,11 @@ func (c *Client) sampleNeighbors(seeds []graph.VertexID, et graph.EdgeType, fano
 		}
 		args := &SampleArgs{Seeds: partSeeds[p], Type: et, Fanout: fanout, Seed: seed + int64(p)}
 		var reply SampleReply
-		if err := c.callPeer(p, ServiceName+".SampleNeighbors", args, &reply); err != nil {
+		if err := c.readShard(p, ServiceName+".SampleNeighbors", args, &reply); err != nil {
 			return err
 		}
 		if len(reply.Neighbors) != len(partSeeds[p])*fanout {
-			return fmt.Errorf("cluster: server %d returned %d samples, want %d",
+			return fmt.Errorf("cluster: shard %d returned %d samples, want %d",
 				p, len(reply.Neighbors), len(partSeeds[p])*fanout)
 		}
 		for j, origIdx := range partIdx[p] {
@@ -554,13 +682,14 @@ func (c *Client) SampleSubgraph(seeds []graph.VertexID, path graph.MetaPath, fan
 	return layers, nil
 }
 
-// Degree queries out-degrees across the cluster.
+// Degree queries out-degrees across the cluster, reading one live replica
+// per shard.
 func (c *Client) Degree(nodes []graph.VertexID, et graph.EdgeType) ([]int, error) {
 	out := make([]int, len(nodes))
-	partNodes := make([][]graph.VertexID, len(c.peers))
-	partIdx := make([][]int, len(c.peers))
+	partNodes := make([][]graph.VertexID, c.shards)
+	partIdx := make([][]int, c.shards)
 	for i, n := range nodes {
-		p := c.serverFor(n)
+		p := c.shardFor(n)
 		partNodes[p] = append(partNodes[p], n)
 		partIdx[p] = append(partIdx[p], i)
 	}
@@ -569,7 +698,7 @@ func (c *Client) Degree(nodes []graph.VertexID, et graph.EdgeType) ([]int, error
 			return nil
 		}
 		var reply DegreeReply
-		if err := c.callPeer(p, ServiceName+".Degree", &DegreeArgs{Nodes: partNodes[p], Type: et}, &reply); err != nil {
+		if err := c.readShard(p, ServiceName+".Degree", &DegreeArgs{Nodes: partNodes[p], Type: et}, &reply); err != nil {
 			return err
 		}
 		for j, origIdx := range partIdx[p] {
@@ -592,33 +721,36 @@ func (c *Client) SetFeatures(nodes []graph.VertexID, dim int, data []float32, la
 		data   []float32
 		labels []int32
 	}
-	parts := make([]part, len(c.peers))
+	parts := make([]part, c.shards)
 	for i, n := range nodes {
-		p := c.serverFor(n)
+		p := c.shardFor(n)
 		parts[p].nodes = append(parts[p].nodes, n)
 		parts[p].data = append(parts[p].data, data[i*dim:(i+1)*dim]...)
 		if len(labels) != 0 {
 			parts[p].labels = append(parts[p].labels, labels[i])
 		}
 	}
-	return c.fanOut(func(p int) error {
-		if len(parts[p].nodes) == 0 {
+	return c.fanOut(func(s int) error {
+		if len(parts[s].nodes) == 0 {
 			return nil
 		}
-		args := &SetFeaturesArgs{Nodes: parts[p].nodes, Dim: dim, Data: parts[p].data, Labels: parts[p].labels}
-		var reply SetFeaturesReply
-		return c.callPeer(p, ServiceName+".SetFeatures", args, &reply)
+		args := &SetFeaturesArgs{Nodes: parts[s].nodes, Dim: dim, Data: parts[s].data, Labels: parts[s].labels}
+		return c.writeShard(s, func(peerIdx, maxRetries int) error {
+			var reply SetFeaturesReply
+			return c.callPeerBudget(peerIdx, ServiceName+".SetFeatures", args, &reply, maxRetries)
+		})
 	})
 }
 
-// Features gathers feature rows for nodes from their owning servers into a
-// dense row-major (len(nodes) x dim) matrix.
+// Features gathers feature rows for nodes from their owning shards into a
+// dense row-major (len(nodes) x dim) matrix, reading one live replica per
+// shard.
 func (c *Client) Features(nodes []graph.VertexID, dim int) ([]float32, error) {
 	out := make([]float32, len(nodes)*dim)
-	partNodes := make([][]graph.VertexID, len(c.peers))
-	partIdx := make([][]int, len(c.peers))
+	partNodes := make([][]graph.VertexID, c.shards)
+	partIdx := make([][]int, c.shards)
 	for i, n := range nodes {
-		p := c.serverFor(n)
+		p := c.shardFor(n)
 		partNodes[p] = append(partNodes[p], n)
 		partIdx[p] = append(partIdx[p], i)
 	}
@@ -627,11 +759,11 @@ func (c *Client) Features(nodes []graph.VertexID, dim int) ([]float32, error) {
 			return nil
 		}
 		var reply FeatureReply
-		if err := c.callPeer(p, ServiceName+".Features", &FeatureArgs{Nodes: partNodes[p], Dim: dim}, &reply); err != nil {
+		if err := c.readShard(p, ServiceName+".Features", &FeatureArgs{Nodes: partNodes[p], Dim: dim}, &reply); err != nil {
 			return err
 		}
 		if len(reply.Data) != len(partNodes[p])*dim {
-			return fmt.Errorf("cluster: server %d returned %d floats", p, len(reply.Data))
+			return fmt.Errorf("cluster: shard %d returned %d floats", p, len(reply.Data))
 		}
 		for j, origIdx := range partIdx[p] {
 			copy(out[origIdx*dim:(origIdx+1)*dim], reply.Data[j*dim:(j+1)*dim])
@@ -641,13 +773,15 @@ func (c *Client) Features(nodes []graph.VertexID, dim int) ([]float32, error) {
 	return out, err
 }
 
-// Stats aggregates statistics across all servers.
+// Stats aggregates statistics across the cluster, counting each logical
+// shard once (one live replica per group), so totals match an unreplicated
+// deployment of the same data.
 func (c *Client) Stats() (StatsReply, error) {
 	var mu sync.Mutex
 	var agg StatsReply
 	err := c.fanOut(func(p int) error {
 		var reply StatsReply
-		if err := c.callPeer(p, ServiceName+".Stats", &StatsArgs{}, &reply); err != nil {
+		if err := c.readShard(p, ServiceName+".Stats", &StatsArgs{}, &reply); err != nil {
 			return err
 		}
 		mu.Lock()
@@ -671,8 +805,9 @@ func (c *Client) Close() error {
 	return first
 }
 
-// fanOut runs fn(p) for every peer concurrently, returning the first error.
-func (c *Client) fanOut(fn func(p int) error) error {
+// fanOut runs fn(s) for every logical shard concurrently, returning the
+// first error.
+func (c *Client) fanOut(fn func(s int) error) error {
 	for _, err := range c.fanOutAll(fn) {
 		if err != nil {
 			return err
@@ -681,17 +816,17 @@ func (c *Client) fanOut(fn func(p int) error) error {
 	return nil
 }
 
-// fanOutAll runs fn(p) for every peer concurrently, returning every peer's
-// outcome (the degraded-mode building block).
-func (c *Client) fanOutAll(fn func(p int) error) []error {
-	errs := make([]error, len(c.peers))
+// fanOutAll runs fn(s) for every logical shard concurrently, returning
+// every shard's outcome (the degraded-mode building block).
+func (c *Client) fanOutAll(fn func(s int) error) []error {
+	errs := make([]error, c.shards)
 	var wg sync.WaitGroup
-	for p := range c.peers {
+	for s := 0; s < c.shards; s++ {
 		wg.Add(1)
-		go func(p int) {
+		go func(s int) {
 			defer wg.Done()
-			errs[p] = fn(p)
-		}(p)
+			errs[s] = fn(s)
+		}(s)
 	}
 	wg.Wait()
 	return errs

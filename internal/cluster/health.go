@@ -42,14 +42,15 @@ type breaker struct {
 	mu        sync.Mutex
 	threshold int
 	cooldown  time.Duration
+	metrics   *Metrics // counts open transitions; may be nil
 	state     breakerState
 	failures  int       // consecutive failures while closed
 	openedAt  time.Time // when the circuit last tripped
 	lastErr   error     // the failure that tripped it, for reporting
 }
 
-func newBreaker(threshold int, cooldown time.Duration) *breaker {
-	return &breaker{threshold: threshold, cooldown: cooldown}
+func newBreaker(threshold int, cooldown time.Duration, metrics *Metrics) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, metrics: metrics}
 }
 
 // allow reports whether a call may proceed now. When the breaker is open and
@@ -101,11 +102,13 @@ func (b *breaker) failure(now time.Time, err error) {
 	case breakerHalfOpen:
 		b.state = breakerOpen
 		b.openedAt = now
+		b.metrics.incBreakerOpen()
 	case breakerClosed:
 		b.failures++
 		if b.failures >= b.threshold {
 			b.state = breakerOpen
 			b.openedAt = now
+			b.metrics.incBreakerOpen()
 		}
 	case breakerOpen:
 		// Already open (e.g. a call that started before the trip); keep the
@@ -124,16 +127,19 @@ func (b *breaker) snapshot() (state breakerState, consecutiveFailures int, lastE
 	return b.state, b.failures, b.lastErr
 }
 
-// PeerHealth is one peer's view in a Client health report.
+// PeerHealth is one replica's view in a Client health report.
 type PeerHealth struct {
-	Peer      int
+	Peer      int    // global peer index
+	Shard     int    // logical shard the replica serves
+	Replica   int    // position within the replica group
 	Connected bool   // an RPC connection is currently established
 	Breaker   string // "closed", "open", or "half-open"
 	Failures  int    // consecutive transport failures
+	Stale     bool   // missed a write; out of the read rotation pending re-sync
 	LastErr   string // failure that tripped (or is accumulating on) the breaker
 }
 
-// Health reports per-peer connection and breaker state.
+// Health reports per-replica connection, breaker, and staleness state.
 func (c *Client) Health() []PeerHealth {
 	out := make([]PeerHealth, len(c.peers))
 	for i, p := range c.peers {
@@ -141,7 +147,11 @@ func (c *Client) Health() []PeerHealth {
 		connected := p.rc != nil
 		p.mu.Unlock()
 		st, fails, lastErr := p.br.snapshot()
-		out[i] = PeerHealth{Peer: i, Connected: connected, Breaker: st.String(), Failures: fails}
+		out[i] = PeerHealth{
+			Peer: i, Shard: p.shard, Replica: p.replica,
+			Connected: connected, Breaker: st.String(), Failures: fails,
+			Stale: p.stale.Load(),
+		}
 		if lastErr != nil {
 			out[i].LastErr = lastErr.Error()
 		}

@@ -89,7 +89,9 @@ func (sh *localShard) restart(svc *Service) {
 // fault-tolerant client wired to them through (optionally wrapped)
 // in-memory pipes. Dead shard connections are redialed automatically, so
 // StopShard + RestartShard round-trips are transparent to the client modulo
-// the errors surfaced while the shard was down.
+// the errors surfaced while the shard was down. With Client.Replicas = R,
+// index i is a global peer index (logical shard i/R, replica i%R) — the
+// Stop/Restart/Service methods then address individual replicas.
 func NewLocalClusterOptions(n int, opts LocalOptions) *LocalCluster {
 	if opts.ServiceFactory == nil {
 		if opts.StoreFactory == nil {
@@ -112,6 +114,14 @@ func NewLocalClusterOptions(n int, opts LocalOptions) *LocalCluster {
 
 // Client returns the cluster's fan-out client.
 func (lc *LocalCluster) Client() *Client { return lc.client }
+
+// Dialer returns a Dialer to peer i through the cluster's in-memory pipes,
+// wrapped like client connections — what a restarted replica passes to
+// SyncFromPeer to catch up from a live sibling.
+func (lc *LocalCluster) Dialer(i int) Dialer {
+	sh := lc.shards[i]
+	return func() (net.Conn, error) { return sh.dial(lc.opts.WrapConn) }
+}
 
 // Service returns shard i's current service (nil while stopped).
 func (lc *LocalCluster) Service(i int) *Service {

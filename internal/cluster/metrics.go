@@ -1,0 +1,153 @@
+// Fault-tolerance observability: counters for the retry/breaker/failover
+// machinery and the replica catch-up path, exposed in a form expvar can
+// publish (the server's -metrics-addr endpoint) and the loadgen can print.
+// Counters are cheap atomics on the hot path; a Metrics value may be shared
+// between a client and a service (the server binary does exactly that) so
+// one endpoint reports both sides.
+package cluster
+
+import (
+	"expvar"
+	"fmt"
+	"sync/atomic"
+)
+
+// Metrics aggregates fault-tolerance counters. The zero value is ready to
+// use; all methods are safe on a nil receiver so metrics stay optional on
+// every path.
+type Metrics struct {
+	// Client call path.
+	RPCAttempts  atomic.Int64 // network attempts (including retries)
+	RPCTimeouts  atomic.Int64 // attempts that hit Options.CallTimeout
+	RPCRetries   atomic.Int64 // attempts beyond the first for one call
+	BreakerOpens atomic.Int64 // circuit-breaker closed->open transitions
+
+	// Replica read/write fan-out.
+	ReadFailovers atomic.Int64 // reads that moved on past a failed replica
+	StaleMarks    atomic.Int64 // replicas marked stale after a missed write
+
+	// Catch-up (both directions: served by a live peer, pulled by a
+	// rejoining replica).
+	CatchUps         atomic.Int64 // completed SyncFromPeer runs
+	CatchUpBytes     atomic.Int64 // snapshot bytes pulled during catch-up
+	CatchUpBatches   atomic.Int64 // WAL-tail batches applied during catch-up
+	SnapshotsServed  atomic.Int64 // FetchSnapshot calls answered
+	TailBatchesServed atomic.Int64 // WAL-tail batches streamed to replicas
+}
+
+// MetricsSnapshot is a plain-value copy for printing and JSON encoding.
+type MetricsSnapshot struct {
+	RPCAttempts       int64
+	RPCTimeouts       int64
+	RPCRetries        int64
+	BreakerOpens      int64
+	ReadFailovers     int64
+	StaleMarks        int64
+	CatchUps          int64
+	CatchUpBytes      int64
+	CatchUpBatches    int64
+	SnapshotsServed   int64
+	TailBatchesServed int64
+}
+
+// Snapshot copies the current counter values.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	if m == nil {
+		return MetricsSnapshot{}
+	}
+	return MetricsSnapshot{
+		RPCAttempts:       m.RPCAttempts.Load(),
+		RPCTimeouts:       m.RPCTimeouts.Load(),
+		RPCRetries:        m.RPCRetries.Load(),
+		BreakerOpens:      m.BreakerOpens.Load(),
+		ReadFailovers:     m.ReadFailovers.Load(),
+		StaleMarks:        m.StaleMarks.Load(),
+		CatchUps:          m.CatchUps.Load(),
+		CatchUpBytes:      m.CatchUpBytes.Load(),
+		CatchUpBatches:    m.CatchUpBatches.Load(),
+		SnapshotsServed:   m.SnapshotsServed.Load(),
+		TailBatchesServed: m.TailBatchesServed.Load(),
+	}
+}
+
+// String renders the snapshot compactly for loadgen summaries and logs.
+func (s MetricsSnapshot) String() string {
+	return fmt.Sprintf(
+		"attempts=%d timeouts=%d retries=%d breaker_opens=%d failovers=%d stale_marks=%d catchups=%d catchup_bytes=%d catchup_batches=%d",
+		s.RPCAttempts, s.RPCTimeouts, s.RPCRetries, s.BreakerOpens,
+		s.ReadFailovers, s.StaleMarks, s.CatchUps, s.CatchUpBytes, s.CatchUpBatches)
+}
+
+// Expvar returns an expvar.Var rendering the counters as a JSON object, for
+// expvar.Publish under the server's or loadgen's chosen name.
+func (m *Metrics) Expvar() expvar.Var {
+	return expvar.Func(func() any { return m.Snapshot() })
+}
+
+// Nil-tolerant increment helpers keep call sites unconditional about
+// whether metrics were configured.
+func (m *Metrics) incAttempt() {
+	if m != nil {
+		m.RPCAttempts.Add(1)
+	}
+}
+
+func (m *Metrics) incTimeout() {
+	if m != nil {
+		m.RPCTimeouts.Add(1)
+	}
+}
+
+func (m *Metrics) incRetry() {
+	if m != nil {
+		m.RPCRetries.Add(1)
+	}
+}
+
+func (m *Metrics) incBreakerOpen() {
+	if m != nil {
+		m.BreakerOpens.Add(1)
+	}
+}
+
+func (m *Metrics) incFailover() {
+	if m != nil {
+		m.ReadFailovers.Add(1)
+	}
+}
+
+func (m *Metrics) incStaleMark() {
+	if m != nil {
+		m.StaleMarks.Add(1)
+	}
+}
+
+func (m *Metrics) incCatchUp() {
+	if m != nil {
+		m.CatchUps.Add(1)
+	}
+}
+
+func (m *Metrics) addCatchUpBytes(n int64) {
+	if m != nil {
+		m.CatchUpBytes.Add(n)
+	}
+}
+
+func (m *Metrics) addCatchUpBatches(n int64) {
+	if m != nil {
+		m.CatchUpBatches.Add(n)
+	}
+}
+
+func (m *Metrics) incSnapshotServed() {
+	if m != nil {
+		m.SnapshotsServed.Add(1)
+	}
+}
+
+func (m *Metrics) addTailServed(n int64) {
+	if m != nil {
+		m.TailBatchesServed.Add(n)
+	}
+}

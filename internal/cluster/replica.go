@@ -1,0 +1,188 @@
+// Replica groups: each logical shard maps to R peers instead of one, so a
+// single replica loss is a non-event rather than a degraded mode. Writes
+// fan out to every replica of the owning shard — the existing (ClientID,
+// Seq) at-most-once identity makes all replicas converge despite
+// independent retries — and succeed once any replica acknowledges; reads
+// rotate across live replicas and fail over automatically on timeout,
+// circuit-open, or a replica still catching up, so sampling stays exact
+// with any single replica down. This mirrors what production GNN stores do
+// (AliGraph replicates important vertices across servers; DistDGL
+// co-locates replicated halo nodes) scaled down to whole-shard groups.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net/rpc"
+	"strings"
+	"sync"
+	"time"
+)
+
+// staleProbeMinInterval rate-limits SyncState probes of a stale replica so
+// every read does not re-probe a dead peer.
+const staleProbeMinInterval = 50 * time.Millisecond
+
+// NumShards returns the number of logical shards (replica groups).
+func (c *Client) NumShards() int { return c.shards }
+
+// NumReplicas returns the replica-group size R.
+func (c *Client) NumReplicas() int { return c.replicas }
+
+// group returns the peer indices serving logical shard s.
+func (c *Client) group(s int) []*peer {
+	return c.peers[s*c.replicas : (s+1)*c.replicas]
+}
+
+// notReadyMsg is the wire form of a replica rejecting reads mid-catch-up.
+// It travels as an rpc.ServerError string, so detection is by prefix.
+const notReadyMsg = "cluster: replica not ready (catching up)"
+
+// ErrReplicaNotReady is returned by read RPCs on a replica that has not yet
+// converged with its group; the client treats it as a failover signal, not
+// a request error.
+var ErrReplicaNotReady = errors.New(notReadyMsg)
+
+// isNotReady reports whether err is a replica's not-ready rejection
+// (possibly wrapped in an rpc.ServerError on the client side).
+func isNotReady(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrReplicaNotReady) {
+		return true
+	}
+	var serverErr rpc.ServerError
+	return errors.As(err, &serverErr) && strings.Contains(string(serverErr), notReadyMsg)
+}
+
+// failoverWorthy reports whether a per-replica error should move the read
+// on to the next replica. Transport failures, open breakers, and not-ready
+// replicas fail over; other application errors (rpc.ServerError, e.g. a
+// negative fanout) are deterministic — every replica would reject them — so
+// they surface immediately.
+func failoverWorthy(err error) bool {
+	return retryable(err) || isNotReady(err)
+}
+
+// readShard performs one read RPC against shard s, load-balancing across
+// its replicas and failing over on transport failure, open breaker, or a
+// replica that is still catching up. Stale replicas (ones that missed a
+// write from this client) are skipped until a SyncState probe shows they
+// re-synced. Returns the first success, a deterministic application error
+// as soon as any replica reports one, or — when every replica failed — the
+// last failover-worthy error.
+func (c *Client) readShard(s int, method string, args, reply any) error {
+	group := c.group(s)
+	start := int(c.rr[s].Add(1)-1) % len(group)
+	var lastErr error
+	for k := 0; k < len(group); k++ {
+		pe := group[(start+k)%len(group)]
+		if pe.stale.Load() && !c.tryClearStale(pe) {
+			lastErr = fmt.Errorf("cluster: replica %d (shard %d) is stale", pe.idx, pe.shard)
+			continue
+		}
+		err := c.callPeer(pe.idx, method, args, reply)
+		if err == nil {
+			return nil
+		}
+		if !failoverWorthy(err) {
+			return err
+		}
+		lastErr = err
+		if k < len(group)-1 {
+			c.metrics.incFailover()
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("cluster: shard %d has no replicas", s)
+	}
+	return fmt.Errorf("cluster: shard %d: all %d replicas failed: %w", s, len(group), lastErr)
+}
+
+// writeShard fans a write out to every replica of shard s concurrently. The
+// write succeeds once at least one replica acknowledges; replicas that
+// failed every attempt are marked stale (out of the read rotation until
+// they demonstrably re-sync) rather than failing the batch — a missed write
+// is repaired by WAL-shipped catch-up, not by stalling training. If every
+// replica fails, the first error is returned.
+//
+// call is invoked with the global peer index and that peer's retry budget;
+// already-stale replicas get a single attempt so a down replica does not
+// tax every batch with a full retry cycle.
+func (c *Client) writeShard(s int, call func(peerIdx, maxRetries int) error) error {
+	group := c.group(s)
+	errs := make([]error, len(group))
+	var wg sync.WaitGroup
+	for r, pe := range group {
+		wg.Add(1)
+		go func(r int, pe *peer) {
+			defer wg.Done()
+			budget := c.opts.MaxRetries
+			if pe.stale.Load() {
+				budget = 0
+			}
+			errs[r] = call(pe.idx, budget)
+		}(r, pe)
+	}
+	wg.Wait()
+	acked := 0
+	for _, err := range errs {
+		if err == nil {
+			acked++
+		}
+	}
+	if acked == 0 {
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return fmt.Errorf("cluster: shard %d has no replicas", s)
+	}
+	for r, err := range errs {
+		if err != nil {
+			c.markStale(group[r])
+		}
+	}
+	return nil
+}
+
+// markStale pulls a replica out of the read rotation after it missed one of
+// this client's writes, and records the sync epoch it must move past to
+// rejoin. A best-effort synchronous probe captures the replica's current
+// epoch; if the replica is unreachable (the usual crash case) the epoch
+// stays 0 and any subsequent ready state is accepted — a replicated server
+// only reports ready after its boot-time catch-up.
+func (c *Client) markStale(pe *peer) {
+	if pe.stale.Swap(true) {
+		return // already stale; keep the original epoch requirement
+	}
+	c.metrics.incStaleMark()
+	pe.staleEpoch.Store(0)
+	var reply SyncStateReply
+	if err := c.callPeerBudget(pe.idx, ServiceName+".SyncState", &SyncStateArgs{}, &reply, 0); err == nil {
+		pe.staleEpoch.Store(reply.SyncEpoch)
+	}
+}
+
+// tryClearStale probes a stale replica's sync state (rate-limited) and
+// clears the stale mark when the replica reports ready under a sync epoch
+// different from the one recorded at the miss — i.e. it has completed a
+// catch-up since. Returns whether the replica is usable for reads now.
+func (c *Client) tryClearStale(pe *peer) bool {
+	now := time.Now().UnixNano()
+	last := pe.lastProbe.Load()
+	if now-last < int64(staleProbeMinInterval) || !pe.lastProbe.CompareAndSwap(last, now) {
+		return false
+	}
+	var reply SyncStateReply
+	if err := c.callPeerBudget(pe.idx, ServiceName+".SyncState", &SyncStateArgs{}, &reply, 0); err != nil {
+		return false
+	}
+	if !reply.Ready || reply.SyncEpoch == pe.staleEpoch.Load() {
+		return false
+	}
+	pe.stale.Store(false)
+	return true
+}

@@ -14,6 +14,7 @@ import (
 	"net"
 	"net/rpc"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -66,7 +67,21 @@ type Options struct {
 	// shard is down, SampleNeighbors fills its slots with the seed itself
 	// (the protocol's existing fallback for unknown vertices) and reports
 	// the failure in a FanoutReport instead of failing the whole batch.
+	// With replica groups, degradation only engages after every replica of
+	// a shard has failed — a single replica loss is absorbed by failover
+	// and never degrades results.
 	Degraded bool
+	// Replicas is the replica-group size R. The peer list is grouped
+	// consecutively: logical shard s owns peers [s*R, (s+1)*R). Writes fan
+	// out to every replica of the owning shard (converging through the
+	// at-most-once batch identity); reads rotate across live replicas and
+	// fail over on timeout, circuit-open, or a replica that is still
+	// catching up. 0 or 1 means unreplicated (every peer is its own shard).
+	Replicas int
+	// Metrics, if set, receives fault-tolerance counters (attempts,
+	// timeouts, retries, breaker opens, failovers, catch-up traffic). May
+	// be shared with a Service and published via expvar.
+	Metrics *Metrics
 	// Seed seeds the retry-jitter RNG and the client's dedup identity.
 	// 0 draws an unpredictable seed.
 	Seed int64
@@ -85,12 +100,28 @@ func DefaultOptions() Options {
 	}
 }
 
-// peer is one graph server endpoint: its current RPC connection (if any),
-// the dialer that can replace it, and its circuit breaker.
+// peer is one replica endpoint: its current RPC connection (if any), the
+// dialer that can replace it, its circuit breaker, and the client-side
+// staleness tracking that keeps a replica which missed one of our writes
+// out of the read rotation until it has demonstrably re-synced.
 type peer struct {
-	idx  int
-	dial Dialer // nil: no redial — a dead connection stays dead (legacy mode)
-	br   *breaker
+	idx     int // global peer index
+	shard   int // logical shard this replica belongs to
+	replica int // position within the replica group
+	dial    Dialer // nil: no redial — a dead connection stays dead (legacy mode)
+	br      *breaker
+
+	// stale is set when a write fan-out could not reach this replica while
+	// a sibling acknowledged it: the replica may be missing data, so reads
+	// skip it. staleEpoch records the replica's sync epoch observed at (or
+	// nearest after) the miss; the peer re-enters the rotation only when a
+	// SyncState probe reports Ready with a different epoch — i.e. it
+	// completed a catch-up — or, when no epoch could be observed (the
+	// typical crashed-replica case), with any ready state, since a
+	// replicated server always catches up before declaring itself ready.
+	stale      atomic.Bool
+	staleEpoch atomic.Uint64
+	lastProbe  atomic.Int64 // unix nanos of the last stale probe, rate-limiting
 
 	mu sync.Mutex
 	rc *rpc.Client
@@ -205,13 +236,21 @@ func (c *Client) backoff(attempt int) time.Duration {
 // transport failures. Transport outcomes feed the breaker; application
 // errors do not (the peer is healthy, the request was bad).
 func (c *Client) callPeer(p int, method string, args, reply any) error {
+	return c.callPeerBudget(p, method, args, reply, c.opts.MaxRetries)
+}
+
+// callPeerBudget is callPeer with an explicit retry budget, so replica
+// fan-outs can spend fewer retries on a peer already marked stale (the
+// catch-up path will repair it) while reads keep the full budget.
+func (c *Client) callPeerBudget(p int, method string, args, reply any, maxRetries int) error {
 	pe := c.peers[p]
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
-			if attempt > c.opts.MaxRetries {
+			if attempt > maxRetries {
 				return lastErr
 			}
+			c.metrics.incRetry()
 			t := time.NewTimer(c.backoff(attempt))
 			<-t.C
 		}
@@ -222,6 +261,7 @@ func (c *Client) callPeer(p int, method string, args, reply any) error {
 			// between attempts, letting a later probe through.
 			continue
 		}
+		c.metrics.incAttempt()
 		rc, err := pe.client()
 		if err != nil {
 			pe.br.failure(time.Now(), err)
@@ -234,6 +274,9 @@ func (c *Client) callPeer(p int, method string, args, reply any) error {
 			return nil
 		}
 		lastErr = err
+		if errors.Is(err, ErrCallTimeout) {
+			c.metrics.incTimeout()
+		}
 		if !retryable(err) {
 			pe.br.success() // the transport worked; the request was rejected
 			return err

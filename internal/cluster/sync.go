@@ -1,0 +1,367 @@
+// WAL-shipped replica catch-up: a rejoining replica converges with its
+// group by pulling a live sibling's snapshot plus the WAL tail past it,
+// instead of requiring the full event history. The protocol is three RPCs —
+// SyncState (am I converged? which epoch?), FetchSnapshot (quiesced store
+// image + dedup table + WAL position), FetchWALTail (length-framed records
+// past a sequence number) — driven client-side by SyncFromPeer.
+//
+// Convergence argument. While catching up, the replica is "not ready":
+// reads are rejected (the cluster client fails over to a converged
+// sibling), and direct writes are first rejected, then — once the tail is
+// nearly drained — parked on a gate until ready. Rejected writes are not
+// lost: the cluster client only reports a batch written after a sibling
+// acked it, which puts the batch in that sibling's WAL, which the tail
+// stream delivers. A batch that arrives twice — directly and via the tail —
+// applies once, because both paths go through ApplyBatch's (ClientID, Seq)
+// dedup, and the snapshot carries the serving peer's dedup table so
+// batches already inside the snapshot are recognized too. The final drain
+// runs in blocking mode precisely so a write racing the ready transition
+// parks and applies instead of vanishing into the gap between "last tail
+// fetch" and "accepting writes again".
+//
+// Feature attributes are not transferred: the repo's durability layer
+// (snapshot + WAL) covers topology only, so feature state on a restarted
+// replica — exactly as on a restarted single node — repairs only via the
+// next absolute SetFeatures push. See docs/OPERATIONS.md.
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/rpc"
+	"sync/atomic"
+	"time"
+
+	"platod2gl/internal/eventlog"
+)
+
+// Sync epochs: every completed catch-up (and every fresh Service) gets a
+// distinct epoch, so a client that recorded a replica's epoch when marking
+// it stale can tell "this replica has re-synced since" from "this is still
+// the replica that missed my write". The process-start base makes epochs
+// from different incarnations of the same server distinct too.
+var (
+	syncEpochBase    = uint64(time.Now().UnixNano())
+	syncEpochCounter atomic.Uint64
+)
+
+func nextSyncEpoch() uint64 { return syncEpochBase + syncEpochCounter.Add(1) }
+
+// SetMetrics installs shared fault-tolerance counters (snapshots served,
+// WAL batches streamed). May be the same Metrics instance a Client uses.
+func (s *Service) SetMetrics(m *Metrics) { s.metrics = m }
+
+// EnableSync designates wal as the WAL this server streams to catching-up
+// replicas (FetchWALTail re-reads its file, so the writer must keep
+// appending to the same path). Typically the same Writer installed as the
+// batch hook.
+func (s *Service) EnableSync(wal *eventlog.Writer) { s.syncWAL = wal }
+
+// Ready reports whether this replica serves reads (i.e. is converged).
+func (s *Service) Ready() bool { return s.ready.Load() }
+
+// SyncEpoch returns the epoch of the last completed catch-up.
+func (s *Service) SyncEpoch() uint64 { return s.syncEpoch.Load() }
+
+// BeginCatchUp takes the replica out of read service: reads and writes are
+// rejected with ErrReplicaNotReady until MarkSynced. Idempotent.
+func (s *Service) BeginCatchUp() {
+	s.syncMu.Lock()
+	if s.readyCh == nil {
+		s.readyCh = make(chan struct{})
+	}
+	s.syncBlock.Store(false)
+	s.ready.Store(false)
+	s.syncMu.Unlock()
+}
+
+// beginBlockingDrain switches the write gate from rejecting to parking:
+// incoming writes wait for MarkSynced instead of failing. Used for the
+// final WAL drain so a write racing the ready transition cannot be missed.
+func (s *Service) beginBlockingDrain() { s.syncBlock.Store(true) }
+
+// MarkSynced declares the replica converged: bumps the sync epoch, resumes
+// read service, and releases any writes parked on the catch-up gate.
+func (s *Service) MarkSynced() {
+	s.syncMu.Lock()
+	s.syncEpoch.Store(nextSyncEpoch())
+	s.ready.Store(true)
+	if s.readyCh != nil {
+		close(s.readyCh)
+		s.readyCh = nil
+	}
+	s.syncBlock.Store(false)
+	s.syncMu.Unlock()
+}
+
+// gateWrite is the write-path catch-up gate: a no-op when ready, a fast
+// rejection during bulk catch-up, and a park-until-ready during the final
+// blocking drain. Called before pauseMu so parked writes cannot deadlock
+// the catch-up's own Pause.
+func (s *Service) gateWrite() error {
+	if s.ready.Load() {
+		return nil
+	}
+	if !s.syncBlock.Load() {
+		return ErrReplicaNotReady
+	}
+	s.syncMu.Lock()
+	ch := s.readyCh
+	s.syncMu.Unlock()
+	if ch == nil {
+		return nil // MarkSynced won the race
+	}
+	<-ch
+	return nil
+}
+
+// SyncStateArgs is empty.
+type SyncStateArgs struct{}
+
+// SyncStateReply reports a replica's convergence state: whether it serves
+// reads, the epoch of its last completed catch-up, its WAL position, and
+// its edge count (diagnostics).
+type SyncStateReply struct {
+	Ready     bool
+	SyncEpoch uint64
+	WALSeq    uint64
+	NumEdges  int64
+}
+
+// SyncState reports this replica's convergence state. Always served, even
+// while not ready — it is how clients and siblings probe progress.
+func (s *Service) SyncState(_ *SyncStateArgs, reply *SyncStateReply) (err error) {
+	defer guard("SyncState", &err)
+	reply.Ready = s.ready.Load()
+	reply.SyncEpoch = s.syncEpoch.Load()
+	if s.syncWAL != nil {
+		reply.WALSeq = s.syncWAL.Seq()
+	}
+	reply.NumEdges = s.store.NumEdges()
+	return nil
+}
+
+// SnapshotArgs is empty.
+type SnapshotArgs struct{}
+
+// SnapshotReply carries a quiesced store image, the WAL sequence the image
+// is consistent with (tail streaming starts past it), and the serving
+// replica's dedup table so batches inside the snapshot stay at-most-once on
+// the loading side.
+type SnapshotReply struct {
+	Snapshot []byte
+	WALSeq   uint64
+	Dedup    []DedupEntry
+}
+
+// FetchSnapshot serves a catch-up snapshot: writes drain (Pause), the WAL
+// position is recorded, and the store plus dedup table are captured, all
+// under the same quiescent point so image and tail agree. A replica that is
+// itself not ready refuses — two empty booting replicas must not "catch up"
+// from each other.
+func (s *Service) FetchSnapshot(_ *SnapshotArgs, reply *SnapshotReply) (err error) {
+	defer guard("FetchSnapshot", &err)
+	if !s.ready.Load() {
+		return ErrReplicaNotReady
+	}
+	saver, ok := s.store.(interface{ Save(io.Writer) error })
+	if !ok {
+		return fmt.Errorf("cluster: store %T does not support snapshots", s.store)
+	}
+	resume := s.Pause()
+	defer resume()
+	if s.syncWAL != nil {
+		reply.WALSeq = s.syncWAL.Seq()
+	}
+	var buf bytes.Buffer
+	if err := saver.Save(&buf); err != nil {
+		return fmt.Errorf("cluster: snapshot: %w", err)
+	}
+	reply.Snapshot = buf.Bytes()
+	reply.Dedup = s.dedup.export()
+	s.metrics.incSnapshotServed()
+	return nil
+}
+
+// WALTailArgs requests complete WAL records with Seq > AfterSeq, at most
+// MaxBatches of them (<= 0: unlimited).
+type WALTailArgs struct {
+	AfterSeq   uint64
+	MaxBatches int
+}
+
+// WALTailReply returns the records plus the log positions the caller needs
+// to drive the stream: EndSeq to resume from, WriterSeq to decide whether
+// the tail is drained (WriterSeq <= the caller's AfterSeq) or was reset
+// (WriterSeq < AfterSeq).
+type WALTailReply struct {
+	Records   []eventlog.BatchRecord
+	EndSeq    uint64
+	WriterSeq uint64
+}
+
+// FetchWALTail streams a chunk of this server's WAL past AfterSeq. Safe
+// against concurrent appends: a torn frame mid-file ends the chunk cleanly
+// and a later call picks it up once complete.
+func (s *Service) FetchWALTail(args *WALTailArgs, reply *WALTailReply) (err error) {
+	defer guard("FetchWALTail", &err)
+	if s.syncWAL == nil {
+		return fmt.Errorf("cluster: server has no WAL to stream")
+	}
+	recs, err := eventlog.ReadTail(s.syncWAL.Path(), args.AfterSeq, args.MaxBatches)
+	if err != nil {
+		return fmt.Errorf("cluster: wal tail: %w", err)
+	}
+	reply.Records = recs
+	reply.EndSeq = args.AfterSeq
+	if n := len(recs); n > 0 {
+		reply.EndSeq = recs[n-1].Seq
+	}
+	// Read the writer position after the file scan: anything appended in
+	// between just makes the caller loop once more.
+	reply.WriterSeq = s.syncWAL.Seq()
+	s.metrics.addTailServed(int64(len(recs)))
+	return nil
+}
+
+// ErrSyncWALReset reports that the peer's WAL was reset (snapshot +
+// truncate) mid-catch-up, invalidating the stream position. The caller
+// restarts the catch-up from a fresh snapshot.
+var ErrSyncWALReset = errors.New("cluster: peer WAL reset during catch-up")
+
+// SyncOptions tune SyncFromPeer.
+type SyncOptions struct {
+	// CallTimeout bounds each sync RPC. Snapshot fetches move the whole
+	// store image, so this is typically much larger than the regular
+	// Options.CallTimeout. 0 disables.
+	CallTimeout time.Duration
+	// MaxBatches is the WAL-tail chunk size per fetch. <= 0: 256.
+	MaxBatches int
+	// Metrics receives catch-up counters. May be nil.
+	Metrics *Metrics
+}
+
+const (
+	defaultSyncBatches = 256
+	// syncTailPollDelay is the wait between tail polls when the peer's
+	// writer is ahead but no complete frame is readable yet (an append in
+	// flight); syncTailMaxPolls bounds how long that state may persist.
+	syncTailPollDelay = 5 * time.Millisecond
+	syncTailMaxPolls  = 400
+	// The blocking drain requires syncDrainConfirms consecutive drained
+	// fetches spaced by syncDrainPollDelay (~250ms of quiet) before declaring
+	// convergence. At the moment the gate switches to blocking, at most one
+	// batch per client can be in the hazard window — rejected here while its
+	// sibling ack (hence its WAL record) is still in flight — because a
+	// client issues a batch only after its predecessor's fan-out completed,
+	// and once a successor parks on the gate the predecessor is provably in
+	// the WAL. The quiet window only needs to outlast that single sibling
+	// apply; parked writes quiesce the stream, so the window always arrives.
+	syncDrainPollDelay = 25 * time.Millisecond
+	syncDrainConfirms  = 10
+)
+
+// SyncFromPeer converges svc with a live replica of the same shard: fetch
+// the peer's quiesced snapshot, load it (svc's store must be empty — Load
+// merges), then drain the peer's WAL tail past the snapshot point, applying
+// every record through ApplyBatch so the dedup identity keeps records that
+// also arrived directly at-most-once. The final drain runs with direct
+// writes parked on the catch-up gate (instead of rejected), closing the
+// window where a write could land on the peer after the last tail fetch yet
+// be rejected here; MarkSynced then re-enters the replica into read
+// rotation under a fresh sync epoch.
+//
+// On error the replica stays not ready; the caller may retry against the
+// same or another peer (the store must be discarded and rebuilt empty if a
+// snapshot had already been loaded).
+func SyncFromPeer(svc *Service, dial Dialer, opts SyncOptions) error {
+	svc.BeginCatchUp()
+	conn, err := dial()
+	if err != nil {
+		return fmt.Errorf("cluster: sync dial: %w", err)
+	}
+	rc := rpc.NewClient(conn)
+	defer rc.Close()
+	call := func(method string, args, reply any) error {
+		return callTimeout(rc, ServiceName+"."+method, args, reply, opts.CallTimeout)
+	}
+
+	var snap SnapshotReply
+	if err := call("FetchSnapshot", &SnapshotArgs{}, &snap); err != nil {
+		return fmt.Errorf("cluster: fetch snapshot: %w", err)
+	}
+	loader, ok := svc.store.(interface{ Load(io.Reader) error })
+	if !ok {
+		return fmt.Errorf("cluster: store %T cannot load snapshots", svc.store)
+	}
+	resume := svc.Pause()
+	svc.dedup.importEntries(snap.Dedup)
+	err = loader.Load(bytes.NewReader(snap.Snapshot))
+	resume()
+	if err != nil {
+		return fmt.Errorf("cluster: load snapshot: %w", err)
+	}
+
+	limit := opts.MaxBatches
+	if limit <= 0 {
+		limit = defaultSyncBatches
+	}
+	after := snap.WALSeq
+	var batches int64
+	polls := 0
+	confirms := 0
+	blocking := false
+	for {
+		var tail WALTailReply
+		if err := call("FetchWALTail", &WALTailArgs{AfterSeq: after, MaxBatches: limit}, &tail); err != nil {
+			return fmt.Errorf("cluster: fetch wal tail after %d: %w", after, err)
+		}
+		if tail.WriterSeq < after {
+			return fmt.Errorf("%w: writer at %d, stream at %d", ErrSyncWALReset, tail.WriterSeq, after)
+		}
+		for i := range tail.Records {
+			rec := &tail.Records[i]
+			var reply BatchReply
+			if err := svc.applyBatch(&BatchArgs{Events: rec.Events, ClientID: rec.ClientID, Seq: rec.ClientSeq}, &reply); err != nil {
+				return fmt.Errorf("cluster: apply wal record %d: %w", rec.Seq, err)
+			}
+			batches++
+		}
+		if len(tail.Records) > 0 {
+			after = tail.EndSeq
+			polls, confirms = 0, 0
+			continue
+		}
+		if tail.WriterSeq > after {
+			// Writer ahead but no complete frame readable: append in flight.
+			polls++
+			if polls > syncTailMaxPolls {
+				return fmt.Errorf("cluster: wal tail stalled at %d (writer at %d)", after, tail.WriterSeq)
+			}
+			time.Sleep(syncTailPollDelay)
+			continue
+		}
+		if !blocking {
+			// Drained under rejection. Park direct writes and keep draining:
+			// once a write parks here, the client's fan-out for it cannot
+			// complete, so the sibling's WAL quiesces and the remaining tail
+			// is finite.
+			blocking = true
+			svc.beginBlockingDrain()
+			confirms = 0
+			continue
+		}
+		confirms++
+		if confirms >= syncDrainConfirms {
+			break
+		}
+		time.Sleep(syncDrainPollDelay)
+	}
+	svc.MarkSynced()
+	opts.Metrics.incCatchUp()
+	opts.Metrics.addCatchUpBytes(int64(len(snap.Snapshot)))
+	opts.Metrics.addCatchUpBatches(batches)
+	return nil
+}

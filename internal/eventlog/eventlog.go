@@ -227,6 +227,48 @@ func ReplayBatches(path string, fn func(rec BatchRecord) error) (int, error) {
 	return n, err
 }
 
+// errStopScan aborts a scan early from inside the per-record callback
+// without reporting an error to the caller.
+var errStopScan = errors.New("eventlog: stop scan")
+
+// ReadTail returns up to limit complete records with Seq > afterSeq, in
+// append order (limit <= 0 means unlimited). It is safe against a writer
+// concurrently appending to the same file: a torn frame mid-stream (a frame
+// whose length prefix or payload is still being written) ends the read
+// cleanly at the last complete record, and a later call picks up the frame
+// once the writer finishes it. This is the replica catch-up primitive: a
+// rejoining replica repeatedly tails a live peer's WAL until it has drained
+// everything past the snapshot it loaded.
+//
+// Each call rescans the file from the start (the frame format carries no
+// index); callers stream in chunks via limit, which keeps per-call payloads
+// bounded while the O(file) rescan stays cheap at WAL sizes bounded by the
+// snapshot/truncate cycle.
+func ReadTail(path string, afterSeq uint64, limit int) ([]BatchRecord, error) {
+	var out []BatchRecord
+	_, _, err := scan(path, func(rec BatchRecord) error {
+		if rec.Seq <= afterSeq {
+			return nil
+		}
+		out = append(out, rec)
+		if limit > 0 && len(out) >= limit {
+			return errStopScan
+		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, errStopScan) {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Path returns the log file's path.
+func (w *Writer) Path() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Name()
+}
+
 // Reset atomically truncates the log to an empty file (header only) and
 // resets the sequence counter. It is the snapshot-barrier primitive: after
 // a snapshot captures the store, Reset guarantees a restart will not replay

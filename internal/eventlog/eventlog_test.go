@@ -203,6 +203,152 @@ func TestRecoveryRecipe(t *testing.T) {
 	}
 }
 
+func TestReadTailBasics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for i := uint64(1); i <= 6; i++ {
+		if _, err := w.AppendBatch(9, i, mkEvents(i, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tail past a prefix, with and without a limit.
+	recs, err := ReadTail(path, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 || recs[0].Seq != 3 || recs[3].Seq != 6 {
+		t.Fatalf("ReadTail(2) = %d records, first seq %d", len(recs), recs[0].Seq)
+	}
+	if recs[0].ClientID != 9 || recs[0].ClientSeq != 3 {
+		t.Fatalf("tail record lost its identity: %+v", recs[0])
+	}
+	recs, err = ReadTail(path, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1].Seq != 4 {
+		t.Fatalf("limited tail = %+v", recs)
+	}
+	// Fully drained tail is empty, not an error.
+	recs, err = ReadTail(path, 6, 0)
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("drained tail: %d records, err %v", len(recs), err)
+	}
+}
+
+// TestReadTailConcurrentAppend streams a WAL that a writer is appending to
+// at the same time — exactly what replica catch-up does against a live
+// peer's log. Every record must be observed exactly once, in order, and no
+// ReadTail call may error or see a partial record.
+func TestReadTailConcurrentAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 400
+	done := make(chan error, 1)
+	go func() {
+		for i := uint64(1); i <= total; i++ {
+			if _, err := w.AppendBatch(1, i, mkEvents(i, 3)); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+
+	var after uint64
+	var seen int
+	for seen < total {
+		recs, err := ReadTail(path, after, 32)
+		if err != nil {
+			t.Fatalf("tail after %d: %v", after, err)
+		}
+		for _, rec := range recs {
+			if rec.Seq != after+1 {
+				t.Fatalf("tail skipped: got seq %d after %d", rec.Seq, after)
+			}
+			if rec.ClientSeq != rec.Seq || len(rec.Events) != 3 {
+				t.Fatalf("record %d corrupted mid-stream: %+v", rec.Seq, rec)
+			}
+			after = rec.Seq
+			seen++
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if seen != total {
+		t.Fatalf("streamed %d records, want %d", seen, total)
+	}
+}
+
+// TestReadTailTornFrameMidStream: a torn frame in the middle of the live
+// log (a frame the writer has not finished) must end the tail cleanly at
+// the last complete record; once the frame is completed the next ReadTail
+// picks it up.
+func TestReadTailTornFrameMidStream(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendBatch(1, 1, mkEvents(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendBatch(1, 2, mkEvents(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	// Simulate an in-progress append: keep the complete prefix, re-append
+	// only part of record 2's frame (length prefix + truncated payload).
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadTail(path, 0, 0)
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("full log: %d records, err %v", len(recs), err)
+	}
+	fi, _ := os.Stat(path)
+	torn := fi.Size() - 10
+	if err := os.Truncate(path, torn); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err = ReadTail(path, 0, 0)
+	if err != nil {
+		t.Fatalf("torn mid-stream tail errored: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Seq != 1 {
+		t.Fatalf("torn tail = %d records (first seq %v), want just record 1", len(recs), recs)
+	}
+
+	// Writer finishes the frame: the previously torn record becomes visible.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(raw[torn:]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	recs, err = ReadTail(path, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Seq != 2 || recs[0].ClientSeq != 2 {
+		t.Fatalf("completed frame not picked up: %+v", recs)
+	}
+}
+
 func TestAppendBatchIdentityRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
 	w, err := Create(path)
