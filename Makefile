@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race chaos tier1 bench
+.PHONY: build test vet race chaos tier1 bench train-smoke
 
 build:
 	$(GO) build ./...
@@ -13,9 +13,10 @@ vet:
 
 # Race leg of the tier-1 loop: the concurrent retry/redial/breaker paths in
 # the cluster client, the storage engine the chaos tests hammer, the WAL the
-# replica catch-up tails, and the fault-injection transport.
+# replica catch-up tails, the fault-injection transport, and the
+# trainer/prefetch-pipeline concurrency.
 race: vet
-	$(GO) test -race ./internal/cluster/... ./internal/storage/... ./internal/eventlog/... ./internal/faultinject/...
+	$(GO) test -race ./internal/cluster/... ./internal/storage/... ./internal/eventlog/... ./internal/faultinject/... ./internal/gnn/... ./internal/pipeline/... ./internal/view/...
 
 # Replication chaos drill: replica kill + failover + WAL-shipped rejoin,
 # twice, under the race detector.
@@ -26,3 +27,9 @@ tier1: test race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# End-to-end training smoke: one small pipelined run against the in-process
+# store and one against a 2-shard in-process cluster.
+train-smoke: build
+	$(GO) run ./cmd/platod2gl-train -local -nodes 400 -epochs 2 -batch 32 -workers 2
+	$(GO) run ./cmd/platod2gl-train -shards 2 -nodes 400 -epochs 2 -batch 32 -workers 4 -depth 8

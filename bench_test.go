@@ -334,7 +334,9 @@ func BenchmarkGNN_Epoch(b *testing.B) {
 	tr := g.NewTrainer(model, 0, 8, 4, 0.01)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tr.TrainEpoch(i, ids, 64, rng)
+		if _, err := tr.TrainEpoch(i, ids, 64, rng); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -387,7 +389,9 @@ func BenchmarkLinkTrainStep(b *testing.B) {
 	batch := edges[:64]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tr.TrainStep(batch)
+		if _, err := tr.TrainStep(batch); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -407,7 +411,10 @@ func BenchmarkGATTrainStep(b *testing.B) {
 		}
 	}
 	tr := g.NewGATTrainer(platod2gl.NewGATModel(dim, 16, 4, rng), 0, 5, 0.01)
-	batch := tr.SampleBatch(ids[:64])
+	batch, err := tr.SampleBatch(ids[:64])
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr.TrainStep(batch)

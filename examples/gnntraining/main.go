@@ -7,6 +7,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"math/rand"
 
 	"platod2gl"
@@ -53,7 +54,10 @@ func main() {
 
 	fmt.Println("epoch  loss    test-acc  edges")
 	for e := 0; e < 8; e++ {
-		res := tr.TrainEpoch(e, train, 64, rng)
+		res, err := tr.TrainEpoch(e, train, 64, rng)
+		if err != nil {
+			log.Fatalf("epoch %d: %v", e, err)
+		}
 		// The graph keeps evolving while training: 500 new same-class
 		// interactions arrive between epochs. No rebuild — the samtrees
 		// absorb them and the next epoch samples the fresh topology.
@@ -72,8 +76,15 @@ func main() {
 			})
 		}
 		g.Apply(events)
-		fmt.Printf("%5d  %.4f  %.3f     %d\n", e, res.MeanLoss, tr.Accuracy(test), g.NumEdges())
+		acc, err := tr.Accuracy(test)
+		if err != nil {
+			log.Fatalf("accuracy: %v", err)
+		}
+		fmt.Printf("%5d  %.4f  %.3f     %d\n", e, res.MeanLoss, acc, g.NumEdges())
 	}
-	acc := tr.Accuracy(test)
+	acc, err := tr.Accuracy(test)
+	if err != nil {
+		log.Fatalf("accuracy: %v", err)
+	}
 	fmt.Printf("final test accuracy: %.3f (random baseline: %.2f)\n", acc, 1.0/classes)
 }

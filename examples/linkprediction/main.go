@@ -8,10 +8,20 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"math/rand"
 
 	"platod2gl"
 )
+
+// mustAUC evaluates ranking quality, exiting on a storage error.
+func mustAUC(tr *platod2gl.LinkTrainer, pos, neg []platod2gl.Edge) float64 {
+	auc, err := tr.AUC(pos, neg)
+	if err != nil {
+		log.Fatalf("AUC: %v", err)
+	}
+	return auc
+}
 
 const (
 	vtUser platod2gl.VertexType = 0
@@ -74,7 +84,7 @@ func main() {
 		testNeg = append(testNeg, platod2gl.Edge{Src: e.Src, Dst: other[rng.Intn(len(other))]})
 	}
 
-	fmt.Printf("AUC before training: %.3f\n", tr.AUC(testPos, testNeg))
+	fmt.Printf("AUC before training: %.3f\n", mustAUC(tr, testPos, testNeg))
 	for wave := 0; wave < 3; wave++ {
 		// Train on the current edge set.
 		for step := 0; step < 40; step++ {
@@ -82,20 +92,25 @@ func main() {
 			for i := range batch {
 				batch[i] = edges[rng.Intn(len(edges))]
 			}
-			tr.TrainStep(batch)
+			if _, err := tr.TrainStep(batch); err != nil {
+				log.Fatalf("train step: %v", err)
+			}
 		}
 		// New interactions arrive — the next training wave and the next
 		// evaluation sample the updated topology directly.
 		for k := 0; k < 200; k++ {
 			edges = append(edges, interact(user(uint64(rng.Intn(users))), 1)...)
 		}
-		fmt.Printf("after wave %d: AUC %.3f, edges %d\n", wave, tr.AUC(testPos, testNeg), g.NumEdges())
+		fmt.Printf("after wave %d: AUC %.3f, edges %d\n", wave, mustAUC(tr, testPos, testNeg), g.NumEdges())
 	}
 
 	// Serving: top-5 live rooms for one user from the trained embeddings.
 	u := user(1)
 	ul, _ := g.Label(u)
-	recs := tr.Recommend(u, pool, 5)
+	recs, err := tr.Recommend(u, pool, 5)
+	if err != nil {
+		log.Fatalf("recommend: %v", err)
+	}
 	own := 0
 	for _, r := range recs {
 		if l, _ := g.Label(r.ID); l == ul {

@@ -9,7 +9,9 @@ import (
 	"platod2gl/internal/gnn"
 	"platod2gl/internal/graph"
 	"platod2gl/internal/kvstore"
+	"platod2gl/internal/sampler"
 	"platod2gl/internal/storage"
+	"platod2gl/internal/view"
 )
 
 // RunGNN demonstrates end-to-end dynamic GNN training (Fig. 1's workload):
@@ -54,14 +56,23 @@ func RunGNN(cfg Config) {
 	}
 
 	model := gnn.NewModel(dim, 32, classes, rng)
-	tr := gnn.NewTrainer(model, store, attrs, 0, 8, 5, 0.02)
-	gat := gnn.NewGATTrainer(gnn.NewGATModel(dim, 32, classes, rng), store, attrs, 0, 6, 0.02)
+	gv := view.NewLocal(store, attrs, sampler.Options{Parallelism: cfg.Workers, Seed: cfg.Seed})
+	tr := gnn.NewTrainer(model, gv, 0, 8, 5, 0.02)
+	gat := gnn.NewGATTrainer(gnn.NewGATModel(dim, 32, classes, rng), gv, 0, 6, 0.02)
 	train, test := ids[:1600], ids[1600:]
 	w := tab(cfg)
 	fmt.Fprintln(w, "epoch\tSAGE loss\tSAGE acc\tGAT loss\tGAT acc\tgraph edges")
 	for e := 0; e < 6; e++ {
-		res := tr.TrainEpoch(e, train, 64, rng)
-		gatRes := gat.TrainEpoch(e, train, 64, rng)
+		res, err := tr.TrainEpoch(e, train, 64, rng)
+		if err != nil {
+			fmt.Fprintf(cfg.Out, "SAGE epoch %d failed: %v\n", e, err)
+			return
+		}
+		gatRes, err := gat.TrainEpoch(e, train, 64, rng)
+		if err != nil {
+			fmt.Fprintf(cfg.Out, "GAT epoch %d failed: %v\n", e, err)
+			return
+		}
 		// Dynamic updates between epochs: new same-class edges arrive, the
 		// trainer's next samples see them immediately.
 		for k := 0; k < 200; k++ {
@@ -70,8 +81,10 @@ func RunGNN(cfg Config) {
 			peers := byClass[l]
 			store.AddEdge(graph.Edge{Src: id, Dst: peers[rng.Intn(len(peers))], Weight: 1})
 		}
+		sageAcc, _ := tr.Accuracy(test)
+		gatAcc, _ := gat.Accuracy(test)
 		fmt.Fprintf(w, "%d\t%.4f\t%.3f\t%.4f\t%.3f\t%d\n",
-			e, res.MeanLoss, tr.Accuracy(test), gatRes.MeanLoss, gat.Accuracy(test), store.NumEdges())
+			e, res.MeanLoss, sageAcc, gatRes.MeanLoss, gatAcc, store.NumEdges())
 	}
 	w.Flush()
 	fmt.Fprintln(cfg.Out, "expected shape: both losses decrease, accuracies well above the 0.25 random baseline, edges grow between epochs.")

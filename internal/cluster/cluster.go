@@ -33,6 +33,7 @@ import (
 	"math/rand"
 	"net"
 	"net/rpc"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -89,15 +90,30 @@ type DegreeReply struct {
 	Degrees []int
 }
 
-// FeatureArgs requests dense feature rows.
+// FeatureArgs requests dense feature rows, and optionally the nodes'
+// labels — supervised training against a cluster needs the labels pushed by
+// SetFeatures back out.
 type FeatureArgs struct {
-	Nodes []graph.VertexID
-	Dim   int
+	Nodes      []graph.VertexID
+	Dim        int
+	WithLabels bool
 }
 
-// FeatureReply returns a row-major (len(Nodes) × Dim) matrix.
+// FeatureReply returns a row-major (len(Nodes) × Dim) matrix, plus one
+// label per node (unlabeled = 0) when WithLabels was set.
 type FeatureReply struct {
-	Data []float32
+	Data   []float32
+	Labels []int32
+}
+
+// SourcesArgs requests the source vertices of one relation.
+type SourcesArgs struct {
+	Type graph.EdgeType
+}
+
+// SourcesReply lists this server's sources for the relation.
+type SourcesReply struct {
+	Nodes []graph.VertexID
 }
 
 // SetFeaturesArgs pushes dense feature rows and labels to a server.
@@ -271,6 +287,19 @@ func (s *Service) Features(args *FeatureArgs, reply *FeatureReply) (err error) {
 		return fmt.Errorf("cluster: server has no attribute store")
 	}
 	reply.Data = s.attrs.GatherFeatures(args.Nodes, args.Dim)
+	if args.WithLabels {
+		reply.Labels = s.attrs.GatherLabels(args.Nodes)
+	}
+	return nil
+}
+
+// Sources lists this server's source vertices for a relation.
+func (s *Service) Sources(args *SourcesArgs, reply *SourcesReply) (err error) {
+	defer guard("Sources", &err)
+	if !s.ready.Load() {
+		return ErrReplicaNotReady
+	}
+	reply.Nodes = s.store.Sources(args.Type)
 	return nil
 }
 
@@ -454,6 +483,11 @@ func NewClientOptions(conns []*rpc.Client, dialers []Dialer, opts Options) *Clie
 	}
 	jitter := newJitterRNG(opts.Seed)
 	c := &Client{opts: opts, metrics: opts.Metrics, jitter: jitter, shards: n / r, replicas: r}
+	if c.metrics == nil {
+		// Allocate eagerly so counters recorded before the first Metrics()
+		// call are never lost and the accessor stays race-free.
+		c.metrics = &Metrics{}
+	}
 	c.clientID = newClientID(jitter)
 	c.rr = make([]atomic.Uint64, c.shards)
 	c.peers = make([]*peer, n)
@@ -531,12 +565,7 @@ func (c *Client) NumServers() int { return len(c.peers) }
 
 // Metrics returns the client's fault-tolerance counters (never nil; a
 // private instance is used when Options.Metrics was unset).
-func (c *Client) Metrics() *Metrics {
-	if c.metrics == nil {
-		c.metrics = &Metrics{}
-	}
-	return c.metrics
-}
+func (c *Client) Metrics() *Metrics { return c.metrics }
 
 func mix(x uint64) uint64 {
 	x ^= x >> 33
@@ -611,12 +640,29 @@ func (c *Client) sampleNeighbors(seeds []graph.VertexID, et graph.EdgeType, fano
 		return nil, nil, fmt.Errorf("cluster: negative fanout %d", fanout)
 	}
 	out := make([]graph.VertexID, len(seeds)*fanout)
-	partSeeds := make([][]graph.VertexID, c.shards)
-	partIdx := make([][]int, c.shards)
+	// Coalesce duplicate seeds per shard: multi-hop frontiers repeat
+	// vertices heavily, so each shard samples every distinct seed once and
+	// the reply block is scattered back to all of its occurrences.
+	partSeeds := make([][]graph.VertexID, c.shards) // distinct seeds per shard
+	partOcc := make([][][]int, c.shards)            // original indices per distinct seed
+	uniqOf := make(map[graph.VertexID]int, len(seeds))
+	uniq := 0
 	for i, s := range seeds {
 		p := c.shardFor(s)
-		partSeeds[p] = append(partSeeds[p], s)
-		partIdx[p] = append(partIdx[p], i)
+		j, ok := uniqOf[s]
+		if !ok {
+			j = len(partSeeds[p])
+			uniqOf[s] = j
+			partSeeds[p] = append(partSeeds[p], s)
+			partOcc[p] = append(partOcc[p], nil)
+			uniq++
+		}
+		partOcc[p][j] = append(partOcc[p][j], i)
+	}
+	if dups := len(seeds) - uniq; dups > 0 {
+		// Savings: 8 bytes per duplicate seed on the request, 8*fanout
+		// bytes per duplicate's sample block on the reply.
+		c.metrics.addCoalesced(int64(dups), int64(dups)*8*int64(1+fanout))
 	}
 	report := &FanoutReport{}
 	for p := range partSeeds {
@@ -637,8 +683,11 @@ func (c *Client) sampleNeighbors(seeds []graph.VertexID, et graph.EdgeType, fano
 			return fmt.Errorf("cluster: shard %d returned %d samples, want %d",
 				p, len(reply.Neighbors), len(partSeeds[p])*fanout)
 		}
-		for j, origIdx := range partIdx[p] {
-			copy(out[origIdx*fanout:(origIdx+1)*fanout], reply.Neighbors[j*fanout:(j+1)*fanout])
+		for j := range partSeeds[p] {
+			block := reply.Neighbors[j*fanout : (j+1)*fanout]
+			for _, origIdx := range partOcc[p][j] {
+				copy(out[origIdx*fanout:(origIdx+1)*fanout], block)
+			}
 		}
 		return nil
 	})
@@ -653,10 +702,12 @@ func (c *Client) sampleNeighbors(seeds []graph.VertexID, et graph.EdgeType, fano
 		// Graceful degradation: the dead shard's seeds fall back to
 		// themselves, keeping the result full-length so training proceeds
 		// on partial neighborhoods.
-		for _, origIdx := range partIdx[p] {
-			base := origIdx * fanout
-			for k := 0; k < fanout; k++ {
-				out[base+k] = seeds[origIdx]
+		for _, occ := range partOcc[p] {
+			for _, origIdx := range occ {
+				base := origIdx * fanout
+				for k := 0; k < fanout; k++ {
+					out[base+k] = seeds[origIdx]
+				}
 			}
 		}
 	}
@@ -746,7 +797,29 @@ func (c *Client) SetFeatures(nodes []graph.VertexID, dim int, data []float32, la
 // dense row-major (len(nodes) x dim) matrix, reading one live replica per
 // shard.
 func (c *Client) Features(nodes []graph.VertexID, dim int) ([]float32, error) {
+	data, _, err := c.featuresLabels(nodes, dim, false)
+	return data, err
+}
+
+// FeaturesLabels gathers feature rows and class labels in one fan-out —
+// the read half of SetFeatures' (features, labels) push, which supervised
+// training needs back out. Unlabeled nodes get label 0.
+func (c *Client) FeaturesLabels(nodes []graph.VertexID, dim int) ([]float32, []int32, error) {
+	return c.featuresLabels(nodes, dim, true)
+}
+
+// Labels gathers only class labels (one fan-out, no feature payload).
+func (c *Client) Labels(nodes []graph.VertexID) ([]int32, error) {
+	_, labels, err := c.featuresLabels(nodes, 0, true)
+	return labels, err
+}
+
+func (c *Client) featuresLabels(nodes []graph.VertexID, dim int, withLabels bool) ([]float32, []int32, error) {
 	out := make([]float32, len(nodes)*dim)
+	var labels []int32
+	if withLabels {
+		labels = make([]int32, len(nodes))
+	}
 	partNodes := make([][]graph.VertexID, c.shards)
 	partIdx := make([][]int, c.shards)
 	for i, n := range nodes {
@@ -759,18 +832,48 @@ func (c *Client) Features(nodes []graph.VertexID, dim int) ([]float32, error) {
 			return nil
 		}
 		var reply FeatureReply
-		if err := c.readShard(p, ServiceName+".Features", &FeatureArgs{Nodes: partNodes[p], Dim: dim}, &reply); err != nil {
+		args := &FeatureArgs{Nodes: partNodes[p], Dim: dim, WithLabels: withLabels}
+		if err := c.readShard(p, ServiceName+".Features", args, &reply); err != nil {
 			return err
 		}
 		if len(reply.Data) != len(partNodes[p])*dim {
 			return fmt.Errorf("cluster: shard %d returned %d floats", p, len(reply.Data))
 		}
+		if withLabels && len(reply.Labels) != len(partNodes[p]) {
+			return fmt.Errorf("cluster: shard %d returned %d labels for %d nodes",
+				p, len(reply.Labels), len(partNodes[p]))
+		}
 		for j, origIdx := range partIdx[p] {
 			copy(out[origIdx*dim:(origIdx+1)*dim], reply.Data[j*dim:(j+1)*dim])
+			if withLabels {
+				labels[origIdx] = reply.Labels[j]
+			}
 		}
 		return nil
 	})
-	return out, err
+	return out, labels, err
+}
+
+// Sources lists the cluster's source vertices for a relation, concatenated
+// across shards (one live replica each) and sorted for determinism.
+func (c *Client) Sources(et graph.EdgeType) ([]graph.VertexID, error) {
+	var mu sync.Mutex
+	var all []graph.VertexID
+	err := c.fanOut(func(p int) error {
+		var reply SourcesReply
+		if err := c.readShard(p, ServiceName+".Sources", &SourcesArgs{Type: et}, &reply); err != nil {
+			return err
+		}
+		mu.Lock()
+		all = append(all, reply.Nodes...)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return all, nil
 }
 
 // Stats aggregates statistics across the cluster, counting each logical

@@ -26,6 +26,12 @@ type Metrics struct {
 	ReadFailovers atomic.Int64 // reads that moved on past a failed replica
 	StaleMarks    atomic.Int64 // replicas marked stale after a missed write
 
+	// Sampling-payload coalescing: duplicate seeds deduplicated out of
+	// SampleNeighbors/SampleSubgraph fan-outs (multi-hop frontiers repeat
+	// vertices heavily) and the approximate wire bytes that saved.
+	CoalescedSeeds atomic.Int64 // duplicate seeds removed from payloads
+	CoalescedBytes atomic.Int64 // request+reply bytes saved by coalescing
+
 	// Catch-up (both directions: served by a live peer, pulled by a
 	// rejoining replica).
 	CatchUps         atomic.Int64 // completed SyncFromPeer runs
@@ -43,6 +49,8 @@ type MetricsSnapshot struct {
 	BreakerOpens      int64
 	ReadFailovers     int64
 	StaleMarks        int64
+	CoalescedSeeds    int64
+	CoalescedBytes    int64
 	CatchUps          int64
 	CatchUpBytes      int64
 	CatchUpBatches    int64
@@ -62,6 +70,8 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		BreakerOpens:      m.BreakerOpens.Load(),
 		ReadFailovers:     m.ReadFailovers.Load(),
 		StaleMarks:        m.StaleMarks.Load(),
+		CoalescedSeeds:    m.CoalescedSeeds.Load(),
+		CoalescedBytes:    m.CoalescedBytes.Load(),
 		CatchUps:          m.CatchUps.Load(),
 		CatchUpBytes:      m.CatchUpBytes.Load(),
 		CatchUpBatches:    m.CatchUpBatches.Load(),
@@ -73,9 +83,10 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 // String renders the snapshot compactly for loadgen summaries and logs.
 func (s MetricsSnapshot) String() string {
 	return fmt.Sprintf(
-		"attempts=%d timeouts=%d retries=%d breaker_opens=%d failovers=%d stale_marks=%d catchups=%d catchup_bytes=%d catchup_batches=%d",
+		"attempts=%d timeouts=%d retries=%d breaker_opens=%d failovers=%d stale_marks=%d coalesced_seeds=%d coalesced_bytes=%d catchups=%d catchup_bytes=%d catchup_batches=%d",
 		s.RPCAttempts, s.RPCTimeouts, s.RPCRetries, s.BreakerOpens,
-		s.ReadFailovers, s.StaleMarks, s.CatchUps, s.CatchUpBytes, s.CatchUpBatches)
+		s.ReadFailovers, s.StaleMarks, s.CoalescedSeeds, s.CoalescedBytes,
+		s.CatchUps, s.CatchUpBytes, s.CatchUpBatches)
 }
 
 // Expvar returns an expvar.Var rendering the counters as a JSON object, for
@@ -119,6 +130,13 @@ func (m *Metrics) incFailover() {
 func (m *Metrics) incStaleMark() {
 	if m != nil {
 		m.StaleMarks.Add(1)
+	}
+}
+
+func (m *Metrics) addCoalesced(seeds, bytes int64) {
+	if m != nil {
+		m.CoalescedSeeds.Add(seeds)
+		m.CoalescedBytes.Add(bytes)
 	}
 }
 

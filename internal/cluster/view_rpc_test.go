@@ -1,0 +1,192 @@
+// Tests for the GraphView-facing RPC surface: the labels round-trip added
+// to the Features RPC, the Sources fan-out, and duplicate-seed coalescing
+// in the sampling payloads.
+package cluster
+
+import (
+	"testing"
+
+	"platod2gl/internal/graph"
+)
+
+func TestFeaturesLabelsRoundTrip(t *testing.T) {
+	client, shutdown := newCluster(t, 2)
+	defer shutdown()
+	const dim = 3
+	nodes := []graph.VertexID{
+		graph.MakeVertexID(0, 1), graph.MakeVertexID(0, 2),
+		graph.MakeVertexID(0, 3), graph.MakeVertexID(0, 4),
+	}
+	data := make([]float32, len(nodes)*dim)
+	labels := make([]int32, len(nodes))
+	for i := range nodes {
+		for d := 0; d < dim; d++ {
+			data[i*dim+d] = float32(i*10 + d)
+		}
+		labels[i] = int32(i % 3)
+	}
+	if err := client.SetFeatures(nodes, dim, data, labels); err != nil {
+		t.Fatal(err)
+	}
+
+	// One fan-out returns both features and labels, in node order.
+	gotData, gotLabels, err := client.FeaturesLabels(nodes, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if gotData[i] != data[i] {
+			t.Fatalf("feature[%d] = %v, want %v", i, gotData[i], data[i])
+		}
+	}
+	for i := range labels {
+		if gotLabels[i] != labels[i] {
+			t.Fatalf("label[%d] = %d, want %d", i, gotLabels[i], labels[i])
+		}
+	}
+
+	// Labels-only read skips the feature payload.
+	onlyLabels, err := client.Labels(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range labels {
+		if onlyLabels[i] != labels[i] {
+			t.Fatalf("Labels[%d] = %d, want %d", i, onlyLabels[i], labels[i])
+		}
+	}
+
+	// Unknown vertices keep the dense conventions: zero rows, label 0.
+	unknown := []graph.VertexID{graph.MakeVertexID(7, 99)}
+	d, l, err := client.FeaturesLabels(unknown, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range d {
+		if v != 0 {
+			t.Fatalf("unknown feature[%d] = %v", i, v)
+		}
+	}
+	if l[0] != 0 {
+		t.Fatalf("unknown label = %d", l[0])
+	}
+}
+
+func TestSourcesAcrossShards(t *testing.T) {
+	client, shutdown := newCluster(t, 3)
+	defer shutdown()
+	var events []graph.Event
+	want := map[graph.VertexID]bool{}
+	for i := uint64(0); i < 40; i++ {
+		src := graph.MakeVertexID(0, i)
+		want[src] = true
+		events = append(events, graph.Event{
+			Kind:      graph.AddEdge,
+			Edge:      graph.Edge{Src: src, Dst: graph.MakeVertexID(1, i), Type: 2, Weight: 1},
+			Timestamp: int64(i),
+		})
+	}
+	// An edge of a different type must not surface under type 2.
+	events = append(events, graph.Event{
+		Kind: graph.AddEdge,
+		Edge: graph.Edge{Src: graph.MakeVertexID(0, 999), Dst: 1, Type: 5, Weight: 1},
+	})
+	if err := client.ApplyBatch(events); err != nil {
+		t.Fatal(err)
+	}
+	srcs, err := client.Sources(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srcs) != len(want) {
+		t.Fatalf("Sources returned %d vertices, want %d", len(srcs), len(want))
+	}
+	for i, s := range srcs {
+		if !want[s] {
+			t.Fatalf("unexpected source %v", s)
+		}
+		if i > 0 && srcs[i-1] >= s {
+			t.Fatalf("Sources not sorted ascending at %d: %v >= %v", i, srcs[i-1], s)
+		}
+	}
+}
+
+func TestSampleNeighborsCoalescesDuplicateSeeds(t *testing.T) {
+	client, shutdown := newCluster(t, 2)
+	defer shutdown()
+	var events []graph.Event
+	for i := uint64(0); i < 8; i++ {
+		src := graph.MakeVertexID(0, i)
+		for j := uint64(0); j < 4; j++ {
+			events = append(events, graph.Event{
+				Kind: graph.AddEdge,
+				Edge: graph.Edge{Src: src, Dst: graph.MakeVertexID(1, 100+j), Weight: 1},
+			})
+		}
+	}
+	if err := client.ApplyBatch(events); err != nil {
+		t.Fatal(err)
+	}
+
+	// 3 distinct seeds, each repeated 4 times.
+	distinct := []graph.VertexID{
+		graph.MakeVertexID(0, 0), graph.MakeVertexID(0, 1), graph.MakeVertexID(0, 2),
+	}
+	var seeds []graph.VertexID
+	for r := 0; r < 4; r++ {
+		seeds = append(seeds, distinct...)
+	}
+	const fanout = 5
+	before := client.Metrics().Snapshot()
+	out, err := client.SampleNeighbors(seeds, 0, fanout, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(seeds)*fanout {
+		t.Fatalf("result length %d, want %d", len(out), len(seeds)*fanout)
+	}
+	// Every occurrence of a seed shares the one coalesced sample block.
+	for i, s := range seeds {
+		first := -1
+		for j, s2 := range seeds[:i] {
+			if s2 == s {
+				first = j
+				break
+			}
+		}
+		if first < 0 {
+			continue
+		}
+		for k := 0; k < fanout; k++ {
+			if out[i*fanout+k] != out[first*fanout+k] {
+				t.Fatalf("seed %v occurrence %d diverged from occurrence %d at slot %d", s, i, first, k)
+			}
+		}
+	}
+	// All samples are genuine out-neighbors (dst range 100..103).
+	for i, v := range out {
+		vt, idx := v.Type(), v.Local()
+		if vt != 1 || idx < 100 || idx > 103 {
+			t.Fatalf("sample[%d] = %v not a neighbor", i, v)
+		}
+	}
+	after := client.Metrics().Snapshot()
+	dups := int64(len(seeds) - len(distinct))
+	if got := after.CoalescedSeeds - before.CoalescedSeeds; got != dups {
+		t.Fatalf("CoalescedSeeds += %d, want %d", got, dups)
+	}
+	wantBytes := dups * 8 * int64(1+fanout)
+	if got := after.CoalescedBytes - before.CoalescedBytes; got != wantBytes {
+		t.Fatalf("CoalescedBytes += %d, want %d", got, wantBytes)
+	}
+
+	// SampleSubgraph frontiers repeat vertices heavily; the hop-2 fan-out
+	// must keep coalescing (counter strictly grows).
+	layers, err := client.SampleSubgraph(distinct, graph.MetaPath{0, 0}, []int{4, 2}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(layers[0]) != len(distinct)*4 || len(layers[1]) != len(distinct)*4*2 {
+		t.Fatalf("layer sizes %d/%d", len(layers[0]), len(layers[1]))
+	}
+}

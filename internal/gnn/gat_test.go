@@ -154,17 +154,18 @@ func TestGATTrainerLearns(t *testing.T) {
 	store, attrs, ids := buildClassGraph(t, 300, 3)
 	rng := rand.New(rand.NewSource(13))
 	model := NewGATModel(8, 16, 3, rng)
-	tr := NewGATTrainer(model, store, attrs, 0, 5, 0.01)
+	tr := NewGATTrainer(model, testView(store, attrs, 2, 1), 0, 5, 0.01)
 
-	first := tr.TrainEpoch(0, ids, 32, rng)
+	first := mustEpoch(t, func() (EpochResult, error) { return tr.TrainEpoch(0, ids, 32, rng) })
 	var last EpochResult
 	for e := 1; e < 5; e++ {
-		last = tr.TrainEpoch(e, ids, 32, rng)
+		e := e
+		last = mustEpoch(t, func() (EpochResult, error) { return tr.TrainEpoch(e, ids, 32, rng) })
 	}
 	if last.MeanLoss >= first.MeanLoss*0.7 {
 		t.Fatalf("GAT loss did not drop: %.4f -> %.4f", first.MeanLoss, last.MeanLoss)
 	}
-	if acc := tr.Accuracy(ids[:100]); acc < 0.6 {
+	if acc := mustAccuracy(t, tr.Accuracy, ids[:100]); acc < 0.6 {
 		t.Fatalf("GAT accuracy = %.3f", acc)
 	}
 }
@@ -172,8 +173,8 @@ func TestGATTrainerLearns(t *testing.T) {
 func TestGATTrainerBatchShapes(t *testing.T) {
 	store, attrs, ids := buildClassGraph(t, 60, 2)
 	rng := rand.New(rand.NewSource(14))
-	tr := NewGATTrainer(NewGATModel(8, 8, 2, rng), store, attrs, 0, 3, 0.01)
-	b := tr.SampleBatch(ids[:10])
+	tr := NewGATTrainer(NewGATModel(8, 8, 2, rng), testView(store, attrs, 2, 1), 0, 3, 0.01)
+	b := mustBatch(t, tr.SampleBatch, ids[:10])
 	if len(b.Hop1) != 30 || len(b.Hop2) != 90 {
 		t.Fatalf("hops: %d/%d", len(b.Hop1), len(b.Hop2))
 	}

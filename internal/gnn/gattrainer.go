@@ -1,12 +1,11 @@
 package gnn
 
 import (
+	"fmt"
 	"math/rand"
 
 	"platod2gl/internal/graph"
-	"platod2gl/internal/kvstore"
-	"platod2gl/internal/sampler"
-	"platod2gl/internal/storage"
+	"platod2gl/internal/view"
 )
 
 // GATModel is a two-layer graph-attention node classifier: the same
@@ -43,50 +42,56 @@ func (m *GATModel) ZeroGrads() {
 	m.L2.ZeroGrads()
 }
 
-// GATTrainer drives mini-batch attention-GNN training over a dynamic
-// topology store.
+// GATTrainer drives mini-batch attention-GNN training against a GraphView.
 type GATTrainer struct {
-	Model   *GATModel
-	Store   storage.TopologyStore
-	Attrs   *kvstore.Store
-	Sampler *sampler.Sampler
-	Opt     *Adam
-	Rel     graph.EdgeType
+	Model *GATModel
+	View  view.GraphView
+	Opt   *Adam
+	Rel   graph.EdgeType
 	// Fanout applies to both hops.
 	Fanout int
 }
 
-// NewGATTrainer wires an attention trainer with standard settings.
-func NewGATTrainer(model *GATModel, store storage.TopologyStore, attrs *kvstore.Store, rel graph.EdgeType, fanout int, lr float64) *GATTrainer {
+// NewGATTrainer wires an attention trainer to a graph view.
+func NewGATTrainer(model *GATModel, v view.GraphView, rel graph.EdgeType, fanout int, lr float64) *GATTrainer {
 	return &GATTrainer{
-		Model:   model,
-		Store:   store,
-		Attrs:   attrs,
-		Sampler: sampler.New(store, sampler.Options{Parallelism: 2, Seed: 1}),
-		Opt:     NewAdam(lr),
-		Rel:     rel,
-		Fanout:  fanout,
+		Model:  model,
+		View:   v,
+		Opt:    NewAdam(lr),
+		Rel:    rel,
+		Fanout: fanout,
 	}
 }
 
-// SampleBatch expands seeds two hops (both at Fanout) and gathers features.
-func (t *GATTrainer) SampleBatch(seeds []graph.VertexID) *Batch {
-	sg := t.Sampler.SampleSubgraph(seeds, graph.MetaPath{t.Rel, t.Rel}, []int{t.Fanout, t.Fanout})
-	hop1 := sg.Layers[0].Nodes
-	hop2 := sg.Layers[1].Nodes
-	b := &Batch{
+// SampleBatch expands seeds two hops (both at Fanout) and gathers features
+// for all three node sets in one view call, plus the seeds' labels.
+func (t *GATTrainer) SampleBatch(seeds []graph.VertexID) (*Batch, error) {
+	layers, err := t.View.SampleSubgraph(seeds, graph.MetaPath{t.Rel, t.Rel}, []int{t.Fanout, t.Fanout})
+	if err != nil {
+		return nil, fmt.Errorf("gnn: sample subgraph: %w", err)
+	}
+	hop1, hop2 := layers[0], layers[1]
+	dim := t.Model.InDim
+	nodes := make([]graph.VertexID, 0, len(seeds)+len(hop1)+len(hop2))
+	nodes = append(nodes, seeds...)
+	nodes = append(nodes, hop1...)
+	nodes = append(nodes, hop2...)
+	x, err := t.View.Features(nodes, dim)
+	if err != nil {
+		return nil, fmt.Errorf("gnn: gather features: %w", err)
+	}
+	labels, err := t.View.Labels(seeds)
+	if err != nil {
+		return nil, fmt.Errorf("gnn: gather labels: %w", err)
+	}
+	nS, n1 := len(seeds)*dim, len(hop1)*dim
+	return &Batch{
 		Seeds: seeds, Hop1: hop1, Hop2: hop2, F1: t.Fanout, F2: t.Fanout,
-		XSeeds: NewMatrixFrom(len(seeds), t.Model.InDim, t.Attrs.GatherFeatures(seeds, t.Model.InDim)),
-		XHop1:  NewMatrixFrom(len(hop1), t.Model.InDim, t.Attrs.GatherFeatures(hop1, t.Model.InDim)),
-		XHop2:  NewMatrixFrom(len(hop2), t.Model.InDim, t.Attrs.GatherFeatures(hop2, t.Model.InDim)),
-		Labels: make([]int32, len(seeds)),
-	}
-	for i, s := range seeds {
-		if l, ok := t.Attrs.Label(s); ok {
-			b.Labels[i] = l
-		}
-	}
-	return b
+		XSeeds: NewMatrixFrom(len(seeds), dim, x[:nS]),
+		XHop1:  NewMatrixFrom(len(hop1), dim, x[nS:nS+n1]),
+		XHop2:  NewMatrixFrom(len(hop2), dim, x[nS+n1:]),
+		Labels: labels,
+	}, nil
 }
 
 // Forward runs the 2-layer attention model, returning seed logits. Layer 1
@@ -115,11 +120,14 @@ func (t *GATTrainer) TrainStep(b *Batch) float64 {
 }
 
 // Accuracy evaluates classification accuracy on the given seeds.
-func (t *GATTrainer) Accuracy(seeds []graph.VertexID) float64 {
+func (t *GATTrainer) Accuracy(seeds []graph.VertexID) (float64, error) {
 	if len(seeds) == 0 {
-		return 0
+		return 0, nil
 	}
-	b := t.SampleBatch(seeds)
+	b, err := t.SampleBatch(seeds)
+	if err != nil {
+		return 0, err
+	}
 	pred := Argmax(t.Forward(b))
 	correct := 0
 	for i, p := range pred {
@@ -127,11 +135,11 @@ func (t *GATTrainer) Accuracy(seeds []graph.VertexID) float64 {
 			correct++
 		}
 	}
-	return float64(correct) / float64(len(seeds))
+	return float64(correct) / float64(len(seeds)), nil
 }
 
 // TrainEpoch shuffles seeds and trains mini-batches, returning mean loss.
-func (t *GATTrainer) TrainEpoch(epoch int, seeds []graph.VertexID, batchSize int, rng *rand.Rand) EpochResult {
+func (t *GATTrainer) TrainEpoch(epoch int, seeds []graph.VertexID, batchSize int, rng *rand.Rand) (EpochResult, error) {
 	perm := rng.Perm(len(seeds))
 	totalLoss := 0.0
 	batches := 0
@@ -140,11 +148,15 @@ func (t *GATTrainer) TrainEpoch(epoch int, seeds []graph.VertexID, batchSize int
 		for i := 0; i < batchSize; i++ {
 			batch[i] = seeds[perm[lo+i]]
 		}
-		totalLoss += t.TrainStep(t.SampleBatch(batch))
+		b, err := t.SampleBatch(batch)
+		if err != nil {
+			return EpochResult{Epoch: epoch}, err
+		}
+		totalLoss += t.TrainStep(b)
 		batches++
 	}
 	if batches == 0 {
-		return EpochResult{Epoch: epoch}
+		return EpochResult{Epoch: epoch}, nil
 	}
-	return EpochResult{Epoch: epoch, MeanLoss: totalLoss / float64(batches), Batches: batches}
+	return EpochResult{Epoch: epoch, MeanLoss: totalLoss / float64(batches), Batches: batches}, nil
 }

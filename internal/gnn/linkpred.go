@@ -1,14 +1,13 @@
 package gnn
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
 
 	"platod2gl/internal/graph"
-	"platod2gl/internal/kvstore"
-	"platod2gl/internal/sampler"
-	"platod2gl/internal/storage"
+	"platod2gl/internal/view"
 )
 
 // Link prediction is the actual training objective of the paper's
@@ -34,30 +33,26 @@ func NewLinkModel(inDim, outDim int, rng *rand.Rand) *LinkModel {
 	return &LinkModel{Enc: NewSAGELayer(inDim, outDim, false, rng), Dim: inDim, Out: outDim}
 }
 
-// LinkTrainer drives link-prediction training over a dynamic topology
-// store.
+// LinkTrainer drives link-prediction training against a GraphView.
 type LinkTrainer struct {
-	Model   *LinkModel
-	Store   storage.TopologyStore
-	Attrs   *kvstore.Store
-	Sampler *sampler.Sampler
-	Opt     *Adam
-	Rel     graph.EdgeType
-	Fanout  int
+	Model  *LinkModel
+	View   view.GraphView
+	Opt    *Adam
+	Rel    graph.EdgeType
+	Fanout int
 	// NegativePool is the candidate set for negative destinations.
 	NegativePool []graph.VertexID
 	rng          *rand.Rand
 }
 
 // NewLinkTrainer wires a link-prediction trainer. negativePool supplies the
-// corruption candidates (typically all items).
-func NewLinkTrainer(model *LinkModel, store storage.TopologyStore, attrs *kvstore.Store,
+// corruption candidates (typically all items); seed drives negative
+// sampling.
+func NewLinkTrainer(model *LinkModel, v view.GraphView,
 	rel graph.EdgeType, fanout int, lr float64, negativePool []graph.VertexID, seed int64) *LinkTrainer {
 	return &LinkTrainer{
 		Model:        model,
-		Store:        store,
-		Attrs:        attrs,
-		Sampler:      sampler.New(store, sampler.Options{Parallelism: 2, Seed: seed}),
+		View:         v,
 		Opt:          NewAdam(lr),
 		Rel:          rel,
 		Fanout:       fanout,
@@ -67,21 +62,34 @@ func NewLinkTrainer(model *LinkModel, store storage.TopologyStore, attrs *kvstor
 }
 
 // embed encodes nodes from their features and 1-hop sampled neighborhoods.
-// Forward caches live in the encoder, so callers must embed all nodes of a
-// step in ONE call for backprop to see them.
-func (t *LinkTrainer) embed(nodes []graph.VertexID) *Matrix {
-	x := NewMatrixFrom(len(nodes), t.Model.Dim, t.Attrs.GatherFeatures(nodes, t.Model.Dim))
-	nb := t.Sampler.SampleNeighbors(nodes, t.Rel, t.Fanout)
-	xn := NewMatrixFrom(len(nb.Neighbors), t.Model.Dim, t.Attrs.GatherFeatures(nb.Neighbors, t.Model.Dim))
-	return t.Model.Enc.Forward(x, MeanPool(xn, t.Fanout))
+// The self and neighbor feature pulls share one view call, so a remote
+// backend pays a single feature fan-out per step. Forward caches live in
+// the encoder, so callers must embed all nodes of a step in ONE call for
+// backprop to see them.
+func (t *LinkTrainer) embed(nodes []graph.VertexID) (*Matrix, error) {
+	neigh, err := t.View.SampleNeighbors(nodes, t.Rel, t.Fanout)
+	if err != nil {
+		return nil, fmt.Errorf("gnn: sample neighbors: %w", err)
+	}
+	all := make([]graph.VertexID, 0, len(nodes)+len(neigh))
+	all = append(all, nodes...)
+	all = append(all, neigh...)
+	x, err := t.View.Features(all, t.Model.Dim)
+	if err != nil {
+		return nil, fmt.Errorf("gnn: gather features: %w", err)
+	}
+	n := len(nodes) * t.Model.Dim
+	xSelf := NewMatrixFrom(len(nodes), t.Model.Dim, x[:n])
+	xNeigh := NewMatrixFrom(len(neigh), t.Model.Dim, x[n:])
+	return t.Model.Enc.Forward(xSelf, MeanPool(xNeigh, t.Fanout)), nil
 }
 
 // TrainStep trains on a batch of positive edges plus one uniform negative
 // per positive, returning the mean logistic loss.
-func (t *LinkTrainer) TrainStep(positives []graph.Edge) float64 {
+func (t *LinkTrainer) TrainStep(positives []graph.Edge) (float64, error) {
 	n := len(positives)
 	if n == 0 {
-		return 0
+		return 0, nil
 	}
 	// Layout: rows [0,n) = sources, [n,2n) = positive dsts, [2n,3n) =
 	// negative dsts — one encoder pass over the concatenation.
@@ -96,7 +104,10 @@ func (t *LinkTrainer) TrainStep(positives []graph.Edge) float64 {
 		nodes = append(nodes, t.NegativePool[t.rng.Intn(len(t.NegativePool))])
 	}
 	t.Model.Enc.ZeroGrads()
-	h := t.embed(nodes)
+	h, err := t.embed(nodes)
+	if err != nil {
+		return 0, err
+	}
 	d := t.Model.Out
 
 	// Pair scores s = <h_src, h_dst>; logistic loss with labels 1 (pos)
@@ -133,11 +144,11 @@ func (t *LinkTrainer) TrainStep(positives []graph.Edge) float64 {
 	}
 	t.Model.Enc.Backward(dh)
 	t.Opt.Step(t.Model.Enc.Params(), t.Model.Enc.Grads())
-	return loss * inv // mean over the 2n scored pairs
+	return loss * inv, nil // mean over the 2n scored pairs
 }
 
 // Score returns the link score (pre-sigmoid) for each (src, dst) pair.
-func (t *LinkTrainer) Score(pairs []graph.Edge) []float64 {
+func (t *LinkTrainer) Score(pairs []graph.Edge) ([]float64, error) {
 	n := len(pairs)
 	nodes := make([]graph.VertexID, 0, 2*n)
 	for _, e := range pairs {
@@ -146,7 +157,10 @@ func (t *LinkTrainer) Score(pairs []graph.Edge) []float64 {
 	for _, e := range pairs {
 		nodes = append(nodes, e.Dst)
 	}
-	h := t.embed(nodes)
+	h, err := t.embed(nodes)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]float64, n)
 	for i := 0; i < n; i++ {
 		hs := h.Row(i)
@@ -157,16 +171,22 @@ func (t *LinkTrainer) Score(pairs []graph.Edge) []float64 {
 		}
 		out[i] = s
 	}
-	return out
+	return out, nil
 }
 
 // AUC estimates ranking quality: the probability a positive edge outscores
 // a negative one, over all pos×neg pairs.
-func (t *LinkTrainer) AUC(positives, negatives []graph.Edge) float64 {
-	ps := t.Score(positives)
-	ns := t.Score(negatives)
+func (t *LinkTrainer) AUC(positives, negatives []graph.Edge) (float64, error) {
+	ps, err := t.Score(positives)
+	if err != nil {
+		return 0, err
+	}
+	ns, err := t.Score(negatives)
+	if err != nil {
+		return 0, err
+	}
 	if len(ps) == 0 || len(ns) == 0 {
-		return 0
+		return 0, nil
 	}
 	var wins float64
 	for _, p := range ps {
@@ -179,13 +199,17 @@ func (t *LinkTrainer) AUC(positives, negatives []graph.Edge) float64 {
 			}
 		}
 	}
-	return wins / float64(len(ps)*len(ns))
+	return wins / float64(len(ps)*len(ns)), nil
 }
 
 // Embed returns the current embeddings for nodes (inference; caches are
 // overwritten, do not interleave with TrainStep backprop).
-func (t *LinkTrainer) Embed(nodes []graph.VertexID) *Matrix {
-	return t.embed(nodes).Clone()
+func (t *LinkTrainer) Embed(nodes []graph.VertexID) (*Matrix, error) {
+	h, err := t.embed(nodes)
+	if err != nil {
+		return nil, err
+	}
+	return h.Clone(), nil
 }
 
 // Recommendation holds one scored candidate.
@@ -197,12 +221,15 @@ type Recommendation struct {
 // Recommend scores every candidate against the user's current embedding and
 // returns the top-k by dot product — the serving-side use of the trained
 // encoder. Embeddings reflect the live topology at call time.
-func (t *LinkTrainer) Recommend(u graph.VertexID, candidates []graph.VertexID, k int) []Recommendation {
+func (t *LinkTrainer) Recommend(u graph.VertexID, candidates []graph.VertexID, k int) ([]Recommendation, error) {
 	if len(candidates) == 0 || k <= 0 {
-		return nil
+		return nil, nil
 	}
 	nodes := append([]graph.VertexID{u}, candidates...)
-	h := t.embed(nodes)
+	h, err := t.embed(nodes)
+	if err != nil {
+		return nil, err
+	}
 	hu := h.Row(0)
 	recs := make([]Recommendation, len(candidates))
 	for i, c := range candidates {
@@ -222,5 +249,5 @@ func (t *LinkTrainer) Recommend(u graph.VertexID, candidates []graph.VertexID, k
 	if k > len(recs) {
 		k = len(recs)
 	}
-	return recs[:k]
+	return recs[:k], nil
 }

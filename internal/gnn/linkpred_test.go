@@ -11,6 +11,26 @@ import (
 	"platod2gl/internal/storage"
 )
 
+// mustLinkStep trains one link-prediction step, failing the test on error.
+func mustLinkStep(t testing.TB, tr *LinkTrainer, batch []graph.Edge) float64 {
+	t.Helper()
+	loss, err := tr.TrainStep(batch)
+	if err != nil {
+		t.Fatalf("TrainStep: %v", err)
+	}
+	return loss
+}
+
+// mustAUC evaluates AUC, failing the test on error.
+func mustAUC(t testing.TB, tr *LinkTrainer, pos, neg []graph.Edge) float64 {
+	t.Helper()
+	auc, err := tr.AUC(pos, neg)
+	if err != nil {
+		t.Fatalf("AUC: %v", err)
+	}
+	return auc
+}
+
 // buildBipartite creates a user-item graph with two taste communities:
 // users of community c interact with items of community c.
 func buildBipartite(t testing.TB) (*storage.DynamicStore, *kvstore.Store, []graph.Edge, []graph.VertexID, [2][]graph.VertexID) {
@@ -49,7 +69,7 @@ func TestLinkPredictionLearns(t *testing.T) {
 	store, attrs, edges, pool, itemsOf := buildBipartite(t)
 	rng := rand.New(rand.NewSource(4))
 	model := NewLinkModel(8, 16, rng)
-	tr := NewLinkTrainer(model, store, attrs, 0, 5, 0.05, pool, 7)
+	tr := NewLinkTrainer(model, testView(store, attrs, 2, 1), 0, 5, 0.05, pool, 7)
 
 	// Held-out positives; negatives corrupt with the *other* community's
 	// items, which are guaranteed non-edges.
@@ -60,16 +80,16 @@ func TestLinkPredictionLearns(t *testing.T) {
 		other := itemsOf[1-l]
 		testNeg = append(testNeg, graph.Edge{Src: e.Src, Dst: other[rng.Intn(len(other))]})
 	}
-	before := tr.AUC(testPos, testNeg)
+	before := mustAUC(t, tr, testPos, testNeg)
 	var lastLoss float64
 	for step := 0; step < 60; step++ {
 		batch := make([]graph.Edge, 64)
 		for i := range batch {
 			batch[i] = edges[rng.Intn(len(edges))]
 		}
-		lastLoss = tr.TrainStep(batch)
+		lastLoss = mustLinkStep(t, tr, batch)
 	}
-	after := tr.AUC(testPos, testNeg)
+	after := mustAUC(t, tr, testPos, testNeg)
 	if after < 0.8 {
 		t.Fatalf("AUC after training = %.3f (before %.3f), want >= 0.8", after, before)
 	}
@@ -84,8 +104,8 @@ func TestLinkPredictionLearns(t *testing.T) {
 func TestLinkTrainerEmptyBatch(t *testing.T) {
 	store, attrs, _, pool, _ := buildBipartite(t)
 	rng := rand.New(rand.NewSource(5))
-	tr := NewLinkTrainer(NewLinkModel(8, 8, rng), store, attrs, 0, 4, 0.01, pool, 9)
-	if loss := tr.TrainStep(nil); loss != 0 {
+	tr := NewLinkTrainer(NewLinkModel(8, 8, rng), testView(store, attrs, 2, 1), 0, 4, 0.01, pool, 9)
+	if loss := mustLinkStep(t, tr, nil); loss != 0 {
 		t.Fatalf("empty batch loss = %v", loss)
 	}
 }
@@ -93,8 +113,11 @@ func TestLinkTrainerEmptyBatch(t *testing.T) {
 func TestLinkScoreShape(t *testing.T) {
 	store, attrs, edges, pool, _ := buildBipartite(t)
 	rng := rand.New(rand.NewSource(6))
-	tr := NewLinkTrainer(NewLinkModel(8, 8, rng), store, attrs, 0, 4, 0.01, pool, 9)
-	scores := tr.Score(edges[:7])
+	tr := NewLinkTrainer(NewLinkModel(8, 8, rng), testView(store, attrs, 2, 1), 0, 4, 0.01, pool, 9)
+	scores, err := tr.Score(edges[:7])
+	if err != nil {
+		t.Fatalf("Score: %v", err)
+	}
 	if len(scores) != 7 {
 		t.Fatalf("Score returned %d values", len(scores))
 	}
@@ -103,11 +126,11 @@ func TestLinkScoreShape(t *testing.T) {
 func TestAUCBounds(t *testing.T) {
 	store, attrs, edges, pool, _ := buildBipartite(t)
 	rng := rand.New(rand.NewSource(8))
-	tr := NewLinkTrainer(NewLinkModel(8, 8, rng), store, attrs, 0, 4, 0.01, pool, 9)
-	if auc := tr.AUC(nil, nil); auc != 0 {
+	tr := NewLinkTrainer(NewLinkModel(8, 8, rng), testView(store, attrs, 2, 1), 0, 4, 0.01, pool, 9)
+	if auc := mustAUC(t, tr, nil, nil); auc != 0 {
 		t.Fatalf("empty AUC = %v", auc)
 	}
-	auc := tr.AUC(edges[:10], edges[10:20])
+	auc := mustAUC(t, tr, edges[:10], edges[10:20])
 	if auc < 0 || auc > 1 {
 		t.Fatalf("AUC out of range: %v", auc)
 	}
@@ -116,13 +139,13 @@ func TestAUCBounds(t *testing.T) {
 func TestRecommendRanksOwnCommunity(t *testing.T) {
 	store, attrs, edges, pool, itemsOf := buildBipartite(t)
 	rng := rand.New(rand.NewSource(10))
-	tr := NewLinkTrainer(NewLinkModel(8, 16, rng), store, attrs, 0, 5, 0.05, pool, 11)
+	tr := NewLinkTrainer(NewLinkModel(8, 16, rng), testView(store, attrs, 2, 1), 0, 5, 0.05, pool, 11)
 	for step := 0; step < 60; step++ {
 		batch := make([]graph.Edge, 64)
 		for i := range batch {
 			batch[i] = edges[rng.Intn(len(edges))]
 		}
-		tr.TrainStep(batch)
+		mustLinkStep(t, tr, batch)
 	}
 	// Top-10 recommendations for a community-0 user should be dominated by
 	// community-0 items.
@@ -133,7 +156,10 @@ func TestRecommendRanksOwnCommunity(t *testing.T) {
 			break
 		}
 	}
-	recs := tr.Recommend(u, pool, 10)
+	recs, err := tr.Recommend(u, pool, 10)
+	if err != nil {
+		t.Fatalf("Recommend: %v", err)
+	}
 	if len(recs) != 10 {
 		t.Fatalf("got %d recommendations", len(recs))
 	}
@@ -153,7 +179,7 @@ func TestRecommendRanksOwnCommunity(t *testing.T) {
 			t.Fatal("recommendations not sorted")
 		}
 	}
-	if tr.Recommend(u, nil, 5) != nil {
-		t.Fatal("empty candidates returned recs")
+	if empty, err := tr.Recommend(u, nil, 5); err != nil || empty != nil {
+		t.Fatalf("empty candidates: recs=%v err=%v", empty, err)
 	}
 }

@@ -5,9 +5,7 @@ import (
 	"math/rand"
 
 	"platod2gl/internal/graph"
-	"platod2gl/internal/kvstore"
-	"platod2gl/internal/sampler"
-	"platod2gl/internal/storage"
+	"platod2gl/internal/view"
 )
 
 // Model is a two-layer GraphSAGE node classifier (Fig. 1's training phase):
@@ -58,53 +56,63 @@ type Batch struct {
 	Labels []int32
 }
 
-// Trainer drives mini-batch GNN training over a dynamic topology store.
+// Trainer drives mini-batch GNN training against a GraphView — it never
+// touches a concrete store, so the same trainer runs over an in-process
+// graph (view.Local) or a sharded cluster (view.Cluster).
 type Trainer struct {
-	Model   *Model
-	Store   storage.TopologyStore
-	Attrs   *kvstore.Store
-	Sampler *sampler.Sampler
-	Opt     *Adam
+	Model *Model
+	View  view.GraphView
+	Opt   *Adam
 	// Rel is the relation to expand over both hops.
 	Rel graph.EdgeType
 	// F1, F2 are the per-hop fanouts.
 	F1, F2 int
 }
 
-// NewTrainer wires a trainer with standard settings.
-func NewTrainer(model *Model, store storage.TopologyStore, attrs *kvstore.Store, rel graph.EdgeType, f1, f2 int, lr float64) *Trainer {
+// NewTrainer wires a trainer to a graph view.
+func NewTrainer(model *Model, v view.GraphView, rel graph.EdgeType, f1, f2 int, lr float64) *Trainer {
 	return &Trainer{
-		Model:   model,
-		Store:   store,
-		Attrs:   attrs,
-		Sampler: sampler.New(store, sampler.Options{Parallelism: 4, Seed: 1}),
-		Opt:     NewAdam(lr),
-		Rel:     rel,
-		F1:      f1,
-		F2:      f2,
+		Model: model,
+		View:  v,
+		Opt:   NewAdam(lr),
+		Rel:   rel,
+		F1:    f1,
+		F2:    f2,
 	}
 }
 
-// SampleBatch expands the seeds two hops and gathers features and labels.
-// Seeds without labels get label 0 — callers training on labeled sets should
-// pass labeled seeds.
-func (t *Trainer) SampleBatch(seeds []graph.VertexID) *Batch {
-	sg := t.Sampler.SampleSubgraph(seeds, graph.MetaPath{t.Rel, t.Rel}, []int{t.F1, t.F2})
-	hop1 := sg.Layers[0].Nodes
-	hop2 := sg.Layers[1].Nodes
-	b := &Batch{
+// SampleBatch expands the seeds two hops and gathers features and labels in
+// one view round-trip each (the feature pull covers seeds and both hops in
+// a single call, so a remote backend pays one fan-out, not three). Seeds
+// without labels get label 0 — callers training on labeled sets should pass
+// labeled seeds.
+func (t *Trainer) SampleBatch(seeds []graph.VertexID) (*Batch, error) {
+	layers, err := t.View.SampleSubgraph(seeds, graph.MetaPath{t.Rel, t.Rel}, []int{t.F1, t.F2})
+	if err != nil {
+		return nil, fmt.Errorf("gnn: sample subgraph: %w", err)
+	}
+	hop1, hop2 := layers[0], layers[1]
+	dim := t.Model.InDim
+	nodes := make([]graph.VertexID, 0, len(seeds)+len(hop1)+len(hop2))
+	nodes = append(nodes, seeds...)
+	nodes = append(nodes, hop1...)
+	nodes = append(nodes, hop2...)
+	x, err := t.View.Features(nodes, dim)
+	if err != nil {
+		return nil, fmt.Errorf("gnn: gather features: %w", err)
+	}
+	labels, err := t.View.Labels(seeds)
+	if err != nil {
+		return nil, fmt.Errorf("gnn: gather labels: %w", err)
+	}
+	nS, n1 := len(seeds)*dim, len(hop1)*dim
+	return &Batch{
 		Seeds: seeds, Hop1: hop1, Hop2: hop2, F1: t.F1, F2: t.F2,
-		XSeeds: NewMatrixFrom(len(seeds), t.Model.InDim, t.Attrs.GatherFeatures(seeds, t.Model.InDim)),
-		XHop1:  NewMatrixFrom(len(hop1), t.Model.InDim, t.Attrs.GatherFeatures(hop1, t.Model.InDim)),
-		XHop2:  NewMatrixFrom(len(hop2), t.Model.InDim, t.Attrs.GatherFeatures(hop2, t.Model.InDim)),
-		Labels: make([]int32, len(seeds)),
-	}
-	for i, s := range seeds {
-		if l, ok := t.Attrs.Label(s); ok {
-			b.Labels[i] = l
-		}
-	}
-	return b
+		XSeeds: NewMatrixFrom(len(seeds), dim, x[:nS]),
+		XHop1:  NewMatrixFrom(len(hop1), dim, x[nS:nS+n1]),
+		XHop2:  NewMatrixFrom(len(hop2), dim, x[nS+n1:]),
+		Labels: labels,
+	}, nil
 }
 
 // Forward runs the 2-layer model on a batch, returning seed logits.
@@ -150,11 +158,14 @@ func (t *Trainer) Loss(b *Batch) float64 {
 }
 
 // Accuracy evaluates classification accuracy on the given seeds.
-func (t *Trainer) Accuracy(seeds []graph.VertexID) float64 {
+func (t *Trainer) Accuracy(seeds []graph.VertexID) (float64, error) {
 	if len(seeds) == 0 {
-		return 0
+		return 0, nil
 	}
-	b := t.SampleBatch(seeds)
+	b, err := t.SampleBatch(seeds)
+	if err != nil {
+		return 0, err
+	}
 	pred := Argmax(t.Forward(b))
 	correct := 0
 	for i, p := range pred {
@@ -162,7 +173,7 @@ func (t *Trainer) Accuracy(seeds []graph.VertexID) float64 {
 			correct++
 		}
 	}
-	return float64(correct) / float64(len(seeds))
+	return float64(correct) / float64(len(seeds)), nil
 }
 
 // EpochResult summarizes one training epoch.
@@ -177,8 +188,10 @@ func (e EpochResult) String() string {
 }
 
 // TrainEpoch shuffles the seed set, trains on consecutive mini-batches, and
-// returns the mean loss.
-func (t *Trainer) TrainEpoch(epoch int, seeds []graph.VertexID, batchSize int, rng *rand.Rand) EpochResult {
+// returns the mean loss. This is the synchronous loop — sample, fetch,
+// train, strictly in series; internal/pipeline overlaps the sampling and
+// feature I/O of upcoming batches with the current TrainStep.
+func (t *Trainer) TrainEpoch(epoch int, seeds []graph.VertexID, batchSize int, rng *rand.Rand) (EpochResult, error) {
 	perm := rng.Perm(len(seeds))
 	totalLoss := 0.0
 	batches := 0
@@ -187,11 +200,15 @@ func (t *Trainer) TrainEpoch(epoch int, seeds []graph.VertexID, batchSize int, r
 		for i := 0; i < batchSize; i++ {
 			batch[i] = seeds[perm[lo+i]]
 		}
-		totalLoss += t.TrainStep(t.SampleBatch(batch))
+		b, err := t.SampleBatch(batch)
+		if err != nil {
+			return EpochResult{Epoch: epoch}, err
+		}
+		totalLoss += t.TrainStep(b)
 		batches++
 	}
 	if batches == 0 {
-		return EpochResult{Epoch: epoch}
+		return EpochResult{Epoch: epoch}, nil
 	}
-	return EpochResult{Epoch: epoch, MeanLoss: totalLoss / float64(batches), Batches: batches}
+	return EpochResult{Epoch: epoch, MeanLoss: totalLoss / float64(batches), Batches: batches}, nil
 }

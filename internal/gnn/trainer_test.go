@@ -8,8 +8,46 @@ import (
 	"platod2gl/internal/dataset"
 	"platod2gl/internal/graph"
 	"platod2gl/internal/kvstore"
+	"platod2gl/internal/sampler"
 	"platod2gl/internal/storage"
+	"platod2gl/internal/view"
 )
+
+// testView wraps store+attrs as the GraphView trainers consume, with the
+// sampler settings the trainers used to hardcode.
+func testView(store storage.TopologyStore, attrs *kvstore.Store, parallelism int, seed int64) view.GraphView {
+	return view.NewLocal(store, attrs, sampler.Options{Parallelism: parallelism, Seed: seed})
+}
+
+// mustBatch samples a batch from a local view, failing the test on error.
+func mustBatch(t testing.TB, sample func([]graph.VertexID) (*Batch, error), seeds []graph.VertexID) *Batch {
+	t.Helper()
+	b, err := sample(seeds)
+	if err != nil {
+		t.Fatalf("SampleBatch: %v", err)
+	}
+	return b
+}
+
+// mustEpoch runs one epoch, failing the test on error.
+func mustEpoch(t testing.TB, f func() (EpochResult, error)) EpochResult {
+	t.Helper()
+	res, err := f()
+	if err != nil {
+		t.Fatalf("TrainEpoch: %v", err)
+	}
+	return res
+}
+
+// mustAccuracy evaluates accuracy, failing the test on error.
+func mustAccuracy(t testing.TB, f func([]graph.VertexID) (float64, error), seeds []graph.VertexID) float64 {
+	t.Helper()
+	acc, err := f(seeds)
+	if err != nil {
+		t.Fatalf("Accuracy: %v", err)
+	}
+	return acc
+}
 
 // buildClassGraph creates a small homophilous graph: vertices of the same
 // class link to each other, so neighbor aggregation is informative.
@@ -43,8 +81,8 @@ func TestModelForwardShapes(t *testing.T) {
 	store, attrs, ids := buildClassGraph(t, 100, 3)
 	rng := rand.New(rand.NewSource(3))
 	model := NewModel(8, 16, 3, rng)
-	tr := NewTrainer(model, store, attrs, 0, 4, 3, 0.01)
-	b := tr.SampleBatch(ids[:10])
+	tr := NewTrainer(model, testView(store, attrs, 4, 1), 0, 4, 3, 0.01)
+	b := mustBatch(t, tr.SampleBatch, ids[:10])
 	if len(b.Hop1) != 40 || len(b.Hop2) != 120 {
 		t.Fatalf("hop sizes = %d/%d", len(b.Hop1), len(b.Hop2))
 	}
@@ -58,12 +96,13 @@ func TestTrainingReducesLoss(t *testing.T) {
 	store, attrs, ids := buildClassGraph(t, 300, 3)
 	rng := rand.New(rand.NewSource(5))
 	model := NewModel(8, 16, 3, rng)
-	tr := NewTrainer(model, store, attrs, 0, 5, 5, 0.01)
+	tr := NewTrainer(model, testView(store, attrs, 4, 1), 0, 5, 5, 0.01)
 
-	initial := tr.Loss(tr.SampleBatch(ids[:64]))
+	initial := tr.Loss(mustBatch(t, tr.SampleBatch, ids[:64]))
 	var last EpochResult
 	for e := 0; e < 5; e++ {
-		last = tr.TrainEpoch(e, ids, 32, rng)
+		e := e
+		last = mustEpoch(t, func() (EpochResult, error) { return tr.TrainEpoch(e, ids, 32, rng) })
 	}
 	if last.MeanLoss >= initial*0.7 {
 		t.Fatalf("loss did not drop: initial %.4f, final %.4f", initial, last.MeanLoss)
@@ -74,12 +113,13 @@ func TestTrainingReachesUsefulAccuracy(t *testing.T) {
 	store, attrs, ids := buildClassGraph(t, 400, 4)
 	rng := rand.New(rand.NewSource(6))
 	model := NewModel(8, 24, 4, rng)
-	tr := NewTrainer(model, store, attrs, 0, 5, 5, 0.02)
+	tr := NewTrainer(model, testView(store, attrs, 4, 1), 0, 5, 5, 0.02)
 	train, test := ids[:300], ids[300:]
 	for e := 0; e < 8; e++ {
-		tr.TrainEpoch(e, train, 32, rng)
+		e := e
+		mustEpoch(t, func() (EpochResult, error) { return tr.TrainEpoch(e, train, 32, rng) })
 	}
-	acc := tr.Accuracy(test)
+	acc := mustAccuracy(t, tr.Accuracy, test)
 	if acc < 0.6 { // random = 0.25
 		t.Fatalf("test accuracy %.3f, want >= 0.6", acc)
 	}
@@ -91,10 +131,10 @@ func TestDynamicGraphUpdatesReflectInSampling(t *testing.T) {
 	store, attrs, _ := buildClassGraph(t, 50, 2)
 	rng := rand.New(rand.NewSource(7))
 	model := NewModel(8, 8, 2, rng)
-	tr := NewTrainer(model, store, attrs, 0, 8, 2, 0.01)
+	tr := NewTrainer(model, testView(store, attrs, 4, 1), 0, 8, 2, 0.01)
 	seed := graph.MakeVertexID(0, 0)
 
-	before := tr.SampleBatch([]graph.VertexID{seed})
+	before := mustBatch(t, tr.SampleBatch, []graph.VertexID{seed})
 	// Rewire: remove all edges of seed, add one to a sentinel vertex.
 	ids, _ := store.Neighbors(seed, 0)
 	for _, dst := range ids {
@@ -103,7 +143,7 @@ func TestDynamicGraphUpdatesReflectInSampling(t *testing.T) {
 	sentinel := graph.MakeVertexID(0, 49)
 	store.AddEdge(graph.Edge{Src: seed, Dst: sentinel, Weight: 1})
 
-	after := tr.SampleBatch([]graph.VertexID{seed})
+	after := mustBatch(t, tr.SampleBatch, []graph.VertexID{seed})
 	for _, n := range after.Hop1 {
 		if n != sentinel {
 			t.Fatalf("sampled stale neighbor %v after rewiring", n)
@@ -123,8 +163,8 @@ func BenchmarkGNNTrainStep(b *testing.B) {
 	store, attrs, ids := buildClassGraph(b, 1000, 4)
 	rng := rand.New(rand.NewSource(8))
 	model := NewModel(8, 32, 4, rng)
-	tr := NewTrainer(model, store, attrs, 0, 10, 5, 0.01)
-	batch := tr.SampleBatch(ids[:64])
+	tr := NewTrainer(model, testView(store, attrs, 4, 1), 0, 10, 5, 0.01)
+	batch := mustBatch(b, tr.SampleBatch, ids[:64])
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr.TrainStep(batch)

@@ -81,6 +81,18 @@ func (s *Store) GatherFeatures(ids []graph.VertexID, dim int) []float32 {
 	return out
 }
 
+// GatherLabels copies the labels of ids into a dense vector. Vertices
+// without labels produce 0, matching GatherFeatures' zero-row convention.
+func (s *Store) GatherLabels(ids []graph.VertexID) []int32 {
+	out := make([]int32, len(ids))
+	for i, id := range ids {
+		if l, ok := s.Label(id); ok {
+			out[i] = l
+		}
+	}
+	return out
+}
+
 // SetLabel stores the class label for id.
 func (s *Store) SetLabel(id graph.VertexID, label int32) {
 	sh := s.shardFor(id)

@@ -1,0 +1,89 @@
+// Prefetch observability: did the pipeline actually hide storage latency?
+// A healthy pipelined epoch shows mostly prefetch hits (the next batch was
+// ready before the trainer asked) and little stall time; a stall-dominated
+// epoch means depth/workers are too low for the backend's latency. Counters
+// follow internal/cluster's conventions: cheap atomics, nil-safe helpers,
+// expvar-publishable.
+package pipeline
+
+import (
+	"expvar"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics aggregates prefetch counters. The zero value is ready to use; all
+// methods are safe on a nil receiver so metrics stay optional.
+type Metrics struct {
+	BatchesBuilt atomic.Int64 // batches assembled by workers
+	BuildNanos   atomic.Int64 // total time spent building batches
+	PrefetchHits atomic.Int64 // Next() served an already-buffered batch
+	Stalls       atomic.Int64 // Next() had to wait for the batch
+	StallNanos   atomic.Int64 // total time the consumer spent waiting
+}
+
+// MetricsSnapshot is a plain-value copy for printing and JSON encoding.
+type MetricsSnapshot struct {
+	BatchesBuilt int64
+	BuildNanos   int64
+	PrefetchHits int64
+	Stalls       int64
+	StallNanos   int64
+}
+
+// Snapshot copies the current counter values.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	if m == nil {
+		return MetricsSnapshot{}
+	}
+	return MetricsSnapshot{
+		BatchesBuilt: m.BatchesBuilt.Load(),
+		BuildNanos:   m.BuildNanos.Load(),
+		PrefetchHits: m.PrefetchHits.Load(),
+		Stalls:       m.Stalls.Load(),
+		StallNanos:   m.StallNanos.Load(),
+	}
+}
+
+// HitRate returns the fraction of consumer reads served without stalling.
+func (s MetricsSnapshot) HitRate() float64 {
+	total := s.PrefetchHits + s.Stalls
+	if total == 0 {
+		return 0
+	}
+	return float64(s.PrefetchHits) / float64(total)
+}
+
+// String renders the snapshot compactly for logs and epoch reports.
+func (s MetricsSnapshot) String() string {
+	return fmt.Sprintf("built=%d build_time=%s hits=%d stalls=%d stall_time=%s hit_rate=%.2f",
+		s.BatchesBuilt, time.Duration(s.BuildNanos), s.PrefetchHits, s.Stalls,
+		time.Duration(s.StallNanos), s.HitRate())
+}
+
+// Expvar returns an expvar.Var rendering the counters as a JSON object, for
+// expvar.Publish under the caller's chosen name.
+func (m *Metrics) Expvar() expvar.Var {
+	return expvar.Func(func() any { return m.Snapshot() })
+}
+
+func (m *Metrics) addBuild(d time.Duration) {
+	if m != nil {
+		m.BatchesBuilt.Add(1)
+		m.BuildNanos.Add(int64(d))
+	}
+}
+
+func (m *Metrics) incHit() {
+	if m != nil {
+		m.PrefetchHits.Add(1)
+	}
+}
+
+func (m *Metrics) addStall(d time.Duration) {
+	if m != nil {
+		m.Stalls.Add(1)
+		m.StallNanos.Add(int64(d))
+	}
+}

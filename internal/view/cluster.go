@@ -1,0 +1,64 @@
+package view
+
+import (
+	"sync/atomic"
+
+	"platod2gl/internal/cluster"
+	"platod2gl/internal/graph"
+)
+
+// Cluster adapts the fan-out cluster client to the GraphView contract, so
+// trainers run unchanged against a sharded deployment: sampling and
+// feature/label pulls become RPCs to the shards owning each vertex.
+//
+// Sampling RPCs carry an explicit RNG seed; Cluster derives a fresh one per
+// call from the base seed, so repeated calls draw fresh samples while a
+// single-threaded run stays reproducible end to end.
+type Cluster struct {
+	client *cluster.Client
+	seed   int64
+	seq    atomic.Int64
+}
+
+var _ GraphView = (*Cluster)(nil)
+
+// NewCluster wraps client. seed makes the per-call sampling seed sequence
+// reproducible for single-threaded (deterministic-mode) runs.
+func NewCluster(client *cluster.Client, seed int64) *Cluster {
+	return &Cluster{client: client, seed: seed}
+}
+
+// nextSeed spreads consecutive calls across the server-side RNG seed space.
+func (v *Cluster) nextSeed() int64 {
+	return v.seed + v.seq.Add(1)*1_000_003
+}
+
+// SampleNeighbors implements GraphView.
+func (v *Cluster) SampleNeighbors(seeds []graph.VertexID, et graph.EdgeType, fanout int) ([]graph.VertexID, error) {
+	return v.client.SampleNeighbors(seeds, et, fanout, v.nextSeed())
+}
+
+// SampleSubgraph implements GraphView.
+func (v *Cluster) SampleSubgraph(seeds []graph.VertexID, path graph.MetaPath, fanouts []int) ([][]graph.VertexID, error) {
+	return v.client.SampleSubgraph(seeds, path, fanouts, v.nextSeed())
+}
+
+// Degrees implements GraphView.
+func (v *Cluster) Degrees(nodes []graph.VertexID, et graph.EdgeType) ([]int, error) {
+	return v.client.Degree(nodes, et)
+}
+
+// Features implements GraphView.
+func (v *Cluster) Features(nodes []graph.VertexID, dim int) ([]float32, error) {
+	return v.client.Features(nodes, dim)
+}
+
+// Labels implements GraphView.
+func (v *Cluster) Labels(nodes []graph.VertexID) ([]int32, error) {
+	return v.client.Labels(nodes)
+}
+
+// Sources implements GraphView.
+func (v *Cluster) Sources(et graph.EdgeType) ([]graph.VertexID, error) {
+	return v.client.Sources(et)
+}

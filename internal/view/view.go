@@ -1,0 +1,136 @@
+// Package view decouples GNN training from graph storage: GraphView is the
+// backend-agnostic contract of the paper's TF-operator layer (Sec. III) —
+// trainers issue neighbor/subgraph sampling and feature/label pulls against
+// it and never touch a concrete store. Local wraps an in-process
+// storage.TopologyStore + kvstore.Store behind the contract; Cluster (see
+// cluster.go) adapts the fan-out cluster client, so the same training loop
+// runs against one machine or a sharded deployment unchanged.
+package view
+
+import (
+	"time"
+
+	"platod2gl/internal/graph"
+	"platod2gl/internal/kvstore"
+	"platod2gl/internal/sampler"
+	"platod2gl/internal/storage"
+)
+
+// GraphView is the storage seam trainers consume. Every implementation
+// shares the protocol's dense-result conventions: sampling results are
+// always full length (a seed without out-neighbors yields itself — the
+// self-loop fallback), unknown vertices produce zero feature rows, and
+// unlabeled vertices get label 0.
+type GraphView interface {
+	// SampleNeighbors draws fanout weighted neighbors (with replacement)
+	// per seed under relation et; len(result) == len(seeds)*fanout.
+	SampleNeighbors(seeds []graph.VertexID, et graph.EdgeType, fanout int) ([]graph.VertexID, error)
+	// SampleSubgraph expands seeds hop by hop along the meta-path: layer i
+	// holds len(previous frontier) * fanouts[i] nodes.
+	SampleSubgraph(seeds []graph.VertexID, path graph.MetaPath, fanouts []int) ([][]graph.VertexID, error)
+	// Degrees returns the out-degree of each node under et.
+	Degrees(nodes []graph.VertexID, et graph.EdgeType) ([]int, error)
+	// Features gathers a dense row-major (len(nodes) x dim) feature matrix.
+	Features(nodes []graph.VertexID, dim int) ([]float32, error)
+	// Labels returns the class label of each node (0 when unlabeled).
+	Labels(nodes []graph.VertexID) ([]int32, error)
+	// Sources lists the vertices with out-edges under et.
+	Sources(et graph.EdgeType) ([]graph.VertexID, error)
+}
+
+// Local is the single-machine GraphView: a topology store, its sampler, and
+// an attribute store. All errors are nil; the interface's error returns
+// exist for remote backends.
+type Local struct {
+	store storage.TopologyStore
+	attrs *kvstore.Store
+	smp   *sampler.Sampler
+}
+
+// NewLocal wraps store and attrs behind the GraphView contract. opt tunes
+// the batch sampler (parallelism, determinism seed) — the knobs trainers
+// previously hardcoded.
+func NewLocal(store storage.TopologyStore, attrs *kvstore.Store, opt sampler.Options) *Local {
+	return &Local{store: store, attrs: attrs, smp: sampler.New(store, opt)}
+}
+
+// SampleNeighbors implements GraphView.
+func (v *Local) SampleNeighbors(seeds []graph.VertexID, et graph.EdgeType, fanout int) ([]graph.VertexID, error) {
+	return v.smp.SampleNeighbors(seeds, et, fanout).Neighbors, nil
+}
+
+// SampleSubgraph implements GraphView.
+func (v *Local) SampleSubgraph(seeds []graph.VertexID, path graph.MetaPath, fanouts []int) ([][]graph.VertexID, error) {
+	sg := v.smp.SampleSubgraph(seeds, path, fanouts)
+	layers := make([][]graph.VertexID, len(sg.Layers))
+	for i, l := range sg.Layers {
+		layers[i] = l.Nodes
+	}
+	return layers, nil
+}
+
+// Degrees implements GraphView.
+func (v *Local) Degrees(nodes []graph.VertexID, et graph.EdgeType) ([]int, error) {
+	out := make([]int, len(nodes))
+	for i, n := range nodes {
+		out[i] = v.store.Degree(n, et)
+	}
+	return out, nil
+}
+
+// Features implements GraphView.
+func (v *Local) Features(nodes []graph.VertexID, dim int) ([]float32, error) {
+	return v.attrs.GatherFeatures(nodes, dim), nil
+}
+
+// Labels implements GraphView.
+func (v *Local) Labels(nodes []graph.VertexID) ([]int32, error) {
+	return v.attrs.GatherLabels(nodes), nil
+}
+
+// Sources implements GraphView.
+func (v *Local) Sources(et graph.EdgeType) ([]graph.VertexID, error) {
+	return v.store.Sources(et), nil
+}
+
+// WithLatency wraps v so every call sleeps d first — an injected per-call
+// RPC latency for demonstrating (and benchmarking) how the prefetch
+// pipeline overlaps storage waits with compute.
+func WithLatency(v GraphView, d time.Duration) GraphView {
+	return &delayed{inner: v, d: d}
+}
+
+type delayed struct {
+	inner GraphView
+	d     time.Duration
+}
+
+func (v *delayed) SampleNeighbors(seeds []graph.VertexID, et graph.EdgeType, fanout int) ([]graph.VertexID, error) {
+	time.Sleep(v.d)
+	return v.inner.SampleNeighbors(seeds, et, fanout)
+}
+
+func (v *delayed) SampleSubgraph(seeds []graph.VertexID, path graph.MetaPath, fanouts []int) ([][]graph.VertexID, error) {
+	time.Sleep(v.d)
+	return v.inner.SampleSubgraph(seeds, path, fanouts)
+}
+
+func (v *delayed) Degrees(nodes []graph.VertexID, et graph.EdgeType) ([]int, error) {
+	time.Sleep(v.d)
+	return v.inner.Degrees(nodes, et)
+}
+
+func (v *delayed) Features(nodes []graph.VertexID, dim int) ([]float32, error) {
+	time.Sleep(v.d)
+	return v.inner.Features(nodes, dim)
+}
+
+func (v *delayed) Labels(nodes []graph.VertexID) ([]int32, error) {
+	time.Sleep(v.d)
+	return v.inner.Labels(nodes)
+}
+
+func (v *delayed) Sources(et graph.EdgeType) ([]graph.VertexID, error) {
+	time.Sleep(v.d)
+	return v.inner.Sources(et)
+}

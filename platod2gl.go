@@ -31,6 +31,7 @@ import (
 	"platod2gl/internal/kvstore"
 	"platod2gl/internal/sampler"
 	"platod2gl/internal/storage"
+	"platod2gl/internal/view"
 )
 
 // Re-exported graph model types; see the corresponding internal/graph docs.
@@ -100,6 +101,12 @@ type (
 // EdgeKey addresses per-edge attributes.
 type EdgeKey = kvstore.EdgeKey
 
+// GraphView is the backend-agnostic storage seam GNN trainers consume:
+// sampling plus feature/label access, implemented by a local graph
+// (Graph.View) or a cluster client (internal/view.Cluster). See
+// docs/TRAINING.md.
+type GraphView = view.GraphView
+
 // MakeVertexID packs a vertex type and a 56-bit local ID.
 func MakeVertexID(t VertexType, local uint64) VertexID {
 	return graph.MakeVertexID(t, local)
@@ -146,6 +153,7 @@ type Graph struct {
 	store    *storage.DynamicStore
 	attrs    *kvstore.Store
 	smp      *sampler.Sampler
+	gview    *view.Local
 	counters *core.Counters
 }
 
@@ -165,13 +173,22 @@ func New(opts ...Option) *Graph {
 		},
 		Workers: cf.workers,
 	})
+	attrs := kvstore.New()
+	smpOpt := sampler.Options{Parallelism: cf.parallelism, Seed: cf.seed}
 	return &Graph{
 		store:    store,
-		attrs:    kvstore.New(),
-		smp:      sampler.New(store, sampler.Options{Parallelism: cf.parallelism, Seed: cf.seed}),
+		attrs:    attrs,
+		smp:      sampler.New(store, smpOpt),
+		gview:    view.NewLocal(store, attrs, smpOpt),
 		counters: counters,
 	}
 }
+
+// View returns a GraphView over this graph's local stores, sharing the
+// graph's sampler parallelism and seed (WithSamplerParallelism, WithSeed).
+// Trainers built by NewTrainer/NewGATTrainer/NewLinkTrainer consume it; use
+// it directly to drive internal/pipeline or custom training loops.
+func (g *Graph) View() GraphView { return g.gview }
 
 // AddEdge inserts e, or updates its weight if already present. Reports
 // whether the edge was new.
@@ -305,7 +322,7 @@ func NewModel(inDim, hidden, classes int, rng *rand.Rand) *Model {
 // NewTrainer wires a GNN trainer to this graph: relation rel is expanded
 // with fanouts f1 (hop 1) and f2 (hop 2).
 func (g *Graph) NewTrainer(model *Model, rel EdgeType, f1, f2 int, lr float64) *Trainer {
-	return gnn.NewTrainer(model, g.store, g.attrs, rel, f1, f2, lr)
+	return gnn.NewTrainer(model, g.gview, rel, f1, f2, lr)
 }
 
 // NewGATLayer builds a Glorot-initialized graph attention layer.
@@ -321,7 +338,7 @@ func NewGATModel(inDim, hidden, classes int, rng *rand.Rand) *GATModel {
 // NewGATTrainer wires an attention-GNN trainer: relation rel expanded at
 // the same fanout on both hops.
 func (g *Graph) NewGATTrainer(model *GATModel, rel EdgeType, fanout int, lr float64) *GATTrainer {
-	return gnn.NewGATTrainer(model, g.store, g.attrs, rel, fanout, lr)
+	return gnn.NewGATTrainer(model, g.gview, rel, fanout, lr)
 }
 
 // NewLinkModel builds a GraphSAGE link-prediction encoder.
@@ -333,7 +350,7 @@ func NewLinkModel(inDim, outDim int, rng *rand.Rand) *LinkModel {
 // objective): positives are observed edges of rel, negatives are drawn
 // uniformly from negativePool.
 func (g *Graph) NewLinkTrainer(model *LinkModel, rel EdgeType, fanout int, lr float64, negativePool []VertexID, seed int64) *LinkTrainer {
-	return gnn.NewLinkTrainer(model, g.store, g.attrs, rel, fanout, lr, negativePool, seed)
+	return gnn.NewLinkTrainer(model, g.gview, rel, fanout, lr, negativePool, seed)
 }
 
 // SaveModelParams serializes GNN parameters (from Model.Params or

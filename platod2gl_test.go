@@ -137,10 +137,17 @@ func TestPublicAPIEndToEndTraining(t *testing.T) {
 	}
 	model := platod2gl.NewModel(dim, 16, classes, rng)
 	tr := g.NewTrainer(model, 0, 4, 4, 0.02)
-	first := tr.TrainEpoch(0, ids, 32, rng)
+	first, err := tr.TrainEpoch(0, ids, 32, rng)
+	if err != nil {
+		t.Fatalf("epoch 0: %v", err)
+	}
 	var last float64
 	for e := 1; e < 5; e++ {
-		last = tr.TrainEpoch(e, ids, 32, rng).MeanLoss
+		res, err := tr.TrainEpoch(e, ids, 32, rng)
+		if err != nil {
+			t.Fatalf("epoch %d: %v", e, err)
+		}
+		last = res.MeanLoss
 	}
 	if last >= first.MeanLoss {
 		t.Fatalf("training loss did not decrease: %.4f -> %.4f", first.MeanLoss, last)
@@ -200,7 +207,11 @@ func TestPublicAPIExtendedSurface(t *testing.T) {
 	}
 	gat := platod2gl.NewGATModel(4, 8, 2, rng)
 	gtr := g.NewGATTrainer(gat, 1, 3, 0.01)
-	if loss := gtr.TrainStep(gtr.SampleBatch(ids[:16])); loss <= 0 {
+	gb, err := gtr.SampleBatch(ids[:16])
+	if err != nil {
+		t.Fatalf("GAT sample: %v", err)
+	}
+	if loss := gtr.TrainStep(gb); loss <= 0 {
 		t.Fatalf("GAT loss = %v", loss)
 	}
 
@@ -208,11 +219,11 @@ func TestPublicAPIExtendedSurface(t *testing.T) {
 	lm := platod2gl.NewLinkModel(4, 8, rng)
 	ltr := g.NewLinkTrainer(lm, 1, 3, 0.01, ids, 9)
 	pos := []platod2gl.Edge{{Src: ids[0], Dst: ids[1]}, {Src: ids[2], Dst: ids[3]}}
-	if loss := ltr.TrainStep(pos); loss <= 0 {
-		t.Fatalf("link loss = %v", loss)
+	if loss, err := ltr.TrainStep(pos); err != nil || loss <= 0 {
+		t.Fatalf("link loss = %v err = %v", loss, err)
 	}
-	if scores := ltr.Score(pos); len(scores) != 2 {
-		t.Fatalf("scores = %v", scores)
+	if scores, err := ltr.Score(pos); err != nil || len(scores) != 2 {
+		t.Fatalf("scores = %v err = %v", scores, err)
 	}
 
 	// Random walk through the API (already covered in integration, but the
