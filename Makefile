@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race chaos tier1 bench train-smoke
+.PHONY: build test vet race chaos tier1 bench train-smoke train-chaos
 
 build:
 	$(GO) build ./...
@@ -13,10 +13,10 @@ vet:
 
 # Race leg of the tier-1 loop: the concurrent retry/redial/breaker paths in
 # the cluster client, the storage engine the chaos tests hammer, the WAL the
-# replica catch-up tails, the fault-injection transport, and the
-# trainer/prefetch-pipeline concurrency.
+# replica catch-up tails, the fault-injection transport, the
+# trainer/prefetch-pipeline concurrency, and the checkpoint store.
 race: vet
-	$(GO) test -race ./internal/cluster/... ./internal/storage/... ./internal/eventlog/... ./internal/faultinject/... ./internal/gnn/... ./internal/pipeline/... ./internal/view/...
+	$(GO) test -race ./internal/cluster/... ./internal/storage/... ./internal/eventlog/... ./internal/faultinject/... ./internal/gnn/... ./internal/pipeline/... ./internal/view/... ./internal/checkpoint/...
 
 # Replication chaos drill: replica kill + failover + WAL-shipped rejoin,
 # twice, under the race detector.
@@ -33,3 +33,9 @@ bench:
 train-smoke: build
 	$(GO) run ./cmd/platod2gl-train -local -nodes 400 -epochs 2 -batch 32 -workers 2
 	$(GO) run ./cmd/platod2gl-train -shards 2 -nodes 400 -epochs 2 -batch 32 -workers 4 -depth 8
+
+# Training chaos drill: kill a shard mid-epoch, ride it out through view
+# retries + sampling degradation, SIGTERM-checkpoint, and resume — under the
+# race detector.
+train-chaos: build
+	$(GO) test -race -count=1 -run 'TestTrainChaosKillShardAndResume|TestGracefulSigterm' ./cmd/platod2gl-train/

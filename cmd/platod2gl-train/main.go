@@ -18,10 +18,24 @@
 //
 // -sample-delay injects per-call view latency to demonstrate how pipeline
 // depth/workers hide storage waits (compare -workers 1 vs -workers 8).
+//
+// Resilience (see docs/OPERATIONS.md, "Training resilience"):
+//
+//	-checkpoint-dir d     write durable checkpoints into d
+//	-checkpoint-every N   checkpoint after every N epochs (default 1)
+//	-checkpoint-keep K    retain the K newest checkpoints (default 3)
+//	-resume               resume from the newest usable checkpoint in d
+//	-view-retries R       retry transient view errors R extra times
+//	-degrade-sampling     answer retry-exhausted sampling with self-loops
+//	-batch-retries B      rebuild a failed batch up to B times
+//
+// SIGTERM (or Ctrl-C) drains the batch being trained, writes a final
+// checkpoint, and exits cleanly; a later -resume run continues mid-epoch.
 // See docs/TRAINING.md for the full walkthrough.
 package main
 
 import (
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
@@ -30,9 +44,12 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
+	"platod2gl/internal/checkpoint"
 	"platod2gl/internal/cluster"
 	"platod2gl/internal/core"
 	"platod2gl/internal/dataset"
@@ -67,6 +84,21 @@ type config struct {
 	workers     int
 	sampleDelay time.Duration
 	metricsAddr string
+
+	checkpointDir   string
+	checkpointEvery int
+	checkpointKeep  int
+	resume          bool
+	viewRetries     int
+	degradeSampling bool
+	batchRetries    int
+
+	// Test hooks. onCluster receives the in-process cluster built for
+	// -shards (chaos tests stop/restart shards through it); onStep fires
+	// after every trained mini-batch with the epoch and the 1-based count of
+	// batches applied so far this epoch.
+	onCluster func(*cluster.LocalCluster)
+	onStep    func(epoch, step int)
 }
 
 func main() {
@@ -89,6 +121,13 @@ func main() {
 	flag.IntVar(&cfg.workers, "workers", 2, "concurrent batch builders (1 = deterministic)")
 	flag.DurationVar(&cfg.sampleDelay, "sample-delay", 0, "injected per-call view latency (demonstrates overlap)")
 	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "HTTP address serving /debug/vars (empty = disabled)")
+	flag.StringVar(&cfg.checkpointDir, "checkpoint-dir", "", "directory for durable training checkpoints (empty = disabled)")
+	flag.IntVar(&cfg.checkpointEvery, "checkpoint-every", 1, "checkpoint after every N epochs")
+	flag.IntVar(&cfg.checkpointKeep, "checkpoint-keep", 3, "retain the newest N checkpoints")
+	flag.BoolVar(&cfg.resume, "resume", false, "resume from the newest checkpoint in -checkpoint-dir")
+	flag.IntVar(&cfg.viewRetries, "view-retries", 2, "extra attempts per view call on transient storage errors")
+	flag.BoolVar(&cfg.degradeSampling, "degrade-sampling", false, "answer retry-exhausted sampling calls with self-loop batches instead of failing")
+	flag.IntVar(&cfg.batchRetries, "batch-retries", 1, "extra build attempts per failed mini-batch")
 	flag.Parse()
 	if err := run(cfg, os.Stdout); err != nil {
 		log.Fatal(err)
@@ -142,14 +181,20 @@ func buildView(cfg config, nodes []graph.VertexID, events []graph.Event, feats [
 		return view.NewLocal(store, attrs, opt), nil, func() {}, nil
 
 	case cfg.shards > 0:
-		client, shutdown := cluster.NewLocalCluster(cfg.shards, func(int) (storage.TopologyStore, *kvstore.Store) {
-			return storage.NewDynamicStore(storage.Options{Tree: core.Options{Compress: true}}), kvstore.New()
+		lc := cluster.NewLocalClusterOptions(cfg.shards, cluster.LocalOptions{
+			StoreFactory: func(int) (storage.TopologyStore, *kvstore.Store) {
+				return storage.NewDynamicStore(storage.Options{Tree: core.Options{Compress: true}}), kvstore.New()
+			},
 		})
+		client := lc.Client()
 		if err := loadCluster(client, cfg, nodes, events, feats, labels); err != nil {
-			shutdown()
+			lc.Shutdown()
 			return nil, nil, nil, err
 		}
-		return view.NewCluster(client, cfg.seed), client, shutdown, nil
+		if cfg.onCluster != nil {
+			cfg.onCluster(lc)
+		}
+		return view.NewCluster(client, cfg.seed), client, lc.Shutdown, nil
 
 	case cfg.servers != "":
 		addrs := strings.Split(cfg.servers, ",")
@@ -177,9 +222,31 @@ func loadCluster(client *cluster.Client, cfg config, nodes []graph.VertexID, eve
 	return nil
 }
 
+// epochRNG derives the shuffle RNG for one epoch from the base seed alone,
+// so a resumed run reproduces the exact mini-batch sequence of every epoch
+// without replaying the preceding ones.
+func epochRNG(seed int64, epoch int) *rand.Rand {
+	return rand.New(rand.NewSource(seed + 3 + int64(epoch)*1_000_003))
+}
+
+// publishOnce registers an expvar only if the name is still free — run may
+// be invoked repeatedly in one process (tests) and Publish panics on
+// duplicates.
+func publishOnce(name string, v expvar.Var) {
+	if expvar.Get(name) == nil {
+		expvar.Publish(name, v)
+	}
+}
+
 func run(cfg config, out io.Writer) error {
 	if cfg.epochs <= 0 || cfg.batch <= 0 || cfg.nodes < 10 {
 		return fmt.Errorf("need epochs > 0, batch > 0, nodes >= 10")
+	}
+	if cfg.checkpointEvery <= 0 {
+		cfg.checkpointEvery = 1
+	}
+	if cfg.checkpointKeep <= 0 {
+		cfg.checkpointKeep = 3
 	}
 	nodes, events, feats, labels := synthGraph(cfg)
 	gv, client, cleanup, err := buildView(cfg, nodes, events, feats, labels)
@@ -192,10 +259,25 @@ func run(cfg config, out io.Writer) error {
 	}
 
 	pm := &pipeline.Metrics{}
-	if cfg.metricsAddr != "" {
-		expvar.Publish("platod2gl_pipeline", pm.Expvar())
+	vm := &view.Metrics{}
+	cm := &checkpoint.Metrics{}
+	if cfg.viewRetries > 0 || cfg.degradeSampling {
+		rcfg := view.ResilientConfig{
+			Attempts:        cfg.viewRetries + 1,
+			DegradeSampling: cfg.degradeSampling,
+			Metrics:         vm,
+		}
 		if client != nil {
-			expvar.Publish("platod2gl_cluster", client.Metrics().Expvar())
+			rcfg.Transient = cluster.Transient
+		}
+		gv = view.NewResilient(gv, rcfg)
+	}
+	if cfg.metricsAddr != "" {
+		publishOnce("platod2gl_pipeline", pm.Expvar())
+		publishOnce("platod2gl_view", vm.Expvar())
+		publishOnce("platod2gl_checkpoint", cm.Expvar())
+		if client != nil {
+			publishOnce("platod2gl_cluster", client.Metrics().Expvar())
 		}
 		go func() {
 			if err := http.ListenAndServe(cfg.metricsAddr, nil); err != nil {
@@ -210,28 +292,138 @@ func run(cfg config, out io.Writer) error {
 	split := cfg.nodes * 4 / 5
 	train, test := nodes[:split], nodes[split:]
 
+	// saveCkpt persists the full training state under the given manifest
+	// position. Epoch/Step name where training resumes FROM (Step batches of
+	// Epoch already applied).
+	saveCkpt := func(epoch, step int) error {
+		if cfg.checkpointDir == "" {
+			return nil
+		}
+		st := checkpoint.Capture(checkpoint.Manifest{
+			Epoch:     epoch,
+			Step:      step,
+			Seed:      cfg.seed,
+			SamplePos: view.SamplePos(gv),
+		}, model.Params(), tr.Opt)
+		path, err := checkpoint.Save(cfg.checkpointDir, st, checkpoint.SaveOptions{Keep: cfg.checkpointKeep, Metrics: cm})
+		if err != nil {
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+		fmt.Fprintf(out, "checkpoint: wrote %s (epoch %d step %d)\n", path, epoch, step)
+		return nil
+	}
+
+	startEpoch, startStep := 0, 0
+	if cfg.resume {
+		if cfg.checkpointDir == "" {
+			return fmt.Errorf("-resume needs -checkpoint-dir")
+		}
+		st, path, err := checkpoint.LoadLatest(cfg.checkpointDir, cm)
+		switch {
+		case err == nil:
+			if st.Manifest.Seed != cfg.seed {
+				return fmt.Errorf("checkpoint %s was written with -seed %d, run has -seed %d", path, st.Manifest.Seed, cfg.seed)
+			}
+			if err := st.Apply(model.Params(), tr.Opt); err != nil {
+				return fmt.Errorf("resume from %s: %w", path, err)
+			}
+			view.SetSamplePos(gv, st.Manifest.SamplePos)
+			startEpoch, startStep = st.Manifest.Epoch, st.Manifest.Step
+			fmt.Fprintf(out, "resumed from %s: epoch %d step %d\n", path, startEpoch, startStep)
+		case errors.Is(err, checkpoint.ErrNoCheckpoint):
+			fmt.Fprintf(out, "no checkpoint in %s, starting fresh\n", cfg.checkpointDir)
+		default:
+			return fmt.Errorf("resume: %w", err)
+		}
+	}
+
 	backend := "local"
 	if client != nil {
 		backend = fmt.Sprintf("cluster(%d shards)", client.NumServers())
 	}
 	fmt.Fprintf(out, "training on %s: %d nodes, %d edges, %d classes, batch %d, pipeline depth %d x %d workers\n",
 		backend, cfg.nodes, len(events), cfg.classes, cfg.batch, cfg.depth, cfg.workers)
+	if startEpoch >= cfg.epochs {
+		fmt.Fprintf(out, "checkpoint already at epoch %d, nothing to train\n", startEpoch)
+		return nil
+	}
 
-	pcfg := pipeline.Config{Depth: cfg.depth, Workers: cfg.workers, Metrics: pm}
+	// SIGTERM/interrupt drains the in-flight batch, checkpoints, and exits
+	// cleanly: an orchestrator's stop signal costs at most one mini-batch.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, os.Interrupt)
+	defer signal.Stop(sigCh)
+
+	pcfg := pipeline.Config{Depth: cfg.depth, Workers: cfg.workers, Retries: cfg.batchRetries, Metrics: pm}
 	start := time.Now()
-	for e := 0; e < cfg.epochs; e++ {
-		res, err := pipeline.TrainEpoch(tr, tr.SampleBatch, e, train, cfg.batch, rng, pcfg)
-		if err != nil {
-			return fmt.Errorf("epoch %d: %w", e, err)
+	for e := startEpoch; e < cfg.epochs; e++ {
+		batches := pipeline.SeedBatches(train, cfg.batch, epochRNG(cfg.seed, e))
+		skip := 0
+		if e == startEpoch && startStep > 0 {
+			if skip = startStep; skip > len(batches) {
+				skip = len(batches)
+			}
+			fmt.Fprintf(out, "epoch %d: skipping %d already-trained batches\n", e, skip)
+		}
+		p := pipeline.Run(batches[skip:], tr.SampleBatch, pcfg)
+		totalLoss, done := 0.0, 0
+		interrupted := false
+	epoch:
+		for {
+			select {
+			case <-sigCh:
+				interrupted = true
+				break epoch
+			default:
+			}
+			r, ok := p.Next()
+			if !ok {
+				break
+			}
+			if r.Err != nil {
+				p.Stop()
+				return fmt.Errorf("epoch %d: %w", e, r.Err)
+			}
+			totalLoss += tr.TrainStep(r.Batch)
+			done++
+			if cfg.onStep != nil {
+				cfg.onStep(e, skip+done)
+			}
+		}
+		if interrupted {
+			p.Close() // abandon prefetch without waiting out in-flight builds
+			p.Stop()
+			if err := saveCkpt(e, skip+done); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "interrupted: drained batch, wrote final checkpoint at epoch %d step %d\n", e, skip+done)
+			return nil
+		}
+		p.Stop()
+		trained := skip + done
+		meanLoss := 0.0
+		if done > 0 {
+			meanLoss = totalLoss / float64(done)
 		}
 		acc, err := tr.Accuracy(test)
 		if err != nil {
 			return fmt.Errorf("epoch %d accuracy: %w", e, err)
 		}
-		fmt.Fprintf(out, "epoch %d: loss %.4f acc %.3f (%d batches)\n", e, res.MeanLoss, acc, res.Batches)
+		fmt.Fprintf(out, "epoch %d: loss %.4f acc %.3f (%d batches)\n", e, meanLoss, acc, trained)
+		if (e+1)%cfg.checkpointEvery == 0 || e == cfg.epochs-1 {
+			if err := saveCkpt(e+1, 0); err != nil {
+				return err
+			}
+		}
 	}
-	fmt.Fprintf(out, "trained %d epochs in %s\n", cfg.epochs, time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(out, "trained %d epochs in %s\n", cfg.epochs-startEpoch, time.Since(start).Round(time.Millisecond))
 	fmt.Fprintf(out, "pipeline: %s\n", pm.Snapshot())
+	if cfg.viewRetries > 0 || cfg.degradeSampling {
+		fmt.Fprintf(out, "view: %s\n", vm.Snapshot())
+	}
+	if cfg.checkpointDir != "" {
+		fmt.Fprintf(out, "checkpoint: %s\n", cm.Snapshot())
+	}
 	if client != nil {
 		s := client.Metrics().Snapshot()
 		fmt.Fprintf(out, "cluster: %s\n", s)

@@ -1,0 +1,89 @@
+// Checkpoint observability: how often the session persisted, how much it
+// wrote, and whether resume ever had to skip a torn file. Counters follow
+// the repo's conventions: cheap atomics, nil-safe helpers, expvar-ready.
+package checkpoint
+
+import (
+	"expvar"
+	"fmt"
+	"sync/atomic"
+)
+
+// Metrics aggregates checkpoint counters. The zero value is ready to use;
+// all methods are safe on a nil receiver so metrics stay optional.
+type Metrics struct {
+	Saves      atomic.Int64 // checkpoints written successfully
+	SaveErrors atomic.Int64 // failed save attempts
+	SaveBytes  atomic.Int64 // total bytes written
+	Pruned     atomic.Int64 // old checkpoints removed by rotation
+	Loads      atomic.Int64 // checkpoints loaded successfully
+	Skipped    atomic.Int64 // torn/corrupt files skipped by LoadLatest
+}
+
+// MetricsSnapshot is a plain-value copy for printing and JSON encoding.
+type MetricsSnapshot struct {
+	Saves      int64
+	SaveErrors int64
+	SaveBytes  int64
+	Pruned     int64
+	Loads      int64
+	Skipped    int64
+}
+
+// Snapshot copies the current counter values.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	if m == nil {
+		return MetricsSnapshot{}
+	}
+	return MetricsSnapshot{
+		Saves:      m.Saves.Load(),
+		SaveErrors: m.SaveErrors.Load(),
+		SaveBytes:  m.SaveBytes.Load(),
+		Pruned:     m.Pruned.Load(),
+		Loads:      m.Loads.Load(),
+		Skipped:    m.Skipped.Load(),
+	}
+}
+
+// String renders the snapshot compactly for logs and session reports.
+func (s MetricsSnapshot) String() string {
+	return fmt.Sprintf("saves=%d save_errors=%d bytes=%d pruned=%d loads=%d skipped=%d",
+		s.Saves, s.SaveErrors, s.SaveBytes, s.Pruned, s.Loads, s.Skipped)
+}
+
+// Expvar returns an expvar.Var rendering the counters as a JSON object, for
+// expvar.Publish under the caller's chosen name.
+func (m *Metrics) Expvar() expvar.Var {
+	return expvar.Func(func() any { return m.Snapshot() })
+}
+
+func (m *Metrics) addSave(bytes int64) {
+	if m != nil {
+		m.Saves.Add(1)
+		m.SaveBytes.Add(bytes)
+	}
+}
+
+func (m *Metrics) incSaveError() {
+	if m != nil {
+		m.SaveErrors.Add(1)
+	}
+}
+
+func (m *Metrics) incPruned() {
+	if m != nil {
+		m.Pruned.Add(1)
+	}
+}
+
+func (m *Metrics) incLoad() {
+	if m != nil {
+		m.Loads.Add(1)
+	}
+}
+
+func (m *Metrics) incSkipped() {
+	if m != nil {
+		m.Skipped.Add(1)
+	}
+}

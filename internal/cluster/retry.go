@@ -201,18 +201,26 @@ func callTimeout(rc *rpc.Client, method string, args, reply any, d time.Duration
 	}
 }
 
-// retryable reports whether err is a transport-level failure worth retrying
-// on a fresh connection. Application errors returned by the service
-// (rpc.ServerError) are deterministic — retrying them wastes a round trip —
-// except in-progress duplicate failures, which servers never return as
-// ServerError anyway.
-func retryable(err error) bool {
+// Transient reports whether err is plausibly transient — a transport
+// failure, per-call timeout, failed dial, or open circuit breaker — as
+// opposed to a deterministic application rejection (rpc.ServerError), which
+// no amount of retrying fixes. Higher layers (view.Resilient, the training
+// pipeline's batch retry) use it to decide whether a failed call is worth
+// repeating.
+func Transient(err error) bool {
 	if err == nil {
 		return false
 	}
 	var serverErr rpc.ServerError
 	return !errors.As(err, &serverErr)
 }
+
+// retryable reports whether err is a transport-level failure worth retrying
+// on a fresh connection. Application errors returned by the service
+// (rpc.ServerError) are deterministic — retrying them wastes a round trip —
+// except in-progress duplicate failures, which servers never return as
+// ServerError anyway.
+func retryable(err error) bool { return Transient(err) }
 
 // backoff returns the delay before retry attempt (1-based), exponential
 // from base capped at max, with uniform jitter in [delay/2, delay).

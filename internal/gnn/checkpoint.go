@@ -1,14 +1,23 @@
 package gnn
 
 import (
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"math"
 )
 
 // Checkpointing: dynamic GNN models retrain continuously (Sec. II-A's
 // M^(t)), so serving systems persist and reload parameters between
 // sessions. The format is a gob stream of named tensors.
+//
+// Two format versions exist. v1 (magic "platod2gl-model") is header +
+// tensors with no integrity protection. v2 (magic "platod2gl-model/v2")
+// appends a footer carrying a CRC32 over the tensor contents, so a torn or
+// bit-rotted checkpoint is rejected instead of silently loading garbage.
+// SaveParams always writes v2; LoadParams reads both.
 
 type checkpointHeader struct {
 	Magic   string
@@ -20,47 +29,90 @@ type checkpointTensor struct {
 	Data       []float32
 }
 
-const checkpointMagic = "platod2gl-model"
+// checkpointFooter closes a v2 stream: CRC is crc32.IEEE over every tensor's
+// shape and data (see tensorCRC), computed on the logical content rather than
+// the encoded bytes so it is independent of gob's framing.
+type checkpointFooter struct {
+	CRC uint32
+}
+
+const (
+	checkpointMagic   = "platod2gl-model"    // v1: no footer
+	checkpointMagicV2 = "platod2gl-model/v2" // v2: CRC32 content footer
+)
+
+// tensorCRC folds one tensor's shape and raw values into the running CRC.
+func tensorCRC(crc uint32, t checkpointTensor) uint32 {
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(t.Rows))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(t.Cols))
+	crc = crc32.Update(crc, crc32.IEEETable, hdr[:])
+	var buf [4]byte
+	for _, v := range t.Data {
+		binary.LittleEndian.PutUint32(buf[:], math.Float32bits(v))
+		crc = crc32.Update(crc, crc32.IEEETable, buf[:])
+	}
+	return crc
+}
 
 // SaveParams serializes a parameter set (as returned by Model.Params or
-// SAGELayer.Params).
+// SAGELayer.Params) in the v2 checksummed format.
 func SaveParams(w io.Writer, params []*Matrix) error {
 	enc := gob.NewEncoder(w)
-	if err := enc.Encode(checkpointHeader{Magic: checkpointMagic, Tensors: len(params)}); err != nil {
+	if err := enc.Encode(checkpointHeader{Magic: checkpointMagicV2, Tensors: len(params)}); err != nil {
 		return fmt.Errorf("gnn: encode header: %w", err)
 	}
+	var crc uint32
 	for i, p := range params {
-		if err := enc.Encode(checkpointTensor{Rows: p.Rows, Cols: p.Cols, Data: p.Data}); err != nil {
+		t := checkpointTensor{Rows: p.Rows, Cols: p.Cols, Data: p.Data}
+		if err := enc.Encode(t); err != nil {
 			return fmt.Errorf("gnn: encode tensor %d: %w", i, err)
 		}
+		crc = tensorCRC(crc, t)
+	}
+	if err := enc.Encode(checkpointFooter{CRC: crc}); err != nil {
+		return fmt.Errorf("gnn: encode footer: %w", err)
 	}
 	return nil
 }
 
 // LoadParams restores a parameter set in place. Tensor shapes must match the
-// receiving model exactly.
+// receiving model exactly. Both the current checksummed format and legacy
+// footer-less v1 checkpoints are accepted; a v2 stream whose content fails
+// its CRC is rejected.
 func LoadParams(r io.Reader, params []*Matrix) error {
 	dec := gob.NewDecoder(r)
 	var h checkpointHeader
 	if err := dec.Decode(&h); err != nil {
 		return fmt.Errorf("gnn: decode header: %w", err)
 	}
-	if h.Magic != checkpointMagic {
+	if h.Magic != checkpointMagic && h.Magic != checkpointMagicV2 {
 		return fmt.Errorf("gnn: not a model checkpoint (magic %q)", h.Magic)
 	}
 	if h.Tensors != len(params) {
 		return fmt.Errorf("gnn: checkpoint has %d tensors, model expects %d", h.Tensors, len(params))
 	}
+	var crc uint32
 	for i, p := range params {
 		var t checkpointTensor
 		if err := dec.Decode(&t); err != nil {
 			return fmt.Errorf("gnn: decode tensor %d: %w", i, err)
 		}
 		if t.Rows != p.Rows || t.Cols != p.Cols {
-			return fmt.Errorf("gnn: tensor %d shape %dx%d, model expects %dx%d",
+			return fmt.Errorf("gnn: tensor %d: checkpoint shape %dx%d, model expects %dx%d",
 				i, t.Rows, t.Cols, p.Rows, p.Cols)
 		}
+		crc = tensorCRC(crc, t)
 		copy(p.Data, t.Data)
+	}
+	if h.Magic == checkpointMagicV2 {
+		var f checkpointFooter
+		if err := dec.Decode(&f); err != nil {
+			return fmt.Errorf("gnn: decode footer: %w", err)
+		}
+		if f.CRC != crc {
+			return fmt.Errorf("gnn: checkpoint checksum mismatch (stored %08x, computed %08x)", f.CRC, crc)
+		}
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package gnn
 
 import (
 	"bytes"
+	"encoding/gob"
 	"math/rand"
 	"strings"
 	"testing"
@@ -49,6 +50,110 @@ func TestCheckpointTensorCountMismatch(t *testing.T) {
 	l := NewSAGELayer(8, 16, true, rng)
 	if err := LoadParams(&buf, l.Params()); err == nil {
 		t.Fatal("expected tensor-count error")
+	}
+}
+
+// TestCheckpointReadsLegacyV1 writes the original footer-less format by hand
+// and checks LoadParams still accepts it (magic bump back-compat).
+func TestCheckpointReadsLegacyV1(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m1 := NewModel(6, 12, 3, rng)
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	params := m1.Params()
+	if err := enc.Encode(checkpointHeader{Magic: checkpointMagic, Tensors: len(params)}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range params {
+		if err := enc.Encode(checkpointTensor{Rows: p.Rows, Cols: p.Cols, Data: p.Data}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m2 := NewModel(6, 12, 3, rng)
+	if err := LoadParams(&buf, m2.Params()); err != nil {
+		t.Fatalf("legacy v1 checkpoint rejected: %v", err)
+	}
+	for i, p := range params {
+		for j := range p.Data {
+			if p.Data[j] != m2.Params()[i].Data[j] {
+				t.Fatalf("tensor %d[%d] differs after v1 load", i, j)
+			}
+		}
+	}
+}
+
+// TestCheckpointChecksumMismatch crafts a v2 stream whose footer disagrees
+// with the tensor content and expects rejection.
+func TestCheckpointChecksumMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := NewModel(4, 8, 2, rng)
+	params := m.Params()
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(checkpointHeader{Magic: checkpointMagicV2, Tensors: len(params)}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range params {
+		if err := enc.Encode(checkpointTensor{Rows: p.Rows, Cols: p.Cols, Data: p.Data}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Encode(checkpointFooter{CRC: 0xdeadbeef}); err != nil {
+		t.Fatal(err)
+	}
+	err := LoadParams(&buf, NewModel(4, 8, 2, rng).Params())
+	if err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("expected checksum mismatch, got %v", err)
+	}
+}
+
+func TestCheckpointShapeErrorReportsDims(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, NewModel(8, 16, 4, rng).Params()); err != nil {
+		t.Fatal(err)
+	}
+	err := LoadParams(&buf, NewModel(8, 32, 4, rng).Params())
+	if err == nil {
+		t.Fatal("expected shape error")
+	}
+	for _, want := range []string{"tensor 0", "8x16", "8x32", "expects"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("shape error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestAdamStateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	params := []*Matrix{NewMatrix(2, 3).Glorot(rng)}
+	grads := []*Matrix{NewMatrix(2, 3).Glorot(rng)}
+	a := NewAdam(0.05)
+	for i := 0; i < 4; i++ {
+		a.Step(params, grads)
+	}
+	st := a.State()
+	if st.T != 4 || len(st.M) != 1 || len(st.M[0]) != 6 {
+		t.Fatalf("unexpected state: T=%d M=%v", st.T, st.M)
+	}
+	// Continuing from a restored state must match continuing the original.
+	b := NewAdam(0.05)
+	b.SetState(st)
+	pa := []*Matrix{params[0].Clone()}
+	pb := []*Matrix{params[0].Clone()}
+	for i := 0; i < 3; i++ {
+		a.Step(pa, grads)
+		b.Step(pb, grads)
+	}
+	for j := range pa[0].Data {
+		if pa[0].Data[j] != pb[0].Data[j] {
+			t.Fatalf("restored optimizer diverged at %d: %v vs %v", j, pa[0].Data[j], pb[0].Data[j])
+		}
+	}
+	// Mutating the exported state must not alias the optimizer's internals.
+	st.M[0][0] = 99
+	if a.State().M[0][0] == 99 {
+		t.Fatal("State() aliases internal moments")
 	}
 }
 

@@ -93,6 +93,48 @@ func NewAdam(lr float64) *Adam {
 	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
 }
 
+// AdamState is the serializable optimizer state: the step count and both
+// moment vectors, aligned with the parameter tensors Step was called with.
+// Checkpoints carry it so a resumed training session continues the exact
+// update trajectory instead of restarting the moments from zero.
+type AdamState struct {
+	T    int
+	M, V [][]float32
+}
+
+// State deep-copies the optimizer state. An optimizer that has not stepped
+// yet returns a zero state (T == 0, nil moments).
+func (a *Adam) State() AdamState {
+	st := AdamState{T: a.t}
+	if a.m != nil {
+		st.M = make([][]float32, len(a.m))
+		st.V = make([][]float32, len(a.v))
+		for i := range a.m {
+			st.M[i] = append([]float32(nil), a.m[i]...)
+			st.V[i] = append([]float32(nil), a.v[i]...)
+		}
+	}
+	return st
+}
+
+// SetState restores a previously captured state, deep-copying the moment
+// vectors. A zero state resets the optimizer to fresh. Callers are
+// responsible for matching the state to the parameter set (the checkpoint
+// layer validates shapes before calling this).
+func (a *Adam) SetState(st AdamState) {
+	a.t = st.T
+	if st.M == nil {
+		a.m, a.v = nil, nil
+		return
+	}
+	a.m = make([][]float32, len(st.M))
+	a.v = make([][]float32, len(st.V))
+	for i := range st.M {
+		a.m[i] = append([]float32(nil), st.M[i]...)
+		a.v[i] = append([]float32(nil), st.V[i]...)
+	}
+}
+
 // Step applies one update to params from grads (aligned slices of tensors).
 func (a *Adam) Step(params, grads []*Matrix) {
 	if a.m == nil {

@@ -16,20 +16,24 @@ import (
 // Metrics aggregates prefetch counters. The zero value is ready to use; all
 // methods are safe on a nil receiver so metrics stay optional.
 type Metrics struct {
-	BatchesBuilt atomic.Int64 // batches assembled by workers
+	BatchesBuilt atomic.Int64 // batch build attempts completed by workers
 	BuildNanos   atomic.Int64 // total time spent building batches
 	PrefetchHits atomic.Int64 // Next() served an already-buffered batch
 	Stalls       atomic.Int64 // Next() had to wait for the batch
 	StallNanos   atomic.Int64 // total time the consumer spent waiting
+	BatchRetries atomic.Int64 // failed builds retried within Config.Retries
+	BatchFailures atomic.Int64 // batches whose retry budget ran out
 }
 
 // MetricsSnapshot is a plain-value copy for printing and JSON encoding.
 type MetricsSnapshot struct {
-	BatchesBuilt int64
-	BuildNanos   int64
-	PrefetchHits int64
-	Stalls       int64
-	StallNanos   int64
+	BatchesBuilt  int64
+	BuildNanos    int64
+	PrefetchHits  int64
+	Stalls        int64
+	StallNanos    int64
+	BatchRetries  int64
+	BatchFailures int64
 }
 
 // Snapshot copies the current counter values.
@@ -38,11 +42,13 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		return MetricsSnapshot{}
 	}
 	return MetricsSnapshot{
-		BatchesBuilt: m.BatchesBuilt.Load(),
-		BuildNanos:   m.BuildNanos.Load(),
-		PrefetchHits: m.PrefetchHits.Load(),
-		Stalls:       m.Stalls.Load(),
-		StallNanos:   m.StallNanos.Load(),
+		BatchesBuilt:  m.BatchesBuilt.Load(),
+		BuildNanos:    m.BuildNanos.Load(),
+		PrefetchHits:  m.PrefetchHits.Load(),
+		Stalls:        m.Stalls.Load(),
+		StallNanos:    m.StallNanos.Load(),
+		BatchRetries:  m.BatchRetries.Load(),
+		BatchFailures: m.BatchFailures.Load(),
 	}
 }
 
@@ -57,9 +63,9 @@ func (s MetricsSnapshot) HitRate() float64 {
 
 // String renders the snapshot compactly for logs and epoch reports.
 func (s MetricsSnapshot) String() string {
-	return fmt.Sprintf("built=%d build_time=%s hits=%d stalls=%d stall_time=%s hit_rate=%.2f",
+	return fmt.Sprintf("built=%d build_time=%s hits=%d stalls=%d stall_time=%s hit_rate=%.2f retries=%d failures=%d",
 		s.BatchesBuilt, time.Duration(s.BuildNanos), s.PrefetchHits, s.Stalls,
-		time.Duration(s.StallNanos), s.HitRate())
+		time.Duration(s.StallNanos), s.HitRate(), s.BatchRetries, s.BatchFailures)
 }
 
 // Expvar returns an expvar.Var rendering the counters as a JSON object, for
@@ -85,5 +91,17 @@ func (m *Metrics) addStall(d time.Duration) {
 	if m != nil {
 		m.Stalls.Add(1)
 		m.StallNanos.Add(int64(d))
+	}
+}
+
+func (m *Metrics) incBatchRetry() {
+	if m != nil {
+		m.BatchRetries.Add(1)
+	}
+}
+
+func (m *Metrics) incBatchFailure() {
+	if m != nil {
+		m.BatchFailures.Add(1)
 	}
 }

@@ -38,6 +38,11 @@ type Config struct {
 	// Depth is raised to Workers when smaller, so every worker can make
 	// progress.
 	Workers int
+	// Retries is how many extra build attempts a failed batch gets before
+	// its error is delivered in order. Transient storage errors (a shard
+	// flapping, a timed-out fan-out) then cost a rebuild instead of the
+	// epoch. Default 0: first failure is final.
+	Retries int
 	// Metrics, if set, receives prefetch-hit/stall counters (may be shared
 	// across epochs and published via expvar).
 	Metrics *Metrics
@@ -114,9 +119,26 @@ func Run(seedBatches [][]graph.VertexID, load Loader, cfg Config) *Pipeline {
 					return
 				case <-tokens[w]:
 				}
-				start := time.Now()
-				b, err := load(seedBatches[i])
-				p.metrics.addBuild(time.Since(start))
+				var b *gnn.Batch
+				var err error
+				for attempt := 0; ; attempt++ {
+					start := time.Now()
+					b, err = load(seedBatches[i])
+					p.metrics.addBuild(time.Since(start))
+					if err == nil || attempt >= cfg.Retries {
+						break
+					}
+					p.metrics.incBatchRetry()
+					// A halted pipeline must not burn the remaining budget.
+					select {
+					case <-p.stop:
+						return
+					default:
+					}
+				}
+				if err != nil {
+					p.metrics.incBatchFailure()
+				}
 				select {
 				case <-p.stop:
 					return
@@ -187,6 +209,13 @@ func (p *Pipeline) Next() (Result, bool) {
 func (p *Pipeline) halt() {
 	p.stopOnce.Do(func() { close(p.stop) })
 }
+
+// Close abandons the run without blocking: every worker and the deliverer is
+// signalled to exit as soon as its current batch build returns. Use it when
+// the consumer stops reading mid-stream (an interrupted epoch, an early
+// return) and must not wait out an in-flight build the way Stop does; a
+// later Stop still provides the happens-after barrier. Idempotent.
+func (p *Pipeline) Close() { p.halt() }
 
 // Stop cancels any remaining prefetch work and waits for the pipeline's
 // goroutines to exit. Idempotent; safe after full consumption, early exit,

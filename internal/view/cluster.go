@@ -33,6 +33,15 @@ func (v *Cluster) nextSeed() int64 {
 	return v.seed + v.seq.Add(1)*1_000_003
 }
 
+// SamplePos returns the number of sampling calls issued so far — the cursor
+// into the per-call seed sequence. Training checkpoints record it so a
+// resumed deterministic run draws the same samples the uninterrupted run
+// would have.
+func (v *Cluster) SamplePos() int64 { return v.seq.Load() }
+
+// SetSamplePos restores a cursor recorded by SamplePos.
+func (v *Cluster) SetSamplePos(pos int64) { v.seq.Store(pos) }
+
 // SampleNeighbors implements GraphView.
 func (v *Cluster) SampleNeighbors(seeds []graph.VertexID, et graph.EdgeType, fanout int) ([]graph.VertexID, error) {
 	return v.client.SampleNeighbors(seeds, et, fanout, v.nextSeed())

@@ -1,0 +1,255 @@
+// Resilient is the training tier's fault-tolerance seam: a GraphView
+// wrapper that retries transient storage errors with capped exponential
+// backoff and can degrade sampling (self-loop batches) instead of failing,
+// so one flapping shard costs sample quality for a few batches rather than
+// the epoch. It extends the cluster tier's discipline (PRs 1-2: timeouts,
+// breakers, failover) upward into the training loop, in the spirit of
+// AliGraph's fault-tolerant workers.
+package view
+
+import (
+	"expvar"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"platod2gl/internal/graph"
+)
+
+// ResilientConfig tunes a Resilient wrapper. The zero value means 3 total
+// attempts, 10ms initial backoff capped at 250ms, no degradation.
+type ResilientConfig struct {
+	// Attempts is the total number of tries per view call. Default 3.
+	Attempts int
+	// Backoff before the second attempt; doubled per further attempt.
+	// Default 10ms.
+	Backoff time.Duration
+	// MaxBackoff caps the per-retry delay. Default 250ms.
+	MaxBackoff time.Duration
+	// DegradeSampling answers retry-exhausted sampling calls with the
+	// protocol's self-loop fallback (every slot holds the expanded seed)
+	// instead of an error. Feature/label/degree errors always propagate:
+	// fabricating attribute data silently would poison training, while a
+	// self-loop neighborhood merely weakens one batch's aggregation.
+	DegradeSampling bool
+	// Transient, if set, classifies errors: a false return fails the call
+	// immediately (retrying a deterministic rejection is wasted latency).
+	// nil treats every error as possibly transient. cluster.Transient is
+	// the natural choice for cluster-backed views.
+	Transient func(error) bool
+	// Metrics, if set, receives retry/degrade counters.
+	Metrics *Metrics
+	// Sleep replaces time.Sleep between attempts (test hook).
+	Sleep func(time.Duration)
+}
+
+func (c ResilientConfig) withDefaults() ResilientConfig {
+	if c.Attempts <= 0 {
+		c.Attempts = 3
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 10 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 250 * time.Millisecond
+	}
+	if c.Sleep == nil {
+		c.Sleep = time.Sleep
+	}
+	return c
+}
+
+// Resilient wraps an inner GraphView with bounded retry and optional
+// sampling degradation.
+type Resilient struct {
+	inner GraphView
+	cfg   ResilientConfig
+}
+
+var _ GraphView = (*Resilient)(nil)
+
+// NewResilient wraps v. See ResilientConfig for the retry policy.
+func NewResilient(v GraphView, cfg ResilientConfig) *Resilient {
+	return &Resilient{inner: v, cfg: cfg.withDefaults()}
+}
+
+// Unwrap exposes the wrapped view for cursor helpers (SamplePos).
+func (v *Resilient) Unwrap() GraphView { return v.inner }
+
+// do runs call with the retry policy and returns the final error.
+func (v *Resilient) do(call func() error) error {
+	backoff := v.cfg.Backoff
+	var err error
+	for attempt := 0; attempt < v.cfg.Attempts; attempt++ {
+		if attempt > 0 {
+			v.cfg.Metrics.incRetry()
+			v.cfg.Sleep(backoff)
+			if backoff *= 2; backoff > v.cfg.MaxBackoff {
+				backoff = v.cfg.MaxBackoff
+			}
+		}
+		if err = call(); err == nil {
+			return nil
+		}
+		if v.cfg.Transient != nil && !v.cfg.Transient(err) {
+			v.cfg.Metrics.incPermanent()
+			return err
+		}
+	}
+	v.cfg.Metrics.incExhausted()
+	return err
+}
+
+// SampleNeighbors implements GraphView with retry and optional degradation.
+func (v *Resilient) SampleNeighbors(seeds []graph.VertexID, et graph.EdgeType, fanout int) ([]graph.VertexID, error) {
+	var out []graph.VertexID
+	err := v.do(func() (e error) {
+		out, e = v.inner.SampleNeighbors(seeds, et, fanout)
+		return e
+	})
+	if err != nil {
+		if v.cfg.DegradeSampling {
+			v.cfg.Metrics.incDegraded()
+			return selfLoopLayer(seeds, fanout), nil
+		}
+		return nil, fmt.Errorf("view: sample neighbors (after %d attempts): %w", v.cfg.Attempts, err)
+	}
+	return out, nil
+}
+
+// SampleSubgraph implements GraphView with retry and optional degradation.
+func (v *Resilient) SampleSubgraph(seeds []graph.VertexID, path graph.MetaPath, fanouts []int) ([][]graph.VertexID, error) {
+	var out [][]graph.VertexID
+	err := v.do(func() (e error) {
+		out, e = v.inner.SampleSubgraph(seeds, path, fanouts)
+		return e
+	})
+	if err != nil {
+		if v.cfg.DegradeSampling {
+			v.cfg.Metrics.incDegraded()
+			layers := make([][]graph.VertexID, len(fanouts))
+			frontier := seeds
+			for i, f := range fanouts {
+				layers[i] = selfLoopLayer(frontier, f)
+				frontier = layers[i]
+			}
+			return layers, nil
+		}
+		return nil, fmt.Errorf("view: sample subgraph (after %d attempts): %w", v.cfg.Attempts, err)
+	}
+	return out, nil
+}
+
+// selfLoopLayer expands each frontier node into fanout copies of itself —
+// the protocol's dense fallback for nodes without reachable neighbors,
+// applied to a whole layer when sampling is unavailable.
+func selfLoopLayer(frontier []graph.VertexID, fanout int) []graph.VertexID {
+	out := make([]graph.VertexID, len(frontier)*fanout)
+	for i, n := range frontier {
+		for j := 0; j < fanout; j++ {
+			out[i*fanout+j] = n
+		}
+	}
+	return out
+}
+
+// Degrees implements GraphView with retry.
+func (v *Resilient) Degrees(nodes []graph.VertexID, et graph.EdgeType) (out []int, err error) {
+	err = v.do(func() (e error) {
+		out, e = v.inner.Degrees(nodes, et)
+		return e
+	})
+	return out, err
+}
+
+// Features implements GraphView with retry.
+func (v *Resilient) Features(nodes []graph.VertexID, dim int) (out []float32, err error) {
+	err = v.do(func() (e error) {
+		out, e = v.inner.Features(nodes, dim)
+		return e
+	})
+	return out, err
+}
+
+// Labels implements GraphView with retry.
+func (v *Resilient) Labels(nodes []graph.VertexID) (out []int32, err error) {
+	err = v.do(func() (e error) {
+		out, e = v.inner.Labels(nodes)
+		return e
+	})
+	return out, err
+}
+
+// Sources implements GraphView with retry.
+func (v *Resilient) Sources(et graph.EdgeType) (out []graph.VertexID, err error) {
+	err = v.do(func() (e error) {
+		out, e = v.inner.Sources(et)
+		return e
+	})
+	return out, err
+}
+
+// Metrics aggregates view-level resilience counters. The zero value is
+// ready to use; all methods are safe on a nil receiver.
+type Metrics struct {
+	Retries   atomic.Int64 // attempts beyond the first, across all calls
+	Exhausted atomic.Int64 // calls that failed after the full budget
+	Permanent atomic.Int64 // calls failed fast on a non-transient error
+	Degraded  atomic.Int64 // sampling calls answered with self-loop fallback
+}
+
+// MetricsSnapshot is a plain-value copy for printing and JSON encoding.
+type MetricsSnapshot struct {
+	Retries   int64
+	Exhausted int64
+	Permanent int64
+	Degraded  int64
+}
+
+// Snapshot copies the current counter values.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	if m == nil {
+		return MetricsSnapshot{}
+	}
+	return MetricsSnapshot{
+		Retries:   m.Retries.Load(),
+		Exhausted: m.Exhausted.Load(),
+		Permanent: m.Permanent.Load(),
+		Degraded:  m.Degraded.Load(),
+	}
+}
+
+// String renders the snapshot compactly for logs and session reports.
+func (s MetricsSnapshot) String() string {
+	return fmt.Sprintf("retries=%d exhausted=%d permanent=%d degraded=%d",
+		s.Retries, s.Exhausted, s.Permanent, s.Degraded)
+}
+
+// Expvar returns an expvar.Var rendering the counters as a JSON object.
+func (m *Metrics) Expvar() expvar.Var {
+	return expvar.Func(func() any { return m.Snapshot() })
+}
+
+func (m *Metrics) incRetry() {
+	if m != nil {
+		m.Retries.Add(1)
+	}
+}
+
+func (m *Metrics) incExhausted() {
+	if m != nil {
+		m.Exhausted.Add(1)
+	}
+}
+
+func (m *Metrics) incPermanent() {
+	if m != nil {
+		m.Permanent.Add(1)
+	}
+}
+
+func (m *Metrics) incDegraded() {
+	if m != nil {
+		m.Degraded.Add(1)
+	}
+}

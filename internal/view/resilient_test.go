@@ -1,0 +1,233 @@
+package view_test
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"platod2gl/internal/graph"
+	"platod2gl/internal/view"
+)
+
+// flakyView scripts failures: each method fails while its remaining fail
+// budget is positive, then succeeds with recognizable data.
+type flakyView struct {
+	failSample   int
+	failFeatures int
+	calls        atomic.Int64
+	err          error
+	pos          atomic.Int64 // sampleCursor, for the helper test
+}
+
+func (f *flakyView) SampleNeighbors(seeds []graph.VertexID, et graph.EdgeType, fanout int) ([]graph.VertexID, error) {
+	f.calls.Add(1)
+	if f.failSample > 0 {
+		f.failSample--
+		return nil, f.err
+	}
+	out := make([]graph.VertexID, len(seeds)*fanout)
+	for i := range out {
+		out[i] = graph.VertexID(1000 + i)
+	}
+	return out, nil
+}
+
+func (f *flakyView) SampleSubgraph(seeds []graph.VertexID, path graph.MetaPath, fanouts []int) ([][]graph.VertexID, error) {
+	f.calls.Add(1)
+	if f.failSample > 0 {
+		f.failSample--
+		return nil, f.err
+	}
+	layers := make([][]graph.VertexID, len(fanouts))
+	frontier := len(seeds)
+	for i, fo := range fanouts {
+		layers[i] = make([]graph.VertexID, frontier*fo)
+		frontier *= fo
+	}
+	return layers, nil
+}
+
+func (f *flakyView) Degrees(nodes []graph.VertexID, et graph.EdgeType) ([]int, error) {
+	return make([]int, len(nodes)), nil
+}
+
+func (f *flakyView) Features(nodes []graph.VertexID, dim int) ([]float32, error) {
+	f.calls.Add(1)
+	if f.failFeatures > 0 {
+		f.failFeatures--
+		return nil, f.err
+	}
+	return make([]float32, len(nodes)*dim), nil
+}
+
+func (f *flakyView) Labels(nodes []graph.VertexID) ([]int32, error) {
+	return make([]int32, len(nodes)), nil
+}
+
+func (f *flakyView) Sources(et graph.EdgeType) ([]graph.VertexID, error) {
+	return nil, nil
+}
+
+func (f *flakyView) SamplePos() int64       { return f.pos.Load() }
+func (f *flakyView) SetSamplePos(pos int64) { f.pos.Store(pos) }
+
+func noSleep(time.Duration) {}
+
+func TestResilientRetriesTransientErrors(t *testing.T) {
+	fv := &flakyView{failSample: 2, err: errors.New("shard flapping")}
+	var m view.Metrics
+	rv := view.NewResilient(fv, view.ResilientConfig{Attempts: 4, Metrics: &m, Sleep: noSleep})
+	seeds := []graph.VertexID{1, 2, 3}
+	out, err := rv.SampleNeighbors(seeds, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 15 || out[0] != 1000 {
+		t.Fatalf("retried call returned wrong data: %v", out[:3])
+	}
+	if s := m.Snapshot(); s.Retries != 2 || s.Exhausted != 0 || s.Degraded != 0 {
+		t.Fatalf("metrics: %s", s)
+	}
+}
+
+func TestResilientExhaustionPropagatesWithoutDegrade(t *testing.T) {
+	boom := errors.New("shard down hard")
+	fv := &flakyView{failSample: 100, err: boom}
+	var m view.Metrics
+	rv := view.NewResilient(fv, view.ResilientConfig{Attempts: 3, Metrics: &m, Sleep: noSleep})
+	_, err := rv.SampleSubgraph([]graph.VertexID{1}, graph.MetaPath{0, 0}, []int{2, 2})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want wrapped %v, got %v", boom, err)
+	}
+	if !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Fatalf("error does not report attempts: %v", err)
+	}
+	if s := m.Snapshot(); s.Retries != 2 || s.Exhausted != 1 {
+		t.Fatalf("metrics: %s", s)
+	}
+}
+
+func TestResilientDegradesSamplingToSelfLoops(t *testing.T) {
+	fv := &flakyView{failSample: 100, err: errors.New("gone")}
+	var m view.Metrics
+	rv := view.NewResilient(fv, view.ResilientConfig{Attempts: 2, DegradeSampling: true, Metrics: &m, Sleep: noSleep})
+
+	seeds := []graph.VertexID{7, 8}
+	hop, err := rv.SampleNeighbors(seeds, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []graph.VertexID{7, 7, 7, 8, 8, 8}
+	for i := range want {
+		if hop[i] != want[i] {
+			t.Fatalf("degraded neighbors = %v, want %v", hop, want)
+		}
+	}
+
+	layers, err := rv.SampleSubgraph(seeds, graph.MetaPath{0, 0}, []int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(layers) != 2 || len(layers[0]) != 4 || len(layers[1]) != 8 {
+		t.Fatalf("degraded subgraph shape: %d layers, %d/%d nodes", len(layers), len(layers[0]), len(layers[1]))
+	}
+	// Layer 0 repeats the seeds; layer 1 repeats layer 0 — dense self-loops
+	// all the way down, so tensor assembly proceeds unchanged.
+	if layers[0][0] != 7 || layers[0][1] != 7 || layers[0][2] != 8 {
+		t.Fatalf("degraded layer 0 = %v", layers[0])
+	}
+	if layers[1][0] != 7 || layers[1][7] != 8 {
+		t.Fatalf("degraded layer 1 = %v", layers[1])
+	}
+	if s := m.Snapshot(); s.Degraded != 2 || s.Exhausted != 2 {
+		t.Fatalf("metrics: %s", s)
+	}
+}
+
+// TestResilientFeaturesNeverDegrade: attribute errors propagate even with
+// degradation on — fabricated features would silently poison training.
+func TestResilientFeaturesNeverDegrade(t *testing.T) {
+	boom := errors.New("kv down")
+	fv := &flakyView{failFeatures: 100, err: boom}
+	rv := view.NewResilient(fv, view.ResilientConfig{Attempts: 2, DegradeSampling: true, Sleep: noSleep})
+	if _, err := rv.Features([]graph.VertexID{1}, 4); !errors.Is(err, boom) {
+		t.Fatalf("features error swallowed: %v", err)
+	}
+}
+
+// TestResilientPermanentErrorFailsFast: a Transient classifier returning
+// false must short-circuit the retry loop.
+func TestResilientPermanentErrorFailsFast(t *testing.T) {
+	boom := errors.New("bad request")
+	fv := &flakyView{failFeatures: 100, err: boom}
+	var m view.Metrics
+	rv := view.NewResilient(fv, view.ResilientConfig{
+		Attempts:  5,
+		Metrics:   &m,
+		Sleep:     func(time.Duration) { t.Fatal("slept before a permanent error") },
+		Transient: func(error) bool { return false },
+	})
+	if _, err := rv.Features([]graph.VertexID{1}, 4); !errors.Is(err, boom) {
+		t.Fatal(err)
+	}
+	if got := fv.calls.Load(); got != 1 {
+		t.Fatalf("permanent error retried: %d calls", got)
+	}
+	if s := m.Snapshot(); s.Permanent != 1 || s.Retries != 0 {
+		t.Fatalf("metrics: %s", s)
+	}
+}
+
+// TestResilientBackoffCapped verifies the exponential schedule and its cap.
+func TestResilientBackoffCapped(t *testing.T) {
+	fv := &flakyView{failSample: 100, err: errors.New("down")}
+	var delays []time.Duration
+	rv := view.NewResilient(fv, view.ResilientConfig{
+		Attempts:   5,
+		Backoff:    10 * time.Millisecond,
+		MaxBackoff: 25 * time.Millisecond,
+		Sleep:      func(d time.Duration) { delays = append(delays, d) },
+	})
+	rv.SampleNeighbors([]graph.VertexID{1}, 0, 2)
+	want := []time.Duration{10, 20, 25, 25}
+	for i := range want {
+		want[i] *= time.Millisecond
+	}
+	if len(delays) != len(want) {
+		t.Fatalf("delays %v, want %v", delays, want)
+	}
+	for i := range want {
+		if delays[i] != want[i] {
+			t.Fatalf("delay %d = %s, want %s", i, delays[i], want[i])
+		}
+	}
+}
+
+// TestSampleCursorThroughWrappers: the cursor helpers must reach a cursored
+// view through Resilient and WithLatency wrapper chains.
+func TestSampleCursorThroughWrappers(t *testing.T) {
+	fv := &flakyView{}
+	wrapped := view.WithLatency(view.NewResilient(fv, view.ResilientConfig{Sleep: noSleep}), 0)
+	view.SetSamplePos(wrapped, 41)
+	if got := view.SamplePos(wrapped); got != 41 {
+		t.Fatalf("cursor through wrappers = %d, want 41", got)
+	}
+	if fv.pos.Load() != 41 {
+		t.Fatal("cursor did not reach the backing view")
+	}
+	// Cursor-less views are a harmless no-op.
+	plain := &flakyNoCursor{}
+	view.SetSamplePos(plain, 9)
+	if got := view.SamplePos(plain); got != 0 {
+		t.Fatalf("cursor-less view reported %d", got)
+	}
+}
+
+type flakyNoCursor struct{ flakyView }
+
+// Shadow the cursor methods away by embedding at a different method set:
+// flakyNoCursor must NOT satisfy the cursor interface.
+func (f *flakyNoCursor) SamplePos()    {}
+func (f *flakyNoCursor) SetSamplePos() {}

@@ -93,6 +93,54 @@ func (v *Local) Sources(et graph.EdgeType) ([]graph.VertexID, error) {
 	return v.store.Sources(et), nil
 }
 
+// sampleCursor is implemented by views whose per-call sampling seeds form a
+// recorded sequence (view.Cluster). Checkpoint/resume records and restores
+// the cursor so a resumed deterministic run replays the exact sampling-seed
+// sequence the uninterrupted run would have used.
+type sampleCursor interface {
+	SamplePos() int64
+	SetSamplePos(int64)
+}
+
+// unwrapper is implemented by wrapper views (Resilient, WithLatency) so
+// cursor helpers can reach the backing view through a wrapper chain.
+type unwrapper interface {
+	Unwrap() GraphView
+}
+
+// SamplePos returns v's sampling-seed cursor, unwrapping wrapper views.
+// Views without a cursor (Local: per-call sampling is a pure function of the
+// sampler seed and the batch) report 0.
+func SamplePos(v GraphView) int64 {
+	for v != nil {
+		if c, ok := v.(sampleCursor); ok {
+			return c.SamplePos()
+		}
+		w, ok := v.(unwrapper)
+		if !ok {
+			return 0
+		}
+		v = w.Unwrap()
+	}
+	return 0
+}
+
+// SetSamplePos restores a cursor previously read with SamplePos, unwrapping
+// wrapper views. A no-op for views without a cursor.
+func SetSamplePos(v GraphView, pos int64) {
+	for v != nil {
+		if c, ok := v.(sampleCursor); ok {
+			c.SetSamplePos(pos)
+			return
+		}
+		w, ok := v.(unwrapper)
+		if !ok {
+			return
+		}
+		v = w.Unwrap()
+	}
+}
+
 // WithLatency wraps v so every call sleeps d first — an injected per-call
 // RPC latency for demonstrating (and benchmarking) how the prefetch
 // pipeline overlaps storage waits with compute.
@@ -104,6 +152,9 @@ type delayed struct {
 	inner GraphView
 	d     time.Duration
 }
+
+// Unwrap exposes the wrapped view for cursor helpers.
+func (v *delayed) Unwrap() GraphView { return v.inner }
 
 func (v *delayed) SampleNeighbors(seeds []graph.VertexID, et graph.EdgeType, fanout int) ([]graph.VertexID, error) {
 	time.Sleep(v.d)
