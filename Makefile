@@ -1,6 +1,7 @@
 GO ?= go
+REV := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: build test vet race chaos tier1 bench train-smoke train-chaos
+.PHONY: build test vet lint race chaos chaos-smoke tier1 bench bench-json bench-regress train-smoke train-chaos
 
 build:
 	$(GO) build ./...
@@ -11,22 +12,41 @@ test: build
 vet:
 	$(GO) vet ./...
 
+lint:
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then echo "gofmt needed:"; echo "$$fmt_out"; exit 1; fi
+	$(GO) vet ./...
+
 # Race leg of the tier-1 loop: the concurrent retry/redial/breaker paths in
 # the cluster client, the storage engine the chaos tests hammer, the WAL the
 # replica catch-up tails, the fault-injection transport, the
-# trainer/prefetch-pipeline concurrency, and the checkpoint store.
+# trainer/prefetch-pipeline concurrency, the checkpoint store, and the
+# metrics registry every hot path writes into.
 race: vet
-	$(GO) test -race ./internal/cluster/... ./internal/storage/... ./internal/eventlog/... ./internal/faultinject/... ./internal/gnn/... ./internal/pipeline/... ./internal/view/... ./internal/checkpoint/...
+	$(GO) test -race ./internal/cluster/... ./internal/storage/... ./internal/eventlog/... ./internal/faultinject/... ./internal/gnn/... ./internal/pipeline/... ./internal/view/... ./internal/checkpoint/... ./internal/obs/...
 
 # Replication chaos drill: replica kill + failover + WAL-shipped rejoin,
 # twice, under the race detector.
 chaos: build
 	$(GO) test -race -count=2 -run 'TestChaosReplicaFailoverAndCatchUp' ./internal/cluster/
 
+# One fast chaos pass for PR CI; the full drills run nightly.
+chaos-smoke: build
+	$(GO) test -race -count=1 -run 'TestChaosReplicaFailoverAndCatchUp' ./internal/cluster/
+
 tier1: test race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable perf benchmark at pinned size and seed: writes
+# BENCH_<rev>.json for the CI regression gate (and for keeping
+# bench/baseline.json fresh — copy the output over it to rebaseline).
+bench-json: build
+	$(GO) run ./cmd/platod2gl-bench -experiment perf -edges 100000 -seed 1 -json BENCH_$(REV).json -rev $(REV)
+
+# Gate BENCH_<rev>.json against the committed baseline (>25% = fail).
+bench-regress: bench-json
+	$(GO) run ./cmd/bench-regress -baseline bench/baseline.json -current BENCH_$(REV).json
 
 # End-to-end training smoke: one small pipelined run against the in-process
 # store and one against a 2-shard in-process cluster.

@@ -1,0 +1,67 @@
+// Command bench-regress is the CI benchmark gate: it compares a fresh
+// BENCH_<rev>.json (platod2gl-bench -experiment perf -json ...) against the
+// committed baseline and exits non-zero when any gated metric moved more
+// than the threshold in the bad direction, or a baseline metric disappeared.
+//
+// Usage:
+//
+//	bench-regress -baseline bench/baseline.json -current BENCH_abc123.json
+//	bench-regress -baseline ... -current ... -threshold 0.4   # looser gate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"platod2gl/internal/bench/regress"
+)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "bench/baseline.json", "committed baseline report")
+		currentPath  = flag.String("current", "", "freshly produced report (required)")
+		threshold    = flag.Float64("threshold", 0.25, "fractional regression threshold (0.25 = 25%)")
+	)
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "bench-regress: -current is required")
+		os.Exit(2)
+	}
+	baseline, err := regress.Load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	current, err := regress.Load(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	deltas, ok := regress.Compare(baseline, current, *threshold)
+	fmt.Printf("bench-regress: baseline %s vs current %s (threshold %.0f%%)\n",
+		baseline.Rev, current.Rev, *threshold*100)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "metric\tdirection\tbaseline\tcurrent\tchange\tverdict")
+	for _, d := range deltas {
+		verdict := "ok"
+		switch {
+		case d.Missing:
+			verdict = "MISSING"
+		case d.Regressed:
+			verdict = "REGRESSED"
+		case d.Direction == regress.Informational:
+			verdict = "info"
+		}
+		fmt.Fprintf(w, "%s\t%s\t%.4g\t%.4g\t%+.1f%%\t%s\n",
+			d.Name, d.Direction, d.Baseline, d.Current, d.Change*100, verdict)
+	}
+	w.Flush()
+	if !ok {
+		fmt.Fprintln(os.Stderr, "bench-regress: FAIL — regression beyond threshold (or missing metric)")
+		os.Exit(1)
+	}
+	fmt.Println("bench-regress: PASS")
+}

@@ -24,6 +24,7 @@
 package main
 
 import (
+	"context"
 	"expvar"
 	"flag"
 	"log"
@@ -39,6 +40,7 @@ import (
 	"platod2gl/internal/eventlog"
 	"platod2gl/internal/graph"
 	"platod2gl/internal/kvstore"
+	"platod2gl/internal/obs"
 	"platod2gl/internal/storage"
 )
 
@@ -82,6 +84,12 @@ func main() {
 		log.Fatalf("invalid -wal-sync %q (always, interval, never)", *walSync)
 	}
 
+	// Storage op histograms only when there is an endpoint to scrape them —
+	// a nil Metrics keeps the samtree hot path clock-free.
+	var storeMetrics *storage.Metrics
+	if *metrics != "" {
+		storeMetrics = &storage.Metrics{}
+	}
 	store := storage.NewDynamicStore(storage.Options{
 		Tree: core.Options{
 			Capacity: *capacity,
@@ -89,6 +97,7 @@ func main() {
 			Compress: !*noCP,
 		},
 		Workers: *workers,
+		Metrics: storeMetrics,
 	})
 	if *catchup != "" {
 		// A rejoining replica rebuilds from its live sibling, not from its
@@ -169,6 +178,43 @@ func main() {
 	}
 	srv := cluster.NewServer(svc)
 
+	// Metrics endpoint: one registry serving Prometheus text at /metrics and
+	// the legacy expvar JSON at /debug/vars, on a dedicated http.Server so
+	// shutdown can close the listener cleanly instead of leaking it.
+	var metricsSrv *http.Server
+	if *metrics != "" {
+		reg := obs.NewRegistry()
+		cm.Register(reg)
+		storeMetrics.Register(reg)
+		reg.GaugeFunc("platod2gl_store_edges", "Current edge count across all relations.", nil,
+			func() float64 { return float64(store.NumEdges()) })
+		reg.GaugeFunc("platod2gl_store_memory_bytes", "Structural memory footprint of the store.", nil,
+			func() float64 { return float64(store.MemoryBytes()) })
+		reg.GaugeFunc("platod2gl_sync_ready", "1 when this replica serves reads (not catching up).", nil,
+			func() float64 {
+				if svc.Ready() {
+					return 1
+				}
+				return 0
+			})
+		// Keep the established /debug/vars names alongside the registry.
+		expvar.Publish("platod2gl_edges", expvar.Func(func() any { return store.NumEdges() }))
+		expvar.Publish("platod2gl_memory_bytes", expvar.Func(func() any { return store.MemoryBytes() }))
+		expvar.Publish("platod2gl_cluster", cm.Expvar())
+		expvar.Publish("platod2gl_storage", storeMetrics.Expvar())
+		expvar.Publish("platod2gl_sync_ready", expvar.Func(func() any { return svc.Ready() }))
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/debug/vars", expvar.Handler())
+		metricsSrv = &http.Server{Addr: *metrics, Handler: mux}
+		go func() {
+			if err := metricsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+		log.Printf("metrics at http://%s/metrics (Prometheus) and /debug/vars (expvar)", *metrics)
+	}
+
 	if *catchup != "" {
 		// Hold writes (rejected, then parked near convergence) and reads
 		// (fail over to live replicas) until the store matches the group.
@@ -200,11 +246,21 @@ func main() {
 		}()
 	}
 
-	if *snapshot != "" {
-		sigs := make(chan os.Signal, 1)
-		signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
-		go func() {
-			<-sigs
+	// One shutdown path for SIGINT/SIGTERM: close the metrics listener
+	// first (it must not outlive the process's useful life), then persist
+	// the snapshot if configured.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		if metricsSrv != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			if err := metricsSrv.Shutdown(ctx); err != nil {
+				log.Printf("metrics shutdown: %v", err)
+			}
+			cancel()
+		}
+		if *snapshot != "" {
 			// Quiesce: drain in-flight batches and block new ones so the
 			// snapshot and the truncated WAL describe the same state.
 			svc.Pause()
@@ -221,22 +277,9 @@ func main() {
 				}
 				log.Printf("truncated wal %s", *walPath)
 			}
-			os.Exit(0)
-		}()
-	}
-
-	if *metrics != "" {
-		expvar.Publish("platod2gl_edges", expvar.Func(func() any { return store.NumEdges() }))
-		expvar.Publish("platod2gl_memory_bytes", expvar.Func(func() any { return store.MemoryBytes() }))
-		expvar.Publish("platod2gl_cluster", cm.Expvar())
-		expvar.Publish("platod2gl_sync_ready", expvar.Func(func() any { return svc.Ready() }))
-		go func() {
-			if err := http.ListenAndServe(*metrics, nil); err != nil {
-				log.Printf("metrics server: %v", err)
-			}
-		}()
-		log.Printf("metrics at http://%s/debug/vars", *metrics)
-	}
+		}
+		os.Exit(0)
+	}()
 
 	lis, err := net.Listen("tcp", *addr)
 	if err != nil {

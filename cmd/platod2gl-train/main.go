@@ -35,6 +35,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"expvar"
 	"flag"
@@ -56,6 +57,7 @@ import (
 	"platod2gl/internal/gnn"
 	"platod2gl/internal/graph"
 	"platod2gl/internal/kvstore"
+	"platod2gl/internal/obs"
 	"platod2gl/internal/pipeline"
 	"platod2gl/internal/sampler"
 	"platod2gl/internal/storage"
@@ -273,15 +275,41 @@ func run(cfg config, out io.Writer) error {
 		gv = view.NewResilient(gv, rcfg)
 	}
 	if cfg.metricsAddr != "" {
+		// Per-call view latency sits outermost so it measures what the
+		// trainer experiences, retries included.
+		vcm := &view.CallMetrics{}
+		gv = view.Instrument(gv, vcm)
+		reg := obs.NewRegistry()
+		pm.Register(reg)
+		vm.Register(reg)
+		cm.Register(reg)
+		vcm.Register(reg)
+		if client != nil {
+			client.Metrics().Register(reg)
+		}
 		publishOnce("platod2gl_pipeline", pm.Expvar())
 		publishOnce("platod2gl_view", vm.Expvar())
 		publishOnce("platod2gl_checkpoint", cm.Expvar())
 		if client != nil {
 			publishOnce("platod2gl_cluster", client.Metrics().Expvar())
 		}
+		// A dedicated mux + server: /metrics (Prometheus) and /debug/vars
+		// (expvar) side by side, and a shutdown on exit so repeated runs in
+		// one process never leak the listener.
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/debug/vars", expvar.Handler())
+		metricsSrv := &http.Server{Addr: cfg.metricsAddr, Handler: mux}
 		go func() {
-			if err := http.ListenAndServe(cfg.metricsAddr, nil); err != nil {
+			if err := metricsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("metrics server: %v", err)
+			}
+		}()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := metricsSrv.Shutdown(ctx); err != nil {
+				log.Printf("metrics shutdown: %v", err)
 			}
 		}()
 	}
@@ -368,6 +396,8 @@ func run(cfg config, out io.Writer) error {
 		p := pipeline.Run(batches[skip:], tr.SampleBatch, pcfg)
 		totalLoss, done := 0.0, 0
 		interrupted := false
+		pmBefore := pm.Snapshot()
+		var trainTime time.Duration
 	epoch:
 		for {
 			select {
@@ -384,7 +414,9 @@ func run(cfg config, out io.Writer) error {
 				p.Stop()
 				return fmt.Errorf("epoch %d: %w", e, r.Err)
 			}
+			stepStart := time.Now()
 			totalLoss += tr.TrainStep(r.Batch)
+			trainTime += time.Since(stepStart)
 			done++
 			if cfg.onStep != nil {
 				cfg.onStep(e, skip+done)
@@ -405,11 +437,21 @@ func run(cfg config, out io.Writer) error {
 		if done > 0 {
 			meanLoss = totalLoss / float64(done)
 		}
+		evalStart := time.Now()
 		acc, err := tr.Accuracy(test)
 		if err != nil {
 			return fmt.Errorf("epoch %d accuracy: %w", e, err)
 		}
+		evalTime := time.Since(evalStart)
 		fmt.Fprintf(out, "epoch %d: loss %.4f acc %.3f (%d batches)\n", e, meanLoss, acc, trained)
+		// Stage breakdown: build/stall come from the pipeline's counters
+		// (deltas over this epoch), train/eval are measured directly. Build
+		// overlaps train by design — a healthy run shows stall << build.
+		pmAfter := pm.Snapshot()
+		fmt.Fprintf(out, "epoch %d stages: build %s stall %s train %s eval %s\n", e,
+			time.Duration(pmAfter.BuildNanos-pmBefore.BuildNanos).Round(time.Microsecond),
+			time.Duration(pmAfter.StallNanos-pmBefore.StallNanos).Round(time.Microsecond),
+			trainTime.Round(time.Microsecond), evalTime.Round(time.Microsecond))
 		if (e+1)%cfg.checkpointEvery == 0 || e == cfg.epochs-1 {
 			if err := saveCkpt(e+1, 0); err != nil {
 				return err

@@ -1,0 +1,213 @@
+// Machine-readable performance benchmark: a pinned-size, deterministic run
+// covering the system's hot paths — samtree single-edge and batch update
+// throughput, FTS sampling latency quantiles, and pipelined training-epoch
+// throughput with its stage breakdown. cmd/platod2gl-bench -json writes the
+// result as BENCH_<rev>.json, and internal/bench/regress compares two such
+// files in CI to catch performance regressions.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"time"
+
+	"platod2gl/internal/core"
+	"platod2gl/internal/dataset"
+	"platod2gl/internal/gnn"
+	"platod2gl/internal/graph"
+	"platod2gl/internal/kvstore"
+	"platod2gl/internal/pipeline"
+	"platod2gl/internal/sampler"
+	"platod2gl/internal/storage"
+	"platod2gl/internal/view"
+)
+
+// PerfResult is one benchmark run's machine-readable report. Metric names
+// carry their regression direction in the suffix (see regress.DirectionOf):
+// *_per_sec is higher-better, *_ns / *_ms / *_bytes are lower-better,
+// anything else is informational.
+type PerfResult struct {
+	Rev     string             `json:"rev"`
+	Go      string             `json:"go"`
+	Edges   int64              `json:"edges"`
+	Seed    int64              `json:"seed"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// RunPerf executes the benchmark at cfg's scale and returns the report.
+// Everything is seeded from cfg.Seed: the same binary at the same scale
+// visits identical edges, sampling calls, and training batches.
+func RunPerf(cfg Config) PerfResult {
+	cfg = cfg.WithDefaults()
+	res := PerfResult{
+		Go:      runtime.Version(),
+		Edges:   cfg.TargetEdges,
+		Seed:    cfg.Seed,
+		Metrics: make(map[string]float64),
+	}
+	perfSamtree(cfg, res.Metrics)
+	perfEpoch(cfg, res.Metrics)
+	return res
+}
+
+// perfSamtree measures single-edge insert/delete throughput, PALM batch
+// throughput, and the FTS sampling latency distribution on a store carrying
+// cfg.TargetEdges edges.
+func perfSamtree(cfg Config, out map[string]float64) {
+	m := &storage.Metrics{}
+	store := storage.NewDynamicStore(storage.Options{
+		Tree: core.Options{Compress: true}, Workers: cfg.Workers, Metrics: m})
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := int(cfg.TargetEdges)
+	// Power-of-two source space keeps trees a few hundred entries deep at
+	// the default scale — representative of real per-vertex degrees.
+	srcSpace := n / 256
+	if srcSpace < 16 {
+		srcSpace = 16
+	}
+	edges := make([]graph.Edge, n)
+	for i := range edges {
+		edges[i] = graph.Edge{
+			Src:    graph.MakeVertexID(0, uint64(rng.Intn(srcSpace))),
+			Dst:    graph.MakeVertexID(0, uint64(rng.Intn(n))),
+			Weight: 1 + rng.Float64(),
+		}
+	}
+
+	start := time.Now()
+	for _, e := range edges {
+		store.AddEdge(e)
+	}
+	out["samtree_insert_per_sec"] = rate(n, time.Since(start))
+
+	// FTS sampling: k draws per call across the populated sources. The
+	// latency distribution comes from the store's own histogram, so the
+	// quantiles cover exactly the measured descents.
+	const sampleCalls = 20_000
+	const fanout = 10
+	buf := make([]graph.VertexID, 0, fanout)
+	start = time.Now()
+	for i := 0; i < sampleCalls; i++ {
+		src := graph.MakeVertexID(0, uint64(rng.Intn(srcSpace)))
+		buf = store.SampleNeighbors(src, 0, fanout, rng, buf[:0])
+	}
+	out["fts_sample_per_sec"] = rate(sampleCalls, time.Since(start))
+	s := m.SampleLatency.Snapshot()
+	out["fts_sample_p50_ns"] = float64(s.P50())
+	out["fts_sample_p95_ns"] = float64(s.P95())
+	out["fts_sample_p99_ns"] = float64(s.P99())
+
+	// PALM batch path at the configured batch size, on a fresh store so
+	// inserts dominate (matching the build workload).
+	batchStore := storage.NewDynamicStore(storage.Options{
+		Tree: core.Options{Compress: true}, Workers: cfg.Workers})
+	spec := WeChatScaled(cfg.TargetEdges)
+	batches := PrepareBatches(spec, dataset.BuildMix, n/cfg.BatchSize+1, cfg.BatchSize, cfg.Seed)
+	events := 0
+	start = time.Now()
+	for _, b := range batches {
+		batchStore.ApplyBatch(b)
+		events += len(b)
+	}
+	out["samtree_batch_events_per_sec"] = rate(events, time.Since(start))
+
+	// Deletes against the populated store, visiting the inserted edges.
+	start = time.Now()
+	for _, e := range edges {
+		store.DeleteEdge(e.Src, e.Dst, e.Type)
+	}
+	out["samtree_delete_per_sec"] = rate(n, time.Since(start))
+}
+
+// perfEpoch measures pipelined training-epoch throughput on the RunGNN
+// workload shape, reporting batches/s plus the pipeline's per-stage
+// breakdown (build vs consumer stall).
+func perfEpoch(cfg Config, out map[string]float64) {
+	const (
+		n       = 2000
+		classes = 4
+		dim     = 16
+		epochs  = 3
+	)
+	store := storage.NewDynamicStore(storage.Options{
+		Tree: core.Options{Compress: true}, Workers: cfg.Workers})
+	attrs := kvstore.New()
+	dataset.AssignFeatures(attrs, 0, n, dim, classes, 2.0, cfg.Seed)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	byClass := make([][]graph.VertexID, classes)
+	ids := make([]graph.VertexID, n)
+	for i := 0; i < n; i++ {
+		id := graph.MakeVertexID(0, uint64(i))
+		ids[i] = id
+		l, _ := attrs.Label(id)
+		byClass[l] = append(byClass[l], id)
+	}
+	for _, id := range ids {
+		l, _ := attrs.Label(id)
+		peers := byClass[l]
+		for j := 0; j < 8; j++ {
+			store.AddEdge(graph.Edge{Src: id, Dst: peers[rng.Intn(len(peers))], Weight: 1})
+		}
+	}
+
+	model := gnn.NewModel(dim, 32, classes, rng)
+	gv := view.NewLocal(store, attrs, sampler.Options{Parallelism: cfg.Workers, Seed: cfg.Seed})
+	tr := gnn.NewTrainer(model, gv, 0, 8, 5, 0.02)
+	pm := &pipeline.Metrics{}
+	pcfg := pipeline.Config{Depth: 4, Workers: 2, Metrics: pm}
+
+	batchesRun := 0
+	start := time.Now()
+	for e := 0; e < epochs; e++ {
+		res, err := pipeline.TrainEpoch(tr, tr.SampleBatch, e, ids, 64, rng, pcfg)
+		if err != nil {
+			panic(fmt.Sprintf("bench: perf epoch %d: %v", e, err))
+		}
+		batchesRun += res.Batches
+	}
+	wall := time.Since(start)
+	out["epoch_batches_per_sec"] = rate(batchesRun, wall)
+
+	ps := pm.Snapshot()
+	if ps.BatchesBuilt > 0 {
+		out["pipeline_build_mean_ns"] = float64(ps.BuildNanos) / float64(ps.BatchesBuilt)
+	}
+	// Stall time and hit rate are informational (no gated suffix): stalls
+	// collapse to ~0 on fast machines and would make the gate flaky.
+	out["pipeline_stall_share"] = float64(ps.StallNanos) / float64(wall)
+	out["pipeline_hit_rate"] = ps.HitRate()
+}
+
+// rate converts an operation count over a wall duration into ops/s.
+func rate(n int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(n) / d.Seconds()
+}
+
+// sortedKeys returns m's keys in lexical order for deterministic output.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// RunPerfTable runs the benchmark and prints the metrics as a table — the
+// human-readable form of the same experiment ("perf" in -experiment).
+func RunPerfTable(cfg Config) {
+	cfg = cfg.WithDefaults()
+	header(cfg, "Performance benchmark (machine-readable via -json)")
+	res := RunPerf(cfg)
+	w := tab(cfg)
+	fmt.Fprintln(w, "metric\tvalue")
+	for _, k := range sortedKeys(res.Metrics) {
+		fmt.Fprintf(w, "%s\t%.4g\n", k, res.Metrics[k])
+	}
+	w.Flush()
+}

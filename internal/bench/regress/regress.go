@@ -1,0 +1,134 @@
+// Package regress compares two machine-readable benchmark reports
+// (bench.PerfResult JSON) and decides whether the newer one regressed. The
+// regression direction is carried by the metric-name suffix so the
+// comparator needs no out-of-band schema: *_per_sec is higher-better,
+// *_ns / *_ms / *_bytes are lower-better, anything else is informational
+// and never gates. CI runs it via cmd/bench-regress against the committed
+// bench/baseline.json.
+package regress
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// File is one benchmark report on disk — the JSON shape bench.PerfResult
+// writes. Only Metrics participates in the comparison; the rest is context
+// for the report.
+type File struct {
+	Rev     string             `json:"rev"`
+	Go      string             `json:"go,omitempty"`
+	Edges   int64              `json:"edges,omitempty"`
+	Seed    int64              `json:"seed,omitempty"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Load reads and decodes one report.
+func Load(path string) (File, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return File{}, fmt.Errorf("regress: %w", err)
+	}
+	var f File
+	if err := json.Unmarshal(b, &f); err != nil {
+		return File{}, fmt.Errorf("regress: %s: %w", path, err)
+	}
+	if len(f.Metrics) == 0 {
+		return File{}, fmt.Errorf("regress: %s: no metrics", path)
+	}
+	return f, nil
+}
+
+// Direction is a metric's regression polarity.
+type Direction int
+
+const (
+	// Informational metrics are reported but never gate.
+	Informational Direction = iota
+	// HigherBetter metrics regress when they drop (throughput).
+	HigherBetter
+	// LowerBetter metrics regress when they grow (latency, sizes).
+	LowerBetter
+)
+
+// String names the direction for reports.
+func (d Direction) String() string {
+	switch d {
+	case HigherBetter:
+		return "higher-better"
+	case LowerBetter:
+		return "lower-better"
+	default:
+		return "informational"
+	}
+}
+
+// DirectionOf derives a metric's polarity from its name suffix.
+func DirectionOf(name string) Direction {
+	switch {
+	case strings.HasSuffix(name, "_per_sec"):
+		return HigherBetter
+	case strings.HasSuffix(name, "_ns"), strings.HasSuffix(name, "_ms"), strings.HasSuffix(name, "_bytes"):
+		return LowerBetter
+	default:
+		return Informational
+	}
+}
+
+// Delta is one metric's comparison outcome.
+type Delta struct {
+	Name      string
+	Direction Direction
+	Baseline  float64
+	Current   float64
+	// Change is the fractional movement in the bad direction: +0.30 means
+	// 30% worse, -0.10 means 10% better. 0 for informational metrics, a
+	// zero baseline, or a metric missing from the current report.
+	Change float64
+	// Missing reports a baseline metric absent from the current run — a
+	// gate failure in its own right (a silently dropped benchmark would
+	// otherwise hide a regression forever).
+	Missing bool
+	// Regressed reports whether this delta fails the gate.
+	Regressed bool
+}
+
+// Compare evaluates current against baseline with the given fractional
+// threshold (0.25 = fail when >25% worse). It returns every baseline
+// metric's delta sorted by name, plus whether the gate passes. Metrics new
+// in current (absent from baseline) are ignored: they start gating once the
+// baseline is regenerated to include them.
+func Compare(baseline, current File, threshold float64) ([]Delta, bool) {
+	ok := true
+	deltas := make([]Delta, 0, len(baseline.Metrics))
+	for name, base := range baseline.Metrics {
+		d := Delta{Name: name, Direction: DirectionOf(name), Baseline: base}
+		cur, present := current.Metrics[name]
+		d.Current = cur
+		switch {
+		case !present:
+			d.Missing = true
+			d.Regressed = true
+		case d.Direction == Informational:
+			// reported, never gated
+		case base == 0:
+			// No ratio exists against a zero baseline; report without gating
+			// rather than failing on 0 -> epsilon noise.
+		case d.Direction == HigherBetter:
+			d.Change = (base - cur) / base
+			d.Regressed = d.Change > threshold
+		case d.Direction == LowerBetter:
+			d.Change = (cur - base) / base
+			d.Regressed = d.Change > threshold
+		}
+		if d.Regressed {
+			ok = false
+		}
+		deltas = append(deltas, d)
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Name < deltas[j].Name })
+	return deltas, ok
+}

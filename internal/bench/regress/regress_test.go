@@ -1,0 +1,144 @@
+package regress
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func baseFile() File {
+	return File{
+		Rev: "base",
+		Metrics: map[string]float64{
+			"samtree_insert_per_sec": 1_000_000,
+			"fts_sample_p99_ns":      10_000,
+			"pipeline_hit_rate":      0.95,
+			"pipeline_stall_share":   0, // zero baseline: never gates
+		},
+	}
+}
+
+func find(t *testing.T, deltas []Delta, name string) Delta {
+	t.Helper()
+	for _, d := range deltas {
+		if d.Name == name {
+			return d
+		}
+	}
+	t.Fatalf("delta %q not found in %v", name, deltas)
+	return Delta{}
+}
+
+func TestCompareImprovementPasses(t *testing.T) {
+	cur := baseFile()
+	cur.Metrics = map[string]float64{
+		"samtree_insert_per_sec": 1_400_000, // 40% faster
+		"fts_sample_p99_ns":      7_000,     // 30% lower latency
+		"pipeline_hit_rate":      0.99,
+		"pipeline_stall_share":   0.5,
+	}
+	deltas, ok := Compare(baseFile(), cur, 0.25)
+	if !ok {
+		t.Fatalf("improvement flagged as regression: %+v", deltas)
+	}
+	if d := find(t, deltas, "samtree_insert_per_sec"); d.Change >= 0 {
+		t.Errorf("throughput improvement should have negative change, got %+v", d)
+	}
+}
+
+func TestCompareRegressionFails(t *testing.T) {
+	cur := baseFile()
+	cur.Metrics = map[string]float64{
+		"samtree_insert_per_sec": 700_000, // 30% slower: beyond 25%
+		"fts_sample_p99_ns":      10_000,
+		"pipeline_hit_rate":      0.95,
+		"pipeline_stall_share":   0,
+	}
+	deltas, ok := Compare(baseFile(), cur, 0.25)
+	if ok {
+		t.Fatal("30% throughput drop passed a 25% gate")
+	}
+	d := find(t, deltas, "samtree_insert_per_sec")
+	if !d.Regressed || d.Change < 0.29 || d.Change > 0.31 {
+		t.Errorf("expected ~0.30 regression, got %+v", d)
+	}
+	// The latency metric stayed flat and must not be blamed.
+	if find(t, deltas, "fts_sample_p99_ns").Regressed {
+		t.Error("unchanged latency flagged as regressed")
+	}
+}
+
+func TestCompareLatencyRegressionFails(t *testing.T) {
+	cur := baseFile()
+	cur.Metrics["fts_sample_p99_ns"] = 15_000 // 50% slower
+	if _, ok := Compare(baseFile(), cur, 0.25); ok {
+		t.Fatal("50% latency growth passed a 25% gate")
+	}
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	cur := baseFile()
+	cur.Metrics["samtree_insert_per_sec"] = 800_000 // 20% slower: under 25%
+	cur.Metrics["fts_sample_p99_ns"] = 12_000       // 20% higher
+	if deltas, ok := Compare(baseFile(), cur, 0.25); !ok {
+		t.Fatalf("within-threshold noise failed the gate: %+v", deltas)
+	}
+}
+
+func TestCompareMissingMetricFails(t *testing.T) {
+	cur := baseFile()
+	delete(cur.Metrics, "fts_sample_p99_ns")
+	deltas, ok := Compare(baseFile(), cur, 0.25)
+	if ok {
+		t.Fatal("missing baseline metric passed the gate")
+	}
+	d := find(t, deltas, "fts_sample_p99_ns")
+	if !d.Missing || !d.Regressed {
+		t.Errorf("expected missing+regressed, got %+v", d)
+	}
+}
+
+func TestCompareInformationalNeverGates(t *testing.T) {
+	cur := baseFile()
+	cur.Metrics["pipeline_hit_rate"] = 0.1 // collapse, but informational
+	if _, ok := Compare(baseFile(), cur, 0.25); !ok {
+		t.Fatal("informational metric gated the comparison")
+	}
+}
+
+func TestDirectionOf(t *testing.T) {
+	cases := map[string]Direction{
+		"x_per_sec":  HigherBetter,
+		"x_p99_ns":   LowerBetter,
+		"x_ms":       LowerBetter,
+		"x_bytes":    LowerBetter,
+		"x_hit_rate": Informational,
+	}
+	for name, want := range cases {
+		if got := DirectionOf(name); got != want {
+			t.Errorf("DirectionOf(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte(`{"rev":"abc","metrics":{"a_per_sec":1}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Rev != "abc" || f.Metrics["a_per_sec"] != 1 {
+		t.Errorf("round trip mismatch: %+v", f)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("loading a missing file did not error")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	os.WriteFile(empty, []byte(`{"rev":"x"}`), 0o644)
+	if _, err := Load(empty); err == nil {
+		t.Error("loading a metrics-less file did not error")
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"platod2gl/internal/gnn"
 )
@@ -199,6 +200,7 @@ type SaveOptions struct {
 // Save atomically writes a new checkpoint into dir (created if missing) and
 // prunes rotation beyond opts.Keep. The returned path names the new file.
 func Save(dir string, s *State, opts SaveOptions) (string, error) {
+	start := time.Now()
 	b, err := encode(s)
 	if err != nil {
 		opts.Metrics.incSaveError()
@@ -223,6 +225,7 @@ func Save(dir string, s *State, opts SaveOptions) (string, error) {
 		return "", err
 	}
 	opts.Metrics.addSave(int64(len(b)))
+	opts.Metrics.observeSave(int64(time.Since(start)))
 	if opts.Keep > 0 {
 		// Prune oldest-first so the newest Keep files (including the one just
 		// written) survive. Prune failures are non-fatal: the new checkpoint
@@ -286,6 +289,7 @@ func Load(path string) (*State, error) {
 // skipping (and counting) torn or corrupt files. A missing or empty
 // directory — or one with only corrupt files — returns ErrNoCheckpoint.
 func LoadLatest(dir string, m *Metrics) (*State, string, error) {
+	start := time.Now()
 	seqs, err := listSeqs(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -301,6 +305,7 @@ func LoadLatest(dir string, m *Metrics) (*State, string, error) {
 			continue
 		}
 		m.incLoad()
+		m.observeLoad(int64(time.Since(start)))
 		return st, path, nil
 	}
 	return nil, "", ErrNoCheckpoint

@@ -1,23 +1,29 @@
 // Checkpoint observability: how often the session persisted, how much it
 // wrote, and whether resume ever had to skip a torn file. Counters follow
-// the repo's conventions: cheap atomics, nil-safe helpers, expvar-ready.
+// the repo's conventions: cheap atomics, nil-safe helpers, expvar-ready —
+// plus save/load latency histograms on the unified internal/obs registry.
 package checkpoint
 
 import (
 	"expvar"
 	"fmt"
-	"sync/atomic"
+
+	"platod2gl/internal/obs"
 )
 
-// Metrics aggregates checkpoint counters. The zero value is ready to use;
-// all methods are safe on a nil receiver so metrics stay optional.
+// Metrics aggregates checkpoint counters and latency histograms. The zero
+// value is ready to use; all methods are safe on a nil receiver so metrics
+// stay optional.
 type Metrics struct {
-	Saves      atomic.Int64 // checkpoints written successfully
-	SaveErrors atomic.Int64 // failed save attempts
-	SaveBytes  atomic.Int64 // total bytes written
-	Pruned     atomic.Int64 // old checkpoints removed by rotation
-	Loads      atomic.Int64 // checkpoints loaded successfully
-	Skipped    atomic.Int64 // torn/corrupt files skipped by LoadLatest
+	Saves      obs.Counter // checkpoints written successfully
+	SaveErrors obs.Counter // failed save attempts
+	SaveBytes  obs.Counter // total bytes written
+	Pruned     obs.Counter // old checkpoints removed by rotation
+	Loads      obs.Counter // checkpoints loaded successfully
+	Skipped    obs.Counter // torn/corrupt files skipped by LoadLatest
+
+	SaveLatency obs.Histogram // nanoseconds per successful save (write + fsync + rename)
+	LoadLatency obs.Histogram // nanoseconds per successful LoadLatest
 }
 
 // MetricsSnapshot is a plain-value copy for printing and JSON encoding.
@@ -57,6 +63,31 @@ func (m *Metrics) Expvar() expvar.Var {
 	return expvar.Func(func() any { return m.Snapshot() })
 }
 
+// Register attaches every counter and histogram to r under the stable
+// platod2gl_checkpoint_* names documented in docs/OPERATIONS.md.
+func (m *Metrics) Register(r *obs.Registry) {
+	if m == nil {
+		return
+	}
+	for _, c := range []struct {
+		name, help string
+		c          *obs.Counter
+	}{
+		{"platod2gl_checkpoint_saves_total", "Checkpoints written successfully.", &m.Saves},
+		{"platod2gl_checkpoint_save_errors_total", "Failed checkpoint save attempts.", &m.SaveErrors},
+		{"platod2gl_checkpoint_save_bytes_total", "Total checkpoint bytes written.", &m.SaveBytes},
+		{"platod2gl_checkpoint_pruned_total", "Old checkpoints removed by rotation.", &m.Pruned},
+		{"platod2gl_checkpoint_loads_total", "Checkpoints loaded successfully.", &m.Loads},
+		{"platod2gl_checkpoint_skipped_total", "Torn or corrupt checkpoint files skipped on resume.", &m.Skipped},
+	} {
+		r.RegisterCounter(c.name, c.help, nil, c.c)
+	}
+	r.RegisterHistogram("platod2gl_checkpoint_save_latency_seconds",
+		"Latency of one successful checkpoint save (write + fsync + rename).", nil, 1e-9, &m.SaveLatency)
+	r.RegisterHistogram("platod2gl_checkpoint_load_latency_seconds",
+		"Latency of one successful checkpoint resume.", nil, 1e-9, &m.LoadLatency)
+}
+
 func (m *Metrics) addSave(bytes int64) {
 	if m != nil {
 		m.Saves.Add(1)
@@ -85,5 +116,17 @@ func (m *Metrics) incLoad() {
 func (m *Metrics) incSkipped() {
 	if m != nil {
 		m.Skipped.Add(1)
+	}
+}
+
+func (m *Metrics) observeSave(d int64) {
+	if m != nil {
+		m.SaveLatency.Observe(d)
+	}
+}
+
+func (m *Metrics) observeLoad(d int64) {
+	if m != nil {
+		m.LoadLatency.Observe(d)
 	}
 }

@@ -206,6 +206,8 @@ func guard(method string, err *error) {
 // durability hook first. Duplicate (ClientID, Seq) pairs are skipped and
 // reported as success.
 func (s *Service) ApplyBatch(args *BatchArgs, reply *BatchReply) (err error) {
+	start := time.Now()
+	defer func() { s.metrics.observeServed("ApplyBatch", start, approxEvents(len(args.Events))+16) }()
 	// Gate before pauseMu: a write parked on the catch-up gate must not hold
 	// the read lock, or the catch-up's own Pause() would deadlock against it.
 	if err := s.gateWrite(); err != nil {
@@ -252,6 +254,11 @@ func (s *Service) applyBatch(args *BatchArgs, reply *BatchReply) (err error) {
 
 // SampleNeighbors draws weighted neighbor samples for each seed.
 func (s *Service) SampleNeighbors(args *SampleArgs, reply *SampleReply) (err error) {
+	start := time.Now()
+	defer func() {
+		s.metrics.observeServed("SampleNeighbors", start,
+			approxIDs(len(args.Seeds))+approxIDs(len(reply.Neighbors))+24)
+	}()
 	defer guard("SampleNeighbors", &err)
 	if !s.ready.Load() {
 		return ErrReplicaNotReady
@@ -266,6 +273,11 @@ func (s *Service) SampleNeighbors(args *SampleArgs, reply *SampleReply) (err err
 
 // Degree returns out-degrees.
 func (s *Service) Degree(args *DegreeArgs, reply *DegreeReply) (err error) {
+	start := time.Now()
+	defer func() {
+		s.metrics.observeServed("Degree", start,
+			approxIDs(len(args.Nodes))+approxDegrees(len(reply.Degrees)))
+	}()
 	defer guard("Degree", &err)
 	if !s.ready.Load() {
 		return ErrReplicaNotReady
@@ -279,6 +291,11 @@ func (s *Service) Degree(args *DegreeArgs, reply *DegreeReply) (err error) {
 
 // Features gathers feature rows.
 func (s *Service) Features(args *FeatureArgs, reply *FeatureReply) (err error) {
+	start := time.Now()
+	defer func() {
+		s.metrics.observeServed("Features", start,
+			approxIDs(len(args.Nodes))+approxFloats(len(reply.Data))+approxLabels(len(reply.Labels)))
+	}()
 	defer guard("Features", &err)
 	if !s.ready.Load() {
 		return ErrReplicaNotReady
@@ -295,6 +312,8 @@ func (s *Service) Features(args *FeatureArgs, reply *FeatureReply) (err error) {
 
 // Sources lists this server's source vertices for a relation.
 func (s *Service) Sources(args *SourcesArgs, reply *SourcesReply) (err error) {
+	start := time.Now()
+	defer func() { s.metrics.observeServed("Sources", start, approxIDs(len(reply.Nodes))+8) }()
 	defer guard("Sources", &err)
 	if !s.ready.Load() {
 		return ErrReplicaNotReady
@@ -305,6 +324,11 @@ func (s *Service) Sources(args *SourcesArgs, reply *SourcesReply) (err error) {
 
 // SetFeatures stores feature rows (and optional labels) on this server.
 func (s *Service) SetFeatures(args *SetFeaturesArgs, _ *SetFeaturesReply) (err error) {
+	start := time.Now()
+	defer func() {
+		s.metrics.observeServed("SetFeatures", start,
+			approxIDs(len(args.Nodes))+approxFloats(len(args.Data))+approxLabels(len(args.Labels)))
+	}()
 	defer guard("SetFeatures", &err)
 	if err := s.gateWrite(); err != nil {
 		return err
@@ -334,13 +358,17 @@ func (s *Service) SetFeatures(args *SetFeaturesArgs, _ *SetFeaturesReply) (err e
 // vertices with out-edges across all relations, when the store exposes
 // per-relation stats (DynamicStore does).
 func (s *Service) Stats(_ *StatsArgs, reply *StatsReply) (err error) {
+	start := time.Now()
+	defer func() { s.metrics.observeServed("Stats", start, 24) }()
 	defer guard("Stats", &err)
 	if !s.ready.Load() {
 		return ErrReplicaNotReady
 	}
 	reply.NumEdges = s.store.NumEdges()
 	reply.MemoryBytes = s.store.MemoryBytes()
-	if rs, ok := s.store.(interface{ AllStats() []storage.RelationStats }); ok {
+	if rs, ok := s.store.(interface {
+		AllStats() []storage.RelationStats
+	}); ok {
 		for _, st := range rs.AllStats() {
 			reply.NumSources += st.Sources
 		}

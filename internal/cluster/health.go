@@ -18,9 +18,9 @@ var ErrPeerUnavailable = errors.New("cluster: peer unavailable (circuit open)")
 type breakerState int
 
 const (
-	breakerClosed breakerState = iota // healthy: all calls pass
-	breakerOpen                       // tripped: calls fail fast until cooldown
-	breakerHalfOpen                   // probing: one call allowed through
+	breakerClosed   breakerState = iota // healthy: all calls pass
+	breakerOpen                         // tripped: calls fail fast until cooldown
+	breakerHalfOpen                     // probing: one call allowed through
 )
 
 func (s breakerState) String() string {

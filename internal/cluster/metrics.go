@@ -1,47 +1,67 @@
-// Fault-tolerance observability: counters for the retry/breaker/failover
-// machinery and the replica catch-up path, exposed in a form expvar can
-// publish (the server's -metrics-addr endpoint) and the loadgen can print.
-// Counters are cheap atomics on the hot path; a Metrics value may be shared
-// between a client and a service (the server binary does exactly that) so
-// one endpoint reports both sides.
+// Fault-tolerance and RPC observability for the cluster tier, built on the
+// unified internal/obs primitives: counters for the retry/breaker/failover
+// machinery and the replica catch-up path, plus per-method latency and
+// payload-size histograms on both sides of every RPC. Counters and histogram
+// observations are cheap atomics on the hot path; a Metrics value may be
+// shared between a client and a service (the server binary does exactly
+// that) so one endpoint reports both sides.
 package cluster
 
 import (
 	"expvar"
 	"fmt"
-	"sync/atomic"
+	"time"
+
+	"platod2gl/internal/eventlog"
+	"platod2gl/internal/obs"
 )
 
-// Metrics aggregates fault-tolerance counters. The zero value is ready to
-// use; all methods are safe on a nil receiver so metrics stay optional on
-// every path.
+// rpcMethods is the full RPC surface, used to pre-seed the per-method
+// histogram families so a scrape sees every series from the first request.
+var rpcMethods = []string{
+	"ApplyBatch", "SampleNeighbors", "Degree", "Features", "SetFeatures",
+	"Sources", "Stats", "FetchSnapshot", "FetchWALTail", "SyncState",
+}
+
+// Metrics aggregates fault-tolerance counters and RPC histograms. The zero
+// value is ready to use; all methods are safe on a nil receiver so metrics
+// stay optional on every path.
 type Metrics struct {
 	// Client call path.
-	RPCAttempts  atomic.Int64 // network attempts (including retries)
-	RPCTimeouts  atomic.Int64 // attempts that hit Options.CallTimeout
-	RPCRetries   atomic.Int64 // attempts beyond the first for one call
-	BreakerOpens atomic.Int64 // circuit-breaker closed->open transitions
+	RPCAttempts  obs.Counter // network attempts (including retries)
+	RPCTimeouts  obs.Counter // attempts that hit Options.CallTimeout
+	RPCRetries   obs.Counter // attempts beyond the first for one call
+	BreakerOpens obs.Counter // circuit-breaker closed->open transitions
 
 	// Replica read/write fan-out.
-	ReadFailovers atomic.Int64 // reads that moved on past a failed replica
-	StaleMarks    atomic.Int64 // replicas marked stale after a missed write
+	ReadFailovers obs.Counter // reads that moved on past a failed replica
+	StaleMarks    obs.Counter // replicas marked stale after a missed write
 
 	// Sampling-payload coalescing: duplicate seeds deduplicated out of
 	// SampleNeighbors/SampleSubgraph fan-outs (multi-hop frontiers repeat
 	// vertices heavily) and the approximate wire bytes that saved.
-	CoalescedSeeds atomic.Int64 // duplicate seeds removed from payloads
-	CoalescedBytes atomic.Int64 // request+reply bytes saved by coalescing
+	CoalescedSeeds obs.Counter // duplicate seeds removed from payloads
+	CoalescedBytes obs.Counter // request+reply bytes saved by coalescing
 
 	// Catch-up (both directions: served by a live peer, pulled by a
 	// rejoining replica).
-	CatchUps         atomic.Int64 // completed SyncFromPeer runs
-	CatchUpBytes     atomic.Int64 // snapshot bytes pulled during catch-up
-	CatchUpBatches   atomic.Int64 // WAL-tail batches applied during catch-up
-	SnapshotsServed  atomic.Int64 // FetchSnapshot calls answered
-	TailBatchesServed atomic.Int64 // WAL-tail batches streamed to replicas
+	CatchUps          obs.Counter // completed SyncFromPeer runs
+	CatchUpBytes      obs.Counter // snapshot bytes pulled during catch-up
+	CatchUpBatches    obs.Counter // WAL-tail batches applied during catch-up
+	SnapshotsServed   obs.Counter // FetchSnapshot calls answered
+	TailBatchesServed obs.Counter // WAL-tail batches streamed to replicas
+
+	// Per-method histograms. Client latency covers one network attempt
+	// (dial + call, excluding backoff sleeps); server latency covers one
+	// handler execution; payload bytes approximate request+reply wire size
+	// per served call.
+	ClientLatency obs.HistogramVec // nanoseconds, label = method
+	ServerLatency obs.HistogramVec // nanoseconds, label = method
+	PayloadBytes  obs.HistogramVec // bytes, label = method
 }
 
-// MetricsSnapshot is a plain-value copy for printing and JSON encoding.
+// MetricsSnapshot is a plain-value copy of the counters for printing and
+// JSON encoding.
 type MetricsSnapshot struct {
 	RPCAttempts       int64
 	RPCTimeouts       int64
@@ -90,9 +110,51 @@ func (s MetricsSnapshot) String() string {
 }
 
 // Expvar returns an expvar.Var rendering the counters as a JSON object, for
-// expvar.Publish under the server's or loadgen's chosen name.
+// expvar.Publish under the server's or loadgen's chosen name. (Histograms
+// are exposed through Register + the obs registry's /metrics endpoint.)
 func (m *Metrics) Expvar() expvar.Var {
 	return expvar.Func(func() any { return m.Snapshot() })
+}
+
+// Register attaches every counter and histogram to r under the stable
+// platod2gl_cluster_* names documented in docs/OPERATIONS.md. The per-method
+// histogram families are pre-seeded with the full RPC surface so /metrics
+// exposes every series from the first scrape.
+func (m *Metrics) Register(r *obs.Registry) {
+	if m == nil {
+		return
+	}
+	for _, c := range []struct {
+		name, help string
+		c          *obs.Counter
+	}{
+		{"platod2gl_cluster_rpc_attempts_total", "Client RPC network attempts, including retries.", &m.RPCAttempts},
+		{"platod2gl_cluster_rpc_timeouts_total", "Client RPC attempts that hit the per-call timeout.", &m.RPCTimeouts},
+		{"platod2gl_cluster_rpc_retries_total", "Client RPC attempts beyond the first for one call.", &m.RPCRetries},
+		{"platod2gl_cluster_breaker_opens_total", "Circuit-breaker closed-to-open transitions.", &m.BreakerOpens},
+		{"platod2gl_cluster_read_failovers_total", "Reads that moved past a failed replica.", &m.ReadFailovers},
+		{"platod2gl_cluster_stale_marks_total", "Replicas marked stale after a missed write.", &m.StaleMarks},
+		{"platod2gl_cluster_coalesced_seeds_total", "Duplicate seeds removed from sampling payloads.", &m.CoalescedSeeds},
+		{"platod2gl_cluster_coalesced_bytes_total", "Approximate wire bytes saved by seed coalescing.", &m.CoalescedBytes},
+		{"platod2gl_cluster_catchups_total", "Completed SyncFromPeer catch-up runs.", &m.CatchUps},
+		{"platod2gl_cluster_catchup_bytes_total", "Snapshot bytes pulled during catch-up.", &m.CatchUpBytes},
+		{"platod2gl_cluster_catchup_batches_total", "WAL-tail batches applied during catch-up.", &m.CatchUpBatches},
+		{"platod2gl_cluster_snapshots_served_total", "FetchSnapshot calls answered for rejoining replicas.", &m.SnapshotsServed},
+		{"platod2gl_cluster_tail_batches_served_total", "WAL-tail batches streamed to rejoining replicas.", &m.TailBatchesServed},
+	} {
+		r.RegisterCounter(c.name, c.help, nil, c.c)
+	}
+	for _, meth := range rpcMethods {
+		m.ClientLatency.With(meth)
+		m.ServerLatency.With(meth)
+		m.PayloadBytes.With(meth)
+	}
+	r.RegisterHistogramVec("platod2gl_cluster_rpc_client_latency_seconds",
+		"Per-attempt client-side RPC latency.", "method", 1e-9, &m.ClientLatency)
+	r.RegisterHistogramVec("platod2gl_cluster_rpc_server_latency_seconds",
+		"Server-side RPC handler latency.", "method", 1e-9, &m.ServerLatency)
+	r.RegisterHistogramVec("platod2gl_cluster_rpc_payload_bytes",
+		"Approximate request+reply payload size per served RPC.", "method", 1, &m.PayloadBytes)
 }
 
 // Nil-tolerant increment helpers keep call sites unconditional about
@@ -169,3 +231,56 @@ func (m *Metrics) addTailServed(n int64) {
 		m.TailBatchesServed.Add(n)
 	}
 }
+
+// observeClientCall records one client-side network attempt's latency.
+// method carries the ServiceName prefix ("PlatoD2GL.ApplyBatch").
+func (m *Metrics) observeClientCall(method string, start time.Time) {
+	if m != nil {
+		m.ClientLatency.With(shortMethod(method)).ObserveSince(start)
+	}
+}
+
+// observeServed records one served RPC: handler latency plus approximate
+// request+reply payload size.
+func (m *Metrics) observeServed(method string, start time.Time, payloadBytes int64) {
+	if m != nil {
+		m.ServerLatency.With(method).ObserveSince(start)
+		m.PayloadBytes.With(method).Observe(payloadBytes)
+	}
+}
+
+// shortMethod strips the RPC receiver prefix: "PlatoD2GL.Stats" -> "Stats".
+func shortMethod(method string) string {
+	for i := len(method) - 1; i >= 0; i-- {
+		if method[i] == '.' {
+			return method[i+1:]
+		}
+	}
+	return method
+}
+
+// Approximate wire sizes of the variable-length payload components. net/rpc
+// uses gob, whose exact framing is not worth reproducing; these flat
+// per-element costs track the dominant terms (IDs, floats, events) closely
+// enough to size payloads within a bucket or two.
+const (
+	approxVertexIDBytes = 8
+	approxEventBytes    = 34 // kind + src + dst + type + weight + timestamp
+	approxFloat32Bytes  = 4
+	approxLabelBytes    = 4
+)
+
+func approxIDs(n int) int64 { return int64(n) * approxVertexIDBytes }
+
+// lenRecords sums event counts across WAL batch records for payload sizing.
+func lenRecords(recs []eventlog.BatchRecord) int {
+	n := 0
+	for _, r := range recs {
+		n += len(r.Events)
+	}
+	return n
+}
+func approxEvents(n int) int64  { return int64(n) * approxEventBytes }
+func approxFloats(n int) int64  { return int64(n) * approxFloat32Bytes }
+func approxLabels(n int) int64  { return int64(n) * approxLabelBytes }
+func approxDegrees(n int) int64 { return int64(n) * 8 }

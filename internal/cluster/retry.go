@@ -105,9 +105,9 @@ func DefaultOptions() Options {
 // staleness tracking that keeps a replica which missed one of our writes
 // out of the read rotation until it has demonstrably re-synced.
 type peer struct {
-	idx     int // global peer index
-	shard   int // logical shard this replica belongs to
-	replica int // position within the replica group
+	idx     int    // global peer index
+	shard   int    // logical shard this replica belongs to
+	replica int    // position within the replica group
 	dial    Dialer // nil: no redial — a dead connection stays dead (legacy mode)
 	br      *breaker
 
@@ -270,6 +270,7 @@ func (c *Client) callPeerBudget(p int, method string, args, reply any, maxRetrie
 			continue
 		}
 		c.metrics.incAttempt()
+		attemptStart := time.Now()
 		rc, err := pe.client()
 		if err != nil {
 			pe.br.failure(time.Now(), err)
@@ -277,6 +278,7 @@ func (c *Client) callPeerBudget(p int, method string, args, reply any, maxRetrie
 			continue
 		}
 		err = callTimeout(rc, method, args, reply, c.opts.CallTimeout)
+		c.metrics.observeClientCall(method, attemptStart)
 		if err == nil {
 			pe.br.success()
 			return nil

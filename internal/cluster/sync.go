@@ -133,6 +133,8 @@ type SyncStateReply struct {
 // SyncState reports this replica's convergence state. Always served, even
 // while not ready — it is how clients and siblings probe progress.
 func (s *Service) SyncState(_ *SyncStateArgs, reply *SyncStateReply) (err error) {
+	start := time.Now()
+	defer func() { s.metrics.observeServed("SyncState", start, 32) }()
 	defer guard("SyncState", &err)
 	reply.Ready = s.ready.Load()
 	reply.SyncEpoch = s.syncEpoch.Load()
@@ -162,6 +164,8 @@ type SnapshotReply struct {
 // itself not ready refuses — two empty booting replicas must not "catch up"
 // from each other.
 func (s *Service) FetchSnapshot(_ *SnapshotArgs, reply *SnapshotReply) (err error) {
+	start := time.Now()
+	defer func() { s.metrics.observeServed("FetchSnapshot", start, int64(len(reply.Snapshot))) }()
 	defer guard("FetchSnapshot", &err)
 	if !s.ready.Load() {
 		return ErrReplicaNotReady
@@ -206,6 +210,8 @@ type WALTailReply struct {
 // against concurrent appends: a torn frame mid-file ends the chunk cleanly
 // and a later call picks it up once complete.
 func (s *Service) FetchWALTail(args *WALTailArgs, reply *WALTailReply) (err error) {
+	start := time.Now()
+	defer func() { s.metrics.observeServed("FetchWALTail", start, approxEvents(lenRecords(reply.Records))+24) }()
 	defer guard("FetchWALTail", &err)
 	if s.syncWAL == nil {
 		return fmt.Errorf("cluster: server has no WAL to stream")

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the fixed bucket count of every Histogram: bucket 0 holds
+// the value 0, bucket i >= 1 holds values in [2^(i-1), 2^i). 64 buckets
+// cover the whole non-negative int64 range, so an observation can never
+// overflow the scheme — recording nanoseconds, bucket 34 is ~17s and bucket
+// 63 is ~292 years.
+const NumBuckets = 64
+
+// Histogram is a bounded log-scale (powers-of-two) histogram of non-negative
+// int64 observations — typically latencies in nanoseconds or payload sizes
+// in bytes. Recording is three atomic adds and no allocation; quantile
+// estimation happens at snapshot time. The zero value is ready to use.
+// Histograms must not be copied after first use.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [NumBuckets]atomic.Int64
+}
+
+// bucketOf maps a value to its bucket index: 0 -> 0, otherwise
+// 1 + floor(log2(v)) == bits.Len64(v).
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i (the largest
+// value the bucket can hold).
+func BucketUpper(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return 1<<63 - 1
+	}
+	return 1<<uint(i) - 1
+}
+
+// bucketLower returns the smallest value bucket i can hold.
+func bucketLower(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	return 1 << uint(i-1)
+}
+
+// Observe records one value. Negative values are clamped to 0.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// ObserveSince records the elapsed nanoseconds since start — the common
+// latency-recording idiom: defer-free, one time.Since on the hot path.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(int64(time.Since(start)))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Snapshot copies the histogram into a plain value for quantile math,
+// printing, and JSON encoding. Concurrent writers may land between the
+// individual bucket loads; the snapshot is still a valid histogram (every
+// complete observation before the call is included, buckets and count may
+// disagree by in-flight observations — bounded by writer concurrency).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	// Load buckets first: an observation that lands mid-snapshot then
+	// inflates count/sum but not its bucket, and quantile math clamps to the
+	// bucket totals, never reads past them.
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram.
+type HistogramSnapshot struct {
+	Count   int64
+	Sum     int64
+	Buckets [NumBuckets]int64
+}
+
+// Merge accumulates other into s (for combining per-worker or per-epoch
+// histograms).
+func (s *HistogramSnapshot) Merge(other HistogramSnapshot) {
+	s.Count += other.Count
+	s.Sum += other.Sum
+	for i := range s.Buckets {
+		s.Buckets[i] += other.Buckets[i]
+	}
+}
+
+// total returns the bucket-count total, the denominator quantile math must
+// use (Count may be momentarily ahead under concurrent writers).
+func (s HistogramSnapshot) total() int64 {
+	var t int64
+	for _, b := range s.Buckets {
+		t += b
+	}
+	return t
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear interpolation
+// within the covering bucket. Returns 0 for an empty histogram.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	total := s.total()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank in [1, total]: the observation index the quantile names.
+	rank := int64(q*float64(total-1)) + 1
+	var cum int64
+	for i, b := range s.Buckets {
+		if b == 0 {
+			continue
+		}
+		cum += b
+		if cum < rank {
+			continue
+		}
+		lo, hi := bucketLower(i), BucketUpper(i)
+		if lo == hi {
+			return float64(lo)
+		}
+		// Position of the ranked observation within this bucket, in (0, 1].
+		frac := float64(rank-(cum-b)) / float64(b)
+		return float64(lo) + frac*float64(hi-lo)
+	}
+	return float64(BucketUpper(NumBuckets - 1))
+}
+
+// P50 is Quantile(0.50).
+func (s HistogramSnapshot) P50() float64 { return s.Quantile(0.50) }
+
+// P95 is Quantile(0.95).
+func (s HistogramSnapshot) P95() float64 { return s.Quantile(0.95) }
+
+// P99 is Quantile(0.99).
+func (s HistogramSnapshot) P99() float64 { return s.Quantile(0.99) }
+
+// Mean returns the exact arithmetic mean of the observations (sum/count), 0
+// when empty.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}

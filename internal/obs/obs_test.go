@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Load(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestBucketBounds(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{0, 0}, {-5, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {127, 7}, {128, 8},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	for i := 1; i < NumBuckets-1; i++ {
+		lo, hi := bucketLower(i), BucketUpper(i)
+		if bucketOf(lo) != i || bucketOf(hi) != i {
+			t.Errorf("bucket %d bounds [%d,%d] do not round-trip", i, lo, hi)
+		}
+		if bucketOf(hi+1) != i+1 {
+			t.Errorf("bucket %d upper+1 lands in %d, want %d", i, bucketOf(hi+1), i+1)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if got := h.Snapshot().P50(); got != 0 {
+		t.Fatalf("empty histogram p50 = %v, want 0", got)
+	}
+	// 1000 observations of the same value: every quantile must land in that
+	// value's bucket.
+	for i := 0; i < 1000; i++ {
+		h.Observe(100)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 || s.Sum != 100_000 {
+		t.Fatalf("count/sum = %d/%d", s.Count, s.Sum)
+	}
+	lo, hi := float64(64), float64(127) // bucket of 100
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		v := s.Quantile(q)
+		if v < lo || v > hi {
+			t.Errorf("quantile(%v) = %v outside value bucket [%v,%v]", q, v, lo, hi)
+		}
+	}
+	if !(s.P50() <= s.P95() && s.P95() <= s.P99()) {
+		t.Errorf("quantiles not monotonic: p50=%v p95=%v p99=%v", s.P50(), s.P95(), s.P99())
+	}
+	if got := s.Mean(); got != 100 {
+		t.Errorf("mean = %v, want 100", got)
+	}
+}
+
+func TestHistogramQuantileSpread(t *testing.T) {
+	// 90 fast observations and 10 slow ones: p50 must sit in the fast
+	// bucket, p99 in the slow bucket.
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Observe(1000) // bucket [512, 1023]
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1_000_000) // bucket [524288, 1048575]
+	}
+	s := h.Snapshot()
+	if p := s.P50(); p < 512 || p > 1023 {
+		t.Errorf("p50 = %v, want within fast bucket [512,1023]", p)
+	}
+	if p := s.P99(); p < 524288 || p > 1048575 {
+		t.Errorf("p99 = %v, want within slow bucket [524288,1048575]", p)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, both Histogram
+	for i := int64(1); i <= 100; i++ {
+		a.Observe(i)
+		both.Observe(i)
+	}
+	for i := int64(1000); i < 1050; i++ {
+		b.Observe(i)
+		both.Observe(i)
+	}
+	m := a.Snapshot()
+	m.Merge(b.Snapshot())
+	want := both.Snapshot()
+	if m != want {
+		t.Fatalf("merged snapshot differs from combined histogram:\n got %+v\nwant %+v", m, want)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many writers while a
+// reader snapshots it, then verifies the final totals are exact. Run under
+// -race this is the histogram's data-race proof.
+func TestHistogramConcurrent(t *testing.T) {
+	const (
+		writers = 8
+		perW    = 10_000
+	)
+	var h Histogram
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			// A mid-flight snapshot must stay internally sane: bucket total
+			// never exceeds count (buckets are loaded before count).
+			if tot := s.total(); tot > s.Count {
+				t.Errorf("snapshot buckets %d > count %d", tot, s.Count)
+				return
+			}
+			_ = s.P99()
+		}
+	}()
+	var wg sync.WaitGroup
+	var wantSum int64
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				h.Observe(int64(w*perW + i))
+			}
+		}(w)
+	}
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perW; i++ {
+			wantSum += int64(w*perW + i)
+		}
+	}
+	wg.Wait()
+	close(stop)
+	readerWG.Wait()
+	s := h.Snapshot()
+	if s.Count != writers*perW {
+		t.Fatalf("count = %d, want %d", s.Count, writers*perW)
+	}
+	if s.Sum != wantSum {
+		t.Fatalf("sum = %d, want %d", s.Sum, wantSum)
+	}
+	if tot := s.total(); tot != s.Count {
+		t.Fatalf("bucket total %d != count %d", tot, s.Count)
+	}
+}
+
+func TestHistogramVecConcurrent(t *testing.T) {
+	var v HistogramVec
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			label := fmt.Sprintf("m%d", w%3)
+			for i := 0; i < 1000; i++ {
+				v.With(label).Observe(int64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(v.Labels()); got != 3 {
+		t.Fatalf("labels = %d, want 3", got)
+	}
+	var total int64
+	for _, l := range v.Labels() {
+		total += v.With(l).Count()
+	}
+	if total != 8*1000 {
+		t.Fatalf("total observations = %d, want 8000", total)
+	}
+}
+
+func TestObserveSince(t *testing.T) {
+	var h Histogram
+	h.ObserveSince(time.Now().Add(-time.Millisecond))
+	s := h.Snapshot()
+	if s.Count != 1 || s.Sum < int64(time.Millisecond) {
+		t.Fatalf("count=%d sum=%d, want 1 observation >= 1ms", s.Count, s.Sum)
+	}
+}

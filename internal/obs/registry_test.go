@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry with deterministic contents covering
+// every metric kind, label shapes, and the histogram triplet.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	c := r.Counter("platod2gl_test_requests_total", "Requests handled.", nil)
+	c.Add(42)
+	r.Counter("platod2gl_test_errors_total", "Errors by class.", Labels{"class": "timeout"}).Add(3)
+	r.Counter("platod2gl_test_errors_total", "Errors by class.", Labels{"class": "reset"}).Add(1)
+	g := r.Gauge("platod2gl_test_depth", "Queue depth.", nil)
+	g.Set(7)
+	r.GaugeFunc("platod2gl_test_edges", "Edge count.", nil, func() float64 { return 12345 })
+	h := r.Histogram("platod2gl_test_latency_seconds", "Call latency.", Labels{"method": "Sample"}, 1e-9)
+	// Nanosecond observations spanning three buckets.
+	h.Observe(800)       // bucket [512,1023]
+	h.Observe(900)       // bucket [512,1023]
+	h.Observe(70_000)    // bucket [65536,131071]
+	h.Observe(2_000_000) // bucket [1048576,2097151]
+	var vec HistogramVec
+	vec.With("bytes").Observe(4096)
+	r.RegisterHistogramVec("platod2gl_test_payload_bytes", "Payload sizes.", "kind", 1, &vec)
+	return r
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := goldenRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition drifted from golden file:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestPrometheusExpositionShape(t *testing.T) {
+	var b strings.Builder
+	if err := goldenRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Structural checks independent of the golden bytes: one TYPE line per
+	// metric name, cumulative buckets ending in +Inf == count.
+	if c := strings.Count(out, "# TYPE platod2gl_test_errors_total counter"); c != 1 {
+		t.Errorf("TYPE line for labeled counter appears %d times, want 1", c)
+	}
+	if !strings.Contains(out, `platod2gl_test_latency_seconds_bucket{method="Sample",le="+Inf"} 4`) {
+		t.Errorf("missing +Inf bucket == count:\n%s", out)
+	}
+	if !strings.Contains(out, `platod2gl_test_latency_seconds_count{method="Sample"} 4`) {
+		t.Errorf("missing histogram count:\n%s", out)
+	}
+	if !strings.Contains(out, `platod2gl_test_errors_total{class="reset"} 1`) {
+		t.Errorf("missing labeled counter sample:\n%s", out)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	srv := httptest.NewServer(goldenRegistry().Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "platod2gl_test_requests_total 42") {
+		t.Errorf("handler output missing counter:\n%s", body)
+	}
+}
+
+func TestExpvarBridge(t *testing.T) {
+	v := goldenRegistry().Expvar()
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(v.String()), &decoded); err != nil {
+		t.Fatalf("expvar output is not JSON: %v", err)
+	}
+	if got := decoded["platod2gl_test_requests_total"]; got != float64(42) {
+		t.Errorf("counter via expvar = %v, want 42", got)
+	}
+	hist, ok := decoded[`platod2gl_test_latency_seconds{method="Sample"}`].(map[string]any)
+	if !ok {
+		t.Fatalf("histogram summary missing from expvar output: %v", decoded)
+	}
+	if hist["count"] != float64(4) {
+		t.Errorf("histogram count via expvar = %v, want 4", hist["count"])
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "", Labels{"a": "b"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("dup_total", "", Labels{"a": "b"})
+}

@@ -3,26 +3,36 @@
 // ready before the trainer asked) and little stall time; a stall-dominated
 // epoch means depth/workers are too low for the backend's latency. Counters
 // follow internal/cluster's conventions: cheap atomics, nil-safe helpers,
-// expvar-publishable.
+// expvar-publishable — plus per-stage latency histograms (build / queue wait
+// / consumer stall) on the unified internal/obs registry.
 package pipeline
 
 import (
 	"expvar"
 	"fmt"
-	"sync/atomic"
 	"time"
+
+	"platod2gl/internal/obs"
 )
 
-// Metrics aggregates prefetch counters. The zero value is ready to use; all
-// methods are safe on a nil receiver so metrics stay optional.
+// Metrics aggregates prefetch counters and per-stage histograms. The zero
+// value is ready to use; all methods are safe on a nil receiver so metrics
+// stay optional.
 type Metrics struct {
-	BatchesBuilt atomic.Int64 // batch build attempts completed by workers
-	BuildNanos   atomic.Int64 // total time spent building batches
-	PrefetchHits atomic.Int64 // Next() served an already-buffered batch
-	Stalls       atomic.Int64 // Next() had to wait for the batch
-	StallNanos   atomic.Int64 // total time the consumer spent waiting
-	BatchRetries atomic.Int64 // failed builds retried within Config.Retries
-	BatchFailures atomic.Int64 // batches whose retry budget ran out
+	BatchesBuilt  obs.Counter // batch build attempts completed by workers
+	BuildNanos    obs.Counter // total time spent building batches
+	PrefetchHits  obs.Counter // Next() served an already-buffered batch
+	Stalls        obs.Counter // Next() had to wait for the batch
+	StallNanos    obs.Counter // total time the consumer spent waiting
+	BatchRetries  obs.Counter // failed builds retried within Config.Retries
+	BatchFailures obs.Counter // batches whose retry budget ran out
+
+	// Per-stage latency histograms (nanoseconds). Build covers one load()
+	// attempt; Wait covers a built batch sitting queued until the consumer
+	// takes it; Deliver covers the consumer-visible stall inside Next().
+	BuildLatency   obs.Histogram
+	WaitLatency    obs.Histogram
+	DeliverLatency obs.Histogram
 }
 
 // MetricsSnapshot is a plain-value copy for printing and JSON encoding.
@@ -74,10 +84,45 @@ func (m *Metrics) Expvar() expvar.Var {
 	return expvar.Func(func() any { return m.Snapshot() })
 }
 
+// Register attaches every counter and histogram to r under the stable
+// platod2gl_pipeline_* names documented in docs/OPERATIONS.md.
+func (m *Metrics) Register(r *obs.Registry) {
+	if m == nil {
+		return
+	}
+	for _, c := range []struct {
+		name, help string
+		c          *obs.Counter
+	}{
+		{"platod2gl_pipeline_batches_built_total", "Batch build attempts completed by prefetch workers.", &m.BatchesBuilt},
+		{"platod2gl_pipeline_build_nanos_total", "Total nanoseconds spent building batches.", &m.BuildNanos},
+		{"platod2gl_pipeline_prefetch_hits_total", "Consumer reads served from an already-buffered batch.", &m.PrefetchHits},
+		{"platod2gl_pipeline_stalls_total", "Consumer reads that had to wait for the batch.", &m.Stalls},
+		{"platod2gl_pipeline_stall_nanos_total", "Total nanoseconds the consumer spent waiting.", &m.StallNanos},
+		{"platod2gl_pipeline_batch_retries_total", "Failed builds retried within the retry budget.", &m.BatchRetries},
+		{"platod2gl_pipeline_batch_failures_total", "Batches whose retry budget ran out.", &m.BatchFailures},
+	} {
+		r.RegisterCounter(c.name, c.help, nil, c.c)
+	}
+	r.RegisterHistogram("platod2gl_pipeline_build_latency_seconds",
+		"Per-attempt batch build latency (sampling + feature fetch + assembly).", nil, 1e-9, &m.BuildLatency)
+	r.RegisterHistogram("platod2gl_pipeline_wait_latency_seconds",
+		"Time a built batch sat queued before the consumer took it.", nil, 1e-9, &m.WaitLatency)
+	r.RegisterHistogram("platod2gl_pipeline_deliver_latency_seconds",
+		"Consumer-visible stall time inside Next().", nil, 1e-9, &m.DeliverLatency)
+}
+
 func (m *Metrics) addBuild(d time.Duration) {
 	if m != nil {
 		m.BatchesBuilt.Add(1)
 		m.BuildNanos.Add(int64(d))
+		m.BuildLatency.Observe(int64(d))
+	}
+}
+
+func (m *Metrics) observeWait(builtAt time.Time) {
+	if m != nil && !builtAt.IsZero() {
+		m.WaitLatency.ObserveSince(builtAt)
 	}
 }
 
@@ -91,6 +136,7 @@ func (m *Metrics) addStall(d time.Duration) {
 	if m != nil {
 		m.Stalls.Add(1)
 		m.StallNanos.Add(int64(d))
+		m.DeliverLatency.Observe(int64(d))
 	}
 }
 

@@ -67,6 +67,8 @@ type Result struct {
 	Seeds []graph.VertexID
 	Batch *gnn.Batch
 	Err   error
+
+	builtAt time.Time // when the worker finished building, for queue-wait timing
 }
 
 // Pipeline is one bounded prefetch run over a fixed list of seed batches.
@@ -142,7 +144,7 @@ func Run(seedBatches [][]graph.VertexID, load Loader, cfg Config) *Pipeline {
 				select {
 				case <-p.stop:
 					return
-				case queues[w] <- Result{Index: i, Seeds: seedBatches[i], Batch: b, Err: err}:
+				case queues[w] <- Result{Index: i, Seeds: seedBatches[i], Batch: b, Err: err, builtAt: time.Now()}:
 				}
 			}
 		}(w)
@@ -166,6 +168,7 @@ func Run(seedBatches [][]graph.VertexID, load Loader, cfg Config) *Pipeline {
 			case <-p.stop:
 				return
 			case p.out <- r:
+				p.metrics.observeWait(r.builtAt)
 				// Return the token to the worker that built this batch; its
 				// budget is bounded relative to its own delivered batches.
 				tokens[i%cfg.Workers] <- struct{}{}

@@ -64,6 +64,10 @@ type Options struct {
 	Tree core.Options
 	// Workers bounds batch-update parallelism; 0 means auto.
 	Workers int
+	// Metrics, if set, receives per-operation counters and latency
+	// histograms (insert/delete/sample/batch). nil disables with only a
+	// branch per operation.
+	Metrics *Metrics
 }
 
 // treeEntry pairs a samtree with its writer lock. Batch updates bypass the
@@ -138,6 +142,7 @@ func (s *DynamicStore) entry(src graph.VertexID, et graph.EdgeType, create bool)
 
 // AddEdge implements TopologyStore.
 func (s *DynamicStore) AddEdge(e graph.Edge) bool {
+	start := s.opt.Metrics.startTimer()
 	ent := s.entry(e.Src, e.Type, true)
 	ent.mu.Lock()
 	isNew := ent.tree.Insert(uint64(e.Dst), e.Weight)
@@ -145,11 +150,13 @@ func (s *DynamicStore) AddEdge(e graph.Edge) bool {
 	if isNew {
 		s.numEdges.Add(1)
 	}
+	s.opt.Metrics.observeInsert(start)
 	return isNew
 }
 
 // DeleteEdge implements TopologyStore.
 func (s *DynamicStore) DeleteEdge(src, dst graph.VertexID, et graph.EdgeType) bool {
+	start := s.opt.Metrics.startTimer()
 	ent := s.entry(src, et, false)
 	if ent == nil {
 		return false
@@ -160,6 +167,7 @@ func (s *DynamicStore) DeleteEdge(src, dst graph.VertexID, et graph.EdgeType) bo
 	if ok {
 		s.numEdges.Add(-1)
 	}
+	s.opt.Metrics.observeDelete(start)
 	return ok
 }
 
@@ -202,6 +210,7 @@ func (s *DynamicStore) Degree(src graph.VertexID, et graph.EdgeType) int {
 // SampleNeighbors implements TopologyStore: the combined ITS-over-internal /
 // FTS-at-leaf descent of Sec. V-C, k times with replacement.
 func (s *DynamicStore) SampleNeighbors(src graph.VertexID, et graph.EdgeType, k int, rng *rand.Rand, dst []graph.VertexID) []graph.VertexID {
+	start := s.opt.Metrics.startTimer()
 	ent := s.entry(src, et, false)
 	if ent == nil {
 		return dst
@@ -213,12 +222,14 @@ func (s *DynamicStore) SampleNeighbors(src graph.VertexID, et graph.EdgeType, k 
 		}
 	}
 	ent.mu.RUnlock()
+	s.opt.Metrics.observeSample(start)
 	return dst
 }
 
 // SampleNeighborsUniform implements TopologyStore via the samtree's
 // count-guided uniform descent.
 func (s *DynamicStore) SampleNeighborsUniform(src graph.VertexID, et graph.EdgeType, k int, rng *rand.Rand, dst []graph.VertexID) []graph.VertexID {
+	start := s.opt.Metrics.startTimer()
 	ent := s.entry(src, et, false)
 	if ent == nil {
 		return dst
@@ -230,6 +241,7 @@ func (s *DynamicStore) SampleNeighborsUniform(src graph.VertexID, et graph.EdgeT
 		}
 	}
 	ent.mu.RUnlock()
+	s.opt.Metrics.observeSample(start)
 	return dst
 }
 
@@ -270,6 +282,7 @@ func (s *DynamicStore) NeighborsInRange(src graph.VertexID, et graph.EdgeType, l
 // events are sorted and grouped per samtree, groups are sharded across
 // workers, and each tree is mutated latch-free by its single owner.
 func (s *DynamicStore) ApplyBatch(events []graph.Event) {
+	start := s.opt.Metrics.startTimer()
 	workers := s.opt.Workers
 	if workers <= 0 {
 		workers = palm.DefaultWorkers(len(events))
@@ -299,6 +312,7 @@ func (s *DynamicStore) ApplyBatch(events []graph.Event) {
 		removed.Add(int64(r))
 	})
 	s.numEdges.Add(added.Load() - removed.Load())
+	s.opt.Metrics.observeBatch(start, len(events))
 }
 
 // Sources implements TopologyStore.

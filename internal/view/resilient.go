@@ -10,10 +10,10 @@ package view
 import (
 	"expvar"
 	"fmt"
-	"sync/atomic"
 	"time"
 
 	"platod2gl/internal/graph"
+	"platod2gl/internal/obs"
 )
 
 // ResilientConfig tunes a Resilient wrapper. The zero value means 3 total
@@ -192,10 +192,10 @@ func (v *Resilient) Sources(et graph.EdgeType) (out []graph.VertexID, err error)
 // Metrics aggregates view-level resilience counters. The zero value is
 // ready to use; all methods are safe on a nil receiver.
 type Metrics struct {
-	Retries   atomic.Int64 // attempts beyond the first, across all calls
-	Exhausted atomic.Int64 // calls that failed after the full budget
-	Permanent atomic.Int64 // calls failed fast on a non-transient error
-	Degraded  atomic.Int64 // sampling calls answered with self-loop fallback
+	Retries   obs.Counter // attempts beyond the first, across all calls
+	Exhausted obs.Counter // calls that failed after the full budget
+	Permanent obs.Counter // calls failed fast on a non-transient error
+	Degraded  obs.Counter // sampling calls answered with self-loop fallback
 }
 
 // MetricsSnapshot is a plain-value copy for printing and JSON encoding.
@@ -228,6 +228,18 @@ func (s MetricsSnapshot) String() string {
 // Expvar returns an expvar.Var rendering the counters as a JSON object.
 func (m *Metrics) Expvar() expvar.Var {
 	return expvar.Func(func() any { return m.Snapshot() })
+}
+
+// Register attaches the resilience counters to r under the stable
+// platod2gl_view_* names documented in docs/OPERATIONS.md.
+func (m *Metrics) Register(r *obs.Registry) {
+	if m == nil {
+		return
+	}
+	r.RegisterCounter("platod2gl_view_retries_total", "View call attempts beyond the first.", nil, &m.Retries)
+	r.RegisterCounter("platod2gl_view_exhausted_total", "View calls that failed after the full retry budget.", nil, &m.Exhausted)
+	r.RegisterCounter("platod2gl_view_permanent_total", "View calls failed fast on a non-transient error.", nil, &m.Permanent)
+	r.RegisterCounter("platod2gl_view_degraded_total", "Sampling calls answered with the self-loop fallback.", nil, &m.Degraded)
 }
 
 func (m *Metrics) incRetry() {
