@@ -1,7 +1,7 @@
 GO ?= go
 REV := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: build test vet lint race chaos chaos-smoke tier1 bench bench-json bench-regress train-smoke train-chaos
+.PHONY: build test vet lint race chaos chaos-smoke migration-chaos migration-chaos-smoke tier1 bench bench-json bench-regress train-smoke train-chaos
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,17 @@ chaos: build
 # One fast chaos pass for PR CI; the full drills run nightly.
 chaos-smoke: build
 	$(GO) test -race -count=1 -run 'TestChaosReplicaFailoverAndCatchUp' ./internal/cluster/
+
+# Elasticity chaos drill: live grow-and-rebalance under write load plus the
+# three seeded migration-failure drills (source killed mid-copy, destination
+# killed mid-WAL-replay, abort just before cutover), twice, under race.
+migration-chaos: build
+	$(GO) test -race -count=2 -run 'TestChaosElasticGrow|TestChaosMigration' ./internal/cluster/
+
+# One fast elasticity pass for PR CI: the grow drill plus the last-moment
+# abort (the two cutover-adjacent paths).
+migration-chaos-smoke: build
+	$(GO) test -race -count=1 -run 'TestChaosElasticGrow|TestChaosMigrationAbortBeforeCutover' ./internal/cluster/
 
 tier1: test race
 

@@ -132,6 +132,9 @@ func main() {
 		fmt.Printf("cluster: %d edges, %.2f MB across %d servers (%d shards x %d replicas)\n",
 			st.NumEdges, float64(st.MemoryBytes)/(1<<20), client.NumServers(),
 			client.NumShards(), client.NumReplicas())
+		if m := client.RoutingMap(); m != nil {
+			fmt.Printf("routing: epoch %d across %d server groups\n", m.Epoch, m.NumGroups())
+		}
 		fmt.Printf("rpc: %s\n", metrics.Snapshot())
 	}
 }

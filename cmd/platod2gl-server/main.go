@@ -21,6 +21,13 @@
 // replica still holds), the store is rebuilt from the peer's snapshot plus
 // its WAL tail while reads fail over elsewhere, and once converged a fresh
 // local snapshot is written so durability matches the synced state.
+//
+// Elasticity (see docs/OPERATIONS.md "Elasticity"): -advertise is the
+// address this server appears under in shard maps (required for -join and
+// for receiving migrations); -join seed1,seed2 registers this empty server
+// with a running routed cluster as a new group owning no shards — follow
+// with `platod2gl-rebalance rebalance` (or use `grow`, which does both) to
+// migrate shards onto it live.
 package main
 
 import (
@@ -32,6 +39,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -64,20 +72,25 @@ func saveSnapshot(store *storage.DynamicStore, path string) error {
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":7090", "listen address")
-		capacity = flag.Int("capacity", core.DefaultCapacity, "samtree node capacity")
-		alpha    = flag.Int("alpha", 0, "alpha-split slackness")
-		noCP     = flag.Bool("no-compress", false, "disable CP-IDs prefix compression")
-		workers  = flag.Int("workers", 0, "batch update workers (0 = all CPUs)")
-		snapshot = flag.String("snapshot", "", "snapshot file: loaded at startup if present, written on SIGINT/SIGTERM")
-		metrics  = flag.String("metrics-addr", "", "HTTP address serving /debug/vars metrics (empty = disabled)")
-		walPath  = flag.String("wal", "", "write-ahead log: replayed at startup, appended per batch")
-		walSync  = flag.String("wal-sync", "always", "WAL fsync policy: always (fsync per batch), interval (background fsync), never (OS decides)")
-		walEvery = flag.Duration("wal-sync-interval", 200*time.Millisecond, "fsync period for -wal-sync=interval")
-		catchup  = flag.String("catchup-from", "", "live replica address to rebuild from at boot; local snapshot/WAL are discarded first")
-		catchupT = flag.Duration("catchup-call-timeout", 30*time.Second, "per-RPC timeout for catch-up snapshot/WAL-tail calls")
+		addr      = flag.String("addr", ":7090", "listen address")
+		capacity  = flag.Int("capacity", core.DefaultCapacity, "samtree node capacity")
+		alpha     = flag.Int("alpha", 0, "alpha-split slackness")
+		noCP      = flag.Bool("no-compress", false, "disable CP-IDs prefix compression")
+		workers   = flag.Int("workers", 0, "batch update workers (0 = all CPUs)")
+		snapshot  = flag.String("snapshot", "", "snapshot file: loaded at startup if present, written on SIGINT/SIGTERM")
+		metrics   = flag.String("metrics-addr", "", "HTTP address serving /debug/vars metrics (empty = disabled)")
+		walPath   = flag.String("wal", "", "write-ahead log: replayed at startup, appended per batch")
+		walSync   = flag.String("wal-sync", "always", "WAL fsync policy: always (fsync per batch), interval (background fsync), never (OS decides)")
+		walEvery  = flag.Duration("wal-sync-interval", 200*time.Millisecond, "fsync period for -wal-sync=interval")
+		catchup   = flag.String("catchup-from", "", "live replica address to rebuild from at boot; local snapshot/WAL are discarded first")
+		catchupT  = flag.Duration("catchup-call-timeout", 30*time.Second, "per-RPC timeout for catch-up snapshot/WAL-tail calls")
+		advertise = flag.String("advertise", "", "address this server appears under in shard maps (host:port reachable by peers and clients; default: -addr)")
+		join      = flag.String("join", "", "comma-separated seed server addresses of a routed cluster to join as a new, empty server group")
 	)
 	flag.Parse()
+	if *join != "" && *advertise == "" {
+		log.Fatalf("-join requires -advertise (the address the cluster will route to this server)")
+	}
 	switch *walSync {
 	case "always", "interval", "never":
 	default:
@@ -124,6 +137,17 @@ func main() {
 	svc := cluster.NewService(store, kvstore.New())
 	cm := &cluster.Metrics{}
 	svc.SetMetrics(cm)
+	// A server must know which map address is "me" to answer ownership
+	// checks once routing is installed. Fall back to the listen address —
+	// it matches what operators pass to -servers in the common case. Pass
+	// -advertise explicitly when -addr is not the reachable form (e.g.
+	// ":7191" behind NAT).
+	if *advertise == "" {
+		*advertise = *addr
+	}
+	svc.SetAdvertise(*advertise)
+	// Migrations pull shard state from the source by address; resolve over TCP.
+	svc.SetDialResolver(func(a string) cluster.Dialer { return cluster.TCPDialer(a, *catchupT) })
 	var wal *eventlog.Writer
 	if *walPath != "" {
 		// Recovery: the snapshot (if any) restored a prefix and truncated
@@ -284,6 +308,32 @@ func main() {
 	lis, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("listen %s: %v", *addr, err)
+	}
+	if *join != "" {
+		// Register with the running cluster once we are serving: fetch the
+		// newest shard map from the seeds and push an epoch+1 map that adds
+		// this server as an empty group. Shards arrive later, via a
+		// rebalance — joining never moves data by itself.
+		seeds := strings.Split(*join, ",")
+		self := *advertise
+		go func() {
+			time.Sleep(200 * time.Millisecond) // let Serve pick up the listener
+			d := &cluster.Driver{Logf: log.Printf, Metrics: cm}
+			m, err := d.FetchMap(seeds)
+			if err != nil {
+				log.Fatalf("join %v: %v", seeds, err)
+			}
+			if m.GroupOf(self) >= 0 {
+				log.Printf("already a member of the cluster at epoch %d", m.Epoch)
+				return
+			}
+			next, err := d.AddServer(m, []string{self})
+			if err != nil {
+				log.Fatalf("join %v: %v", seeds, err)
+			}
+			log.Printf("joined cluster at routing epoch %d as empty group %d; run `platod2gl-rebalance -servers %s rebalance` to receive shards",
+				next.Epoch, next.NumGroups()-1, strings.Join(next.Servers, ","))
+		}()
 	}
 	log.Printf("platod2gl-server listening on %s (capacity=%d alpha=%d compress=%v wal-sync=%s)",
 		lis.Addr(), *capacity, *alpha, !*noCP, *walSync)

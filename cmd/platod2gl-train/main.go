@@ -204,6 +204,10 @@ func buildView(cfg config, nodes []graph.VertexID, events []graph.Event, feats [
 		if err != nil {
 			return nil, nil, nil, err
 		}
+		if m := client.RoutingMap(); m != nil {
+			log.Printf("cluster routing: epoch %d, %d logical shards across %d server groups (shards may migrate live; reads re-route transparently)",
+				m.Epoch, m.NumShards, m.NumGroups())
+		}
 		if err := loadCluster(client, cfg, nodes, events, feats, labels); err != nil {
 			client.Close()
 			return nil, nil, nil, err

@@ -50,11 +50,16 @@ const ServiceName = "PlatoD2GL"
 // BatchArgs carries a topology update batch. ClientID and Seq identify the
 // batch for server-side at-most-once deduplication: a retried batch carries
 // the same pair and is applied at most once. Zero values bypass dedup
-// (legacy clients).
+// (legacy clients). Shard and RouteEpoch route the batch under an adopted
+// shard map (see shardmap.go): a server that does not own Shard at
+// RouteEpoch rejects with NotOwner instead of applying. RouteEpoch 0 is the
+// legacy unrouted protocol.
 type BatchArgs struct {
-	Events   []graph.Event
-	ClientID uint64
-	Seq      uint64
+	Events     []graph.Event
+	ClientID   uint64
+	Seq        uint64
+	Shard      int
+	RouteEpoch uint64
 }
 
 // BatchReply reports the resulting edge count on the server. Duplicate is
@@ -65,11 +70,14 @@ type BatchReply struct {
 }
 
 // SampleArgs requests fanout weighted neighbor samples for each seed.
+// Shard/RouteEpoch: see BatchArgs.
 type SampleArgs struct {
-	Seeds  []graph.VertexID
-	Type   graph.EdgeType
-	Fanout int
-	Seed   int64
+	Seeds      []graph.VertexID
+	Type       graph.EdgeType
+	Fanout     int
+	Seed       int64
+	Shard      int
+	RouteEpoch uint64
 }
 
 // SampleReply returns, per seed, its samples flattened: seed i owns
@@ -79,10 +87,12 @@ type SampleReply struct {
 	Neighbors []graph.VertexID
 }
 
-// DegreeArgs queries out-degrees.
+// DegreeArgs queries out-degrees. Shard/RouteEpoch: see BatchArgs.
 type DegreeArgs struct {
-	Nodes []graph.VertexID
-	Type  graph.EdgeType
+	Nodes      []graph.VertexID
+	Type       graph.EdgeType
+	Shard      int
+	RouteEpoch uint64
 }
 
 // DegreeReply returns the degrees aligned with the request.
@@ -92,11 +102,13 @@ type DegreeReply struct {
 
 // FeatureArgs requests dense feature rows, and optionally the nodes'
 // labels — supervised training against a cluster needs the labels pushed by
-// SetFeatures back out.
+// SetFeatures back out. Shard/RouteEpoch: see BatchArgs.
 type FeatureArgs struct {
 	Nodes      []graph.VertexID
 	Dim        int
 	WithLabels bool
+	Shard      int
+	RouteEpoch uint64
 }
 
 // FeatureReply returns a row-major (len(Nodes) × Dim) matrix, plus one
@@ -106,9 +118,15 @@ type FeatureReply struct {
 	Labels []int32
 }
 
-// SourcesArgs requests the source vertices of one relation.
+// SourcesArgs requests the source vertices of one relation. Routed requests
+// (RouteEpoch > 0) ask per logical shard and the server filters its answer
+// to sources hashing into Shard — which keeps a migration destination's
+// staged copy invisible until cutover, and lets one server own several
+// logical shards without double-reporting.
 type SourcesArgs struct {
-	Type graph.EdgeType
+	Type       graph.EdgeType
+	Shard      int
+	RouteEpoch uint64
 }
 
 // SourcesReply lists this server's sources for the relation.
@@ -117,11 +135,14 @@ type SourcesReply struct {
 }
 
 // SetFeaturesArgs pushes dense feature rows and labels to a server.
+// Shard/RouteEpoch: see BatchArgs.
 type SetFeaturesArgs struct {
-	Nodes  []graph.VertexID
-	Dim    int
-	Data   []float32 // row-major (len(Nodes) x Dim)
-	Labels []int32   // optional, aligned with Nodes (empty = none)
+	Nodes      []graph.VertexID
+	Dim        int
+	Data       []float32 // row-major (len(Nodes) x Dim)
+	Labels     []int32   // optional, aligned with Nodes (empty = none)
+	Shard      int
+	RouteEpoch uint64
 }
 
 // SetFeaturesReply is empty.
@@ -163,13 +184,26 @@ type Service struct {
 	readyCh   chan struct{}
 	syncEpoch atomic.Uint64
 	syncWAL   *eventlog.Writer
+
+	// Routing and migration state (see shardmap.go, migrate.go). routing is
+	// the installed shard map view (nil: unrouted legacy server); parked maps
+	// mid-cutover shards to their write gates; dialFor resolves a migration
+	// source address to a transport for PullShard.
+	advertise atomic.Pointer[string]
+	routing   atomic.Pointer[serviceRouting]
+	routeMu   sync.Mutex // serializes routing installs; guards dialFor
+	dialFor   func(addr string) Dialer
+	parkMu    sync.Mutex
+	parked    map[int]*shardGate
+	migMu     sync.Mutex     // one inbound migration pull at a time
+	hooks     MigrationHooks // chaos-test instrumentation; zero in production
 }
 
 // NewService wraps a topology store and an attribute store. The service
 // starts ready (serving reads); replicated deployments that must catch up
 // first call BeginCatchUp before exposing it.
 func NewService(store storage.TopologyStore, attrs *kvstore.Store) *Service {
-	s := &Service{store: store, attrs: attrs, dedup: newBatchDedup()}
+	s := &Service{store: store, attrs: attrs, dedup: newBatchDedup(), parked: make(map[int]*shardGate)}
 	s.ready.Store(true)
 	s.syncEpoch.Store(nextSyncEpoch())
 	return s
@@ -208,9 +242,16 @@ func guard(method string, err *error) {
 func (s *Service) ApplyBatch(args *BatchArgs, reply *BatchReply) (err error) {
 	start := time.Now()
 	defer func() { s.metrics.observeServed("ApplyBatch", start, approxEvents(len(args.Events))+16) }()
-	// Gate before pauseMu: a write parked on the catch-up gate must not hold
-	// the read lock, or the catch-up's own Pause() would deadlock against it.
+	if err := s.checkRoute(args.Shard, args.RouteEpoch); err != nil {
+		return err
+	}
+	// Gates before pauseMu: a write parked on the catch-up or migration gate
+	// must not hold the read lock, or the gate owner's own Pause() barrier
+	// would deadlock against it.
 	if err := s.gateWrite(); err != nil {
+		return err
+	}
+	if err := s.gateShardWrite(args.Shard, args.RouteEpoch); err != nil {
 		return err
 	}
 	return s.applyBatch(args, reply)
@@ -263,6 +304,9 @@ func (s *Service) SampleNeighbors(args *SampleArgs, reply *SampleReply) (err err
 	if !s.ready.Load() {
 		return ErrReplicaNotReady
 	}
+	if err := s.checkRoute(args.Shard, args.RouteEpoch); err != nil {
+		return err
+	}
 	if args.Fanout < 0 {
 		return fmt.Errorf("cluster: negative fanout %d", args.Fanout)
 	}
@@ -282,6 +326,9 @@ func (s *Service) Degree(args *DegreeArgs, reply *DegreeReply) (err error) {
 	if !s.ready.Load() {
 		return ErrReplicaNotReady
 	}
+	if err := s.checkRoute(args.Shard, args.RouteEpoch); err != nil {
+		return err
+	}
 	reply.Degrees = make([]int, len(args.Nodes))
 	for i, n := range args.Nodes {
 		reply.Degrees[i] = s.store.Degree(n, args.Type)
@@ -300,6 +347,9 @@ func (s *Service) Features(args *FeatureArgs, reply *FeatureReply) (err error) {
 	if !s.ready.Load() {
 		return ErrReplicaNotReady
 	}
+	if err := s.checkRoute(args.Shard, args.RouteEpoch); err != nil {
+		return err
+	}
 	if s.attrs == nil {
 		return fmt.Errorf("cluster: server has no attribute store")
 	}
@@ -310,7 +360,10 @@ func (s *Service) Features(args *FeatureArgs, reply *FeatureReply) (err error) {
 	return nil
 }
 
-// Sources lists this server's source vertices for a relation.
+// Sources lists this server's source vertices for a relation. A routed
+// request is answered with only the sources hashing into the requested
+// shard, so sources staged here by an in-flight migration (owned elsewhere
+// until cutover) are never reported early.
 func (s *Service) Sources(args *SourcesArgs, reply *SourcesReply) (err error) {
 	start := time.Now()
 	defer func() { s.metrics.observeServed("Sources", start, approxIDs(len(reply.Nodes))+8) }()
@@ -318,7 +371,22 @@ func (s *Service) Sources(args *SourcesArgs, reply *SourcesReply) (err error) {
 	if !s.ready.Load() {
 		return ErrReplicaNotReady
 	}
-	reply.Nodes = s.store.Sources(args.Type)
+	if err := s.checkRoute(args.Shard, args.RouteEpoch); err != nil {
+		return err
+	}
+	all := s.store.Sources(args.Type)
+	if args.RouteEpoch != 0 {
+		if v := s.routedNumShards(); v > 0 {
+			kept := make([]graph.VertexID, 0, len(all))
+			for _, n := range all {
+				if ShardOf(n, v) == args.Shard {
+					kept = append(kept, n)
+				}
+			}
+			all = kept
+		}
+	}
+	reply.Nodes = all
 	return nil
 }
 
@@ -330,9 +398,20 @@ func (s *Service) SetFeatures(args *SetFeaturesArgs, _ *SetFeaturesReply) (err e
 			approxIDs(len(args.Nodes))+approxFloats(len(args.Data))+approxLabels(len(args.Labels)))
 	}()
 	defer guard("SetFeatures", &err)
+	if err := s.checkRoute(args.Shard, args.RouteEpoch); err != nil {
+		return err
+	}
 	if err := s.gateWrite(); err != nil {
 		return err
 	}
+	if err := s.gateShardWrite(args.Shard, args.RouteEpoch); err != nil {
+		return err
+	}
+	// Hold pauseMu like topology writes do: ParkShard's Pause barrier must
+	// drain in-flight feature writes too, or FetchShardFeatures could race a
+	// write that passed the gate before the park.
+	s.pauseMu.RLock()
+	defer s.pauseMu.RUnlock()
 	if s.attrs == nil {
 		return fmt.Errorf("cluster: server has no attribute store")
 	}
@@ -454,7 +533,14 @@ func (r *FanoutReport) Err() error {
 // group of R peers (consecutive in the peer list): writes fan out to every
 // replica, reads load-balance across them with automatic failover.
 type Client struct {
-	peers    []*peer // grouped: shard s owns peers[s*replicas:(s+1)*replicas]
+	// peerMu guards peers and peerByAddr: the peer list grows when an
+	// adopted shard map introduces a server the client has not dialed
+	// (elastic scale-out), so every indexed access goes through peerAt or a
+	// locked section. Existing entries are never mutated or removed.
+	peerMu     sync.RWMutex
+	peers      []*peer // grouped: shard s owns peers[s*replicas:(s+1)*replicas]
+	peerByAddr map[string]int
+
 	shards   int
 	replicas int
 	opts     Options
@@ -467,6 +553,11 @@ type Client struct {
 	// scheduling each shard would see a constant rotation phase — starving
 	// some replicas of reads (and stale replicas of re-sync probes) forever.
 	rr []atomic.Uint64
+
+	// route is the adopted shard map view (nil: legacy frozen placement);
+	// refreshMu single-flights map refreshes and adoption.
+	route     atomic.Pointer[clientRoute]
+	refreshMu sync.Mutex
 
 	jitterMu sync.Mutex
 	jitter   *rand.Rand
@@ -510,7 +601,8 @@ func NewClientOptions(conns []*rpc.Client, dialers []Dialer, opts Options) *Clie
 		panic(fmt.Sprintf("cluster: %d peers not divisible into replica groups of %d", n, r))
 	}
 	jitter := newJitterRNG(opts.Seed)
-	c := &Client{opts: opts, metrics: opts.Metrics, jitter: jitter, shards: n / r, replicas: r}
+	c := &Client{opts: opts, metrics: opts.Metrics, jitter: jitter, shards: n / r, replicas: r,
+		peerByAddr: make(map[string]int)}
 	if c.metrics == nil {
 		// Allocate eagerly so counters recorded before the first Metrics()
 		// call are never lost and the accessor stays race-free.
@@ -585,11 +677,52 @@ func Dial(addrs []string, opts Options) (*Client, error) {
 			return fail(conns, fmt.Errorf("cluster: no live replica for shard %d (%v)", s, addrs[s*r:(s+1)*r]))
 		}
 	}
-	return NewClientOptions(conns, dialers, opts), nil
+	c := NewClientOptions(conns, dialers, opts)
+	c.SetPeerAddrs(addrs)
+	// Routing handshake: learn the cluster's shard map (if it has one) and
+	// fail fast on a torn or stale map instead of silently mis-routing.
+	if err := c.handshake(addrs); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
 }
 
-// NumServers returns the total peer count (shards x replicas).
-func (c *Client) NumServers() int { return len(c.peers) }
+// SetPeerAddrs records the server address of peer i as addrs[i], letting an
+// adopted shard map (AdoptRouting) match its server list against the peers
+// the client already has instead of dialing duplicates. Dial does this
+// automatically; NewClientOptions callers (in-process clusters) do it by
+// hand with their pseudo-addresses.
+func (c *Client) SetPeerAddrs(addrs []string) {
+	c.peerMu.Lock()
+	defer c.peerMu.Unlock()
+	for i, addr := range addrs {
+		if i >= len(c.peers) || addr == "" {
+			break
+		}
+		c.peers[i].addr = addr
+		c.peerByAddr[addr] = i
+	}
+}
+
+// peerAt returns peer i under the read lock (the peer list can grow
+// concurrently when a shard map introduces a new server).
+func (c *Client) peerAt(i int) *peer {
+	c.peerMu.RLock()
+	defer c.peerMu.RUnlock()
+	return c.peers[i]
+}
+
+// allPeers snapshots the peer list.
+func (c *Client) allPeers() []*peer {
+	c.peerMu.RLock()
+	defer c.peerMu.RUnlock()
+	return c.peers[:len(c.peers):len(c.peers)]
+}
+
+// NumServers returns the total peer count, including servers learned from
+// an adopted shard map after the initial dial.
+func (c *Client) NumServers() int { return len(c.allPeers()) }
 
 // Metrics returns the client's fault-tolerance counters (never nil; a
 // private instance is used when Options.Metrics was unset).
@@ -602,11 +735,21 @@ func mix(x uint64) uint64 {
 	return x
 }
 
+// numShards returns the logical shard count requests partition under: the
+// adopted shard map's fixed hash space when routed, one shard per replica
+// group otherwise.
+func (c *Client) numShards() int {
+	if rt := c.route.Load(); rt != nil {
+		return rt.m.NumShards
+	}
+	return c.shards
+}
+
 // shardFor maps a source vertex to its owning logical shard. Replication
-// does not change placement: the same hash that picked a server before
-// picks a replica group now.
+// and routing do not change the hash: the shard map only changes which
+// server group a shard resolves to, never which shard a vertex hashes to.
 func (c *Client) shardFor(src graph.VertexID) int {
-	return int(mix(uint64(src)) % uint64(c.shards))
+	return ShardOf(src, c.numShards())
 }
 
 // ApplyBatch partitions events by source shard and applies the per-shard
@@ -618,25 +761,26 @@ func (c *Client) shardFor(src graph.VertexID) int {
 // acknowledges it; replicas that missed it are marked stale and repaired by
 // catch-up.
 func (c *Client) ApplyBatch(events []graph.Event) error {
-	parts := make([][]graph.Event, c.shards)
+	shards := c.numShards()
+	parts := make([][]graph.Event, shards)
 	for _, ev := range events {
 		p := c.shardFor(ev.Edge.Src)
 		parts[p] = append(parts[p], ev)
 	}
-	seqs := make([]uint64, c.shards)
+	seqs := make([]uint64, shards)
 	for p := range parts {
 		if len(parts[p]) != 0 {
 			seqs[p] = c.seq.Add(1)
 		}
 	}
-	return c.fanOut(func(s int) error {
+	return c.fanOut(shards, func(s int) error {
 		if len(parts[s]) == 0 {
 			return nil
 		}
 		args := &BatchArgs{Events: parts[s], ClientID: c.clientID, Seq: seqs[s]}
-		return c.writeShard(s, func(peerIdx, maxRetries int) error {
+		return c.writeShard(s, args, func(pe *peer, maxRetries int) error {
 			var reply BatchReply
-			return c.callPeerBudget(peerIdx, ServiceName+".ApplyBatch", args, &reply, maxRetries)
+			return c.callPe(pe, ServiceName+".ApplyBatch", args, &reply, maxRetries)
 		})
 	})
 }
@@ -668,11 +812,12 @@ func (c *Client) sampleNeighbors(seeds []graph.VertexID, et graph.EdgeType, fano
 		return nil, nil, fmt.Errorf("cluster: negative fanout %d", fanout)
 	}
 	out := make([]graph.VertexID, len(seeds)*fanout)
+	shards := c.numShards()
 	// Coalesce duplicate seeds per shard: multi-hop frontiers repeat
 	// vertices heavily, so each shard samples every distinct seed once and
 	// the reply block is scattered back to all of its occurrences.
-	partSeeds := make([][]graph.VertexID, c.shards) // distinct seeds per shard
-	partOcc := make([][][]int, c.shards)            // original indices per distinct seed
+	partSeeds := make([][]graph.VertexID, shards) // distinct seeds per shard
+	partOcc := make([][][]int, shards)            // original indices per distinct seed
 	uniqOf := make(map[graph.VertexID]int, len(seeds))
 	uniq := 0
 	for i, s := range seeds {
@@ -698,7 +843,7 @@ func (c *Client) sampleNeighbors(seeds []graph.VertexID, et graph.EdgeType, fano
 			report.Shards++
 		}
 	}
-	errs := c.fanOutAll(func(p int) error {
+	errs := c.fanOutAll(shards, func(p int) error {
 		if len(partSeeds[p]) == 0 {
 			return nil
 		}
@@ -765,14 +910,15 @@ func (c *Client) SampleSubgraph(seeds []graph.VertexID, path graph.MetaPath, fan
 // per shard.
 func (c *Client) Degree(nodes []graph.VertexID, et graph.EdgeType) ([]int, error) {
 	out := make([]int, len(nodes))
-	partNodes := make([][]graph.VertexID, c.shards)
-	partIdx := make([][]int, c.shards)
+	shards := c.numShards()
+	partNodes := make([][]graph.VertexID, shards)
+	partIdx := make([][]int, shards)
 	for i, n := range nodes {
 		p := c.shardFor(n)
 		partNodes[p] = append(partNodes[p], n)
 		partIdx[p] = append(partIdx[p], i)
 	}
-	err := c.fanOut(func(p int) error {
+	err := c.fanOut(shards, func(p int) error {
 		if len(partNodes[p]) == 0 {
 			return nil
 		}
@@ -800,7 +946,8 @@ func (c *Client) SetFeatures(nodes []graph.VertexID, dim int, data []float32, la
 		data   []float32
 		labels []int32
 	}
-	parts := make([]part, c.shards)
+	shards := c.numShards()
+	parts := make([]part, shards)
 	for i, n := range nodes {
 		p := c.shardFor(n)
 		parts[p].nodes = append(parts[p].nodes, n)
@@ -809,14 +956,14 @@ func (c *Client) SetFeatures(nodes []graph.VertexID, dim int, data []float32, la
 			parts[p].labels = append(parts[p].labels, labels[i])
 		}
 	}
-	return c.fanOut(func(s int) error {
+	return c.fanOut(shards, func(s int) error {
 		if len(parts[s].nodes) == 0 {
 			return nil
 		}
 		args := &SetFeaturesArgs{Nodes: parts[s].nodes, Dim: dim, Data: parts[s].data, Labels: parts[s].labels}
-		return c.writeShard(s, func(peerIdx, maxRetries int) error {
+		return c.writeShard(s, args, func(pe *peer, maxRetries int) error {
 			var reply SetFeaturesReply
-			return c.callPeerBudget(peerIdx, ServiceName+".SetFeatures", args, &reply, maxRetries)
+			return c.callPe(pe, ServiceName+".SetFeatures", args, &reply, maxRetries)
 		})
 	})
 }
@@ -848,14 +995,15 @@ func (c *Client) featuresLabels(nodes []graph.VertexID, dim int, withLabels bool
 	if withLabels {
 		labels = make([]int32, len(nodes))
 	}
-	partNodes := make([][]graph.VertexID, c.shards)
-	partIdx := make([][]int, c.shards)
+	shards := c.numShards()
+	partNodes := make([][]graph.VertexID, shards)
+	partIdx := make([][]int, shards)
 	for i, n := range nodes {
 		p := c.shardFor(n)
 		partNodes[p] = append(partNodes[p], n)
 		partIdx[p] = append(partIdx[p], i)
 	}
-	err := c.fanOut(func(p int) error {
+	err := c.fanOut(shards, func(p int) error {
 		if len(partNodes[p]) == 0 {
 			return nil
 		}
@@ -883,11 +1031,14 @@ func (c *Client) featuresLabels(nodes []graph.VertexID, dim int, withLabels bool
 }
 
 // Sources lists the cluster's source vertices for a relation, concatenated
-// across shards (one live replica each) and sorted for determinism.
+// across logical shards (one live replica each) and sorted for determinism.
+// Routed clients ask per logical shard and servers filter to the shard's
+// hash slice, so a server owning several shards is asked once per shard and
+// never double-reports, and migration-staged copies stay invisible.
 func (c *Client) Sources(et graph.EdgeType) ([]graph.VertexID, error) {
 	var mu sync.Mutex
 	var all []graph.VertexID
-	err := c.fanOut(func(p int) error {
+	err := c.fanOut(c.numShards(), func(p int) error {
 		var reply SourcesReply
 		if err := c.readShard(p, ServiceName+".Sources", &SourcesArgs{Type: et}, &reply); err != nil {
 			return err
@@ -904,22 +1055,50 @@ func (c *Client) Sources(et graph.EdgeType) ([]graph.VertexID, error) {
 	return all, nil
 }
 
-// Stats aggregates statistics across the cluster, counting each logical
-// shard once (one live replica per group), so totals match an unreplicated
-// deployment of the same data.
+// Stats aggregates statistics across the cluster, counting each server
+// group once (one live replica per group), so totals match an unreplicated
+// deployment of the same data. During an in-flight migration the copy
+// staged on the destination is transiently counted too — Stats is a
+// capacity view, not a topology oracle.
 func (c *Client) Stats() (StatsReply, error) {
 	var mu sync.Mutex
 	var agg StatsReply
-	err := c.fanOut(func(p int) error {
-		var reply StatsReply
-		if err := c.readShard(p, ServiceName+".Stats", &StatsArgs{}, &reply); err != nil {
-			return err
-		}
+	collect := func(reply *StatsReply) {
 		mu.Lock()
 		agg.NumEdges += reply.NumEdges
 		agg.MemoryBytes += reply.MemoryBytes
 		agg.NumSources += reply.NumSources
 		mu.Unlock()
+	}
+	if rt := c.route.Load(); rt != nil {
+		errs := make([]error, len(rt.groups))
+		var wg sync.WaitGroup
+		for g := range rt.groups {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				var reply StatsReply
+				if err := c.readGroup(g, rt.groups[g], &rt.rr[g], ServiceName+".Stats", &StatsArgs{}, &reply); err != nil {
+					errs[g] = err
+					return
+				}
+				collect(&reply)
+			}(g)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return agg, err
+			}
+		}
+		return agg, nil
+	}
+	err := c.fanOut(c.shards, func(p int) error {
+		var reply StatsReply
+		if err := c.readShard(p, ServiceName+".Stats", &StatsArgs{}, &reply); err != nil {
+			return err
+		}
+		collect(&reply)
 		return nil
 	})
 	return agg, err
@@ -928,7 +1107,7 @@ func (c *Client) Stats() (StatsReply, error) {
 // Close closes all peer connections.
 func (c *Client) Close() error {
 	var first error
-	for _, p := range c.peers {
+	for _, p := range c.allPeers() {
 		if err := p.close(); err != nil && first == nil {
 			first = err
 		}
@@ -936,10 +1115,11 @@ func (c *Client) Close() error {
 	return first
 }
 
-// fanOut runs fn(s) for every logical shard concurrently, returning the
-// first error.
-func (c *Client) fanOut(fn func(s int) error) error {
-	for _, err := range c.fanOutAll(fn) {
+// fanOut runs fn(s) for shards logical shards concurrently, returning the
+// first error. The caller passes the shard count it partitioned under so a
+// concurrent first-time routing adoption cannot skew the fan-out width.
+func (c *Client) fanOut(shards int, fn func(s int) error) error {
+	for _, err := range c.fanOutAll(shards, fn) {
 		if err != nil {
 			return err
 		}
@@ -947,12 +1127,12 @@ func (c *Client) fanOut(fn func(s int) error) error {
 	return nil
 }
 
-// fanOutAll runs fn(s) for every logical shard concurrently, returning
+// fanOutAll runs fn(s) for shards logical shards concurrently, returning
 // every shard's outcome (the degraded-mode building block).
-func (c *Client) fanOutAll(fn func(s int) error) []error {
-	errs := make([]error, c.shards)
+func (c *Client) fanOutAll(shards int, fn func(s int) error) []error {
+	errs := make([]error, shards)
 	var wg sync.WaitGroup
-	for s := 0; s < c.shards; s++ {
+	for s := 0; s < shards; s++ {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()

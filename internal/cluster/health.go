@@ -141,8 +141,9 @@ type PeerHealth struct {
 
 // Health reports per-replica connection, breaker, and staleness state.
 func (c *Client) Health() []PeerHealth {
-	out := make([]PeerHealth, len(c.peers))
-	for i, p := range c.peers {
+	peers := c.allPeers()
+	out := make([]PeerHealth, len(peers))
+	for i, p := range peers {
 		p.mu.Lock()
 		connected := p.rc != nil
 		p.mu.Unlock()

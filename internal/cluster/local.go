@@ -2,11 +2,19 @@
 // pipes, with per-shard stop/restart and pluggable connection wrapping so
 // chaos tests (internal/faultinject) can disturb the links. This simulates
 // the paper's 54-storage-server deployment inside one test process.
+//
+// Servers are addressable as "mem://<i>" pseudo-addresses, so the routing
+// layer (shard maps carry addresses, PullShard dials its source by address)
+// and the migration Driver work unchanged over in-memory pipes, and
+// AddServer grows the cluster N→N+1 mid-test — the in-process mirror of
+// booting a new platod2gl-server with -join.
 package cluster
 
 import (
 	"fmt"
 	"net"
+	"strconv"
+	"strings"
 	"sync"
 
 	"platod2gl/internal/kvstore"
@@ -28,10 +36,11 @@ type LocalOptions struct {
 	StoreFactory func(i int) (storage.TopologyStore, *kvstore.Store)
 }
 
-// LocalCluster is a restartable in-process cluster.
+// LocalCluster is a restartable, growable in-process cluster.
 type LocalCluster struct {
 	opts   LocalOptions
 	client *Client
+	mu     sync.RWMutex // guards shards growth (AddServer)
 	shards []*localShard
 }
 
@@ -85,6 +94,23 @@ func (sh *localShard) restart(svc *Service) {
 	sh.mu.Unlock()
 }
 
+// LocalAddr returns server i's pseudo-address ("mem://<i>") — what shard
+// maps list for in-process servers.
+func LocalAddr(i int) string { return fmt.Sprintf("mem://%d", i) }
+
+// parseLocalAddr inverts LocalAddr.
+func parseLocalAddr(addr string) (int, error) {
+	rest, ok := strings.CutPrefix(addr, "mem://")
+	if !ok {
+		return 0, fmt.Errorf("cluster: %q is not a local pseudo-address", addr)
+	}
+	i, err := strconv.Atoi(rest)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: bad local pseudo-address %q", addr)
+	}
+	return i, nil
+}
+
 // NewLocalClusterOptions spins up n in-process graph servers and a
 // fault-tolerant client wired to them through (optionally wrapped)
 // in-memory pipes. Dead shard connections are redialed automatically, so
@@ -92,6 +118,9 @@ func (sh *localShard) restart(svc *Service) {
 // the errors surfaced while the shard was down. With Client.Replicas = R,
 // index i is a global peer index (logical shard i/R, replica i%R) — the
 // Stop/Restart/Service methods then address individual replicas.
+//
+// Every server advertises LocalAddr(i) and can dial its siblings by that
+// address, so the shard-migration protocol runs unmodified in-process.
 func NewLocalClusterOptions(n int, opts LocalOptions) *LocalCluster {
 	if opts.ServiceFactory == nil {
 		if opts.StoreFactory == nil {
@@ -101,31 +130,105 @@ func NewLocalClusterOptions(n int, opts LocalOptions) *LocalCluster {
 		opts.ServiceFactory = func(i int) *Service { return NewService(sf(i)) }
 	}
 	lc := &LocalCluster{opts: opts, shards: make([]*localShard, n)}
+	if opts.Client.DialServer == nil {
+		opts.Client.DialServer = func(addr string) Dialer {
+			return lc.DialAddr(addr)
+		}
+	}
+	lc.opts = opts
 	dialers := make([]Dialer, n)
+	addrs := make([]string, n)
 	for i := 0; i < n; i++ {
-		svc := opts.ServiceFactory(i)
-		sh := &localShard{idx: i, svc: svc, srv: NewServer(svc)}
+		sh := &localShard{idx: i}
+		sh.restart(lc.newService(i))
 		lc.shards[i] = sh
 		dialers[i] = func() (net.Conn, error) { return sh.dial(opts.WrapConn) }
+		addrs[i] = LocalAddr(i)
 	}
 	lc.client = NewClientOptions(nil, dialers, opts.Client)
+	lc.client.SetPeerAddrs(addrs)
 	return lc
+}
+
+// newService builds server i's service with its local address and the
+// mem:// dial resolver wired in.
+func (lc *LocalCluster) newService(i int) *Service {
+	svc := lc.opts.ServiceFactory(i)
+	svc.SetAdvertise(LocalAddr(i))
+	svc.SetDialResolver(func(addr string) Dialer { return lc.DialAddr(addr) })
+	return svc
+}
+
+// shard returns server i's host, or nil when i is out of range.
+func (lc *LocalCluster) shard(i int) *localShard {
+	lc.mu.RLock()
+	defer lc.mu.RUnlock()
+	if i < 0 || i >= len(lc.shards) {
+		return nil
+	}
+	return lc.shards[i]
 }
 
 // Client returns the cluster's fan-out client.
 func (lc *LocalCluster) Client() *Client { return lc.client }
 
+// NumServers returns the current server count (grows with AddServer).
+func (lc *LocalCluster) NumServers() int {
+	lc.mu.RLock()
+	defer lc.mu.RUnlock()
+	return len(lc.shards)
+}
+
 // Dialer returns a Dialer to peer i through the cluster's in-memory pipes,
 // wrapped like client connections — what a restarted replica passes to
 // SyncFromPeer to catch up from a live sibling.
 func (lc *LocalCluster) Dialer(i int) Dialer {
-	sh := lc.shards[i]
-	return func() (net.Conn, error) { return sh.dial(lc.opts.WrapConn) }
+	sh := lc.shard(i)
+	return func() (net.Conn, error) {
+		if sh == nil {
+			return nil, fmt.Errorf("cluster: no local server %d", i)
+		}
+		return sh.dial(lc.opts.WrapConn)
+	}
+}
+
+// DialAddr returns a Dialer to the server advertising the given mem://
+// pseudo-address. Resolution happens per dial, so an address minted by
+// AddServer works even if the Dialer was built earlier.
+func (lc *LocalCluster) DialAddr(addr string) Dialer {
+	return func() (net.Conn, error) {
+		i, err := parseLocalAddr(addr)
+		if err != nil {
+			return nil, err
+		}
+		sh := lc.shard(i)
+		if sh == nil {
+			return nil, fmt.Errorf("cluster: no local server at %s", addr)
+		}
+		return sh.dial(lc.opts.WrapConn)
+	}
+}
+
+// AddServer boots one more in-process graph server (index NumServers) and
+// returns its pseudo-address — the harness analogue of starting a new
+// platod2gl-server -join. The new server owns no shards until a migration
+// Driver assigns it some (AddServer + Rebalance, or Grow).
+func (lc *LocalCluster) AddServer() string {
+	lc.mu.Lock()
+	i := len(lc.shards)
+	sh := &localShard{idx: i}
+	sh.restart(lc.newService(i))
+	lc.shards = append(lc.shards, sh)
+	lc.mu.Unlock()
+	return LocalAddr(i)
 }
 
 // Service returns shard i's current service (nil while stopped).
 func (lc *LocalCluster) Service(i int) *Service {
-	sh := lc.shards[i]
+	sh := lc.shard(i)
+	if sh == nil {
+		return nil
+	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if sh.down {
@@ -136,18 +239,21 @@ func (lc *LocalCluster) Service(i int) *Service {
 
 // StopShard simulates a shard crash: every live connection is severed and
 // new dials fail until RestartShard.
-func (lc *LocalCluster) StopShard(i int) { lc.shards[i].stop() }
+func (lc *LocalCluster) StopShard(i int) { lc.shard(i).stop() }
 
 // RestartShard brings shard i back with a fresh service from the factory
 // (which may recover state from a snapshot or WAL).
 func (lc *LocalCluster) RestartShard(i int) {
-	lc.shards[i].restart(lc.opts.ServiceFactory(i))
+	lc.shard(i).restart(lc.newService(i))
 }
 
 // Shutdown closes the client and stops every shard.
 func (lc *LocalCluster) Shutdown() {
 	lc.client.Close()
-	for _, sh := range lc.shards {
+	lc.mu.RLock()
+	shards := append([]*localShard(nil), lc.shards...)
+	lc.mu.RUnlock()
+	for _, sh := range shards {
 		sh.stop()
 	}
 }

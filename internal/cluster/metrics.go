@@ -21,6 +21,8 @@ import (
 var rpcMethods = []string{
 	"ApplyBatch", "SampleNeighbors", "Degree", "Features", "SetFeatures",
 	"Sources", "Stats", "FetchSnapshot", "FetchWALTail", "SyncState",
+	"Routing", "UpdateRouting", "FetchShardSnapshot", "FetchShardFeatures",
+	"ParkShard", "ReleaseShard", "DropShard", "PullShard",
 }
 
 // Metrics aggregates fault-tolerance counters and RPC histograms. The zero
@@ -51,6 +53,16 @@ type Metrics struct {
 	SnapshotsServed   obs.Counter // FetchSnapshot calls answered
 	TailBatchesServed obs.Counter // WAL-tail batches streamed to replicas
 
+	// Routing and live shard migration (see shardmap.go, migrate.go).
+	Reroutes         obs.Counter // operations re-routed after a NotOwner bounce
+	RoutingRefreshes obs.Counter // shard-map refreshes that advanced the epoch
+	NotOwnerRejects  obs.Counter // routed requests rejected for wrong ownership
+	ShardsMigrated   obs.Counter // shard migrations completed through cutover
+	MigrationBytes   obs.Counter // snapshot+feature bytes copied by migrations
+	MigrationBatches obs.Counter // WAL-tail batches replayed by migrations
+	MigrationAborts  obs.Counter // migrations aborted (or failed) before cutover
+	CutoverNanos     obs.Counter // cumulative park-to-routing-flip time, ns
+
 	// Per-method histograms. Client latency covers one network attempt
 	// (dial + call, excluding backoff sleeps); server latency covers one
 	// handler execution; payload bytes approximate request+reply wire size
@@ -76,6 +88,14 @@ type MetricsSnapshot struct {
 	CatchUpBatches    int64
 	SnapshotsServed   int64
 	TailBatchesServed int64
+	Reroutes          int64
+	RoutingRefreshes  int64
+	NotOwnerRejects   int64
+	ShardsMigrated    int64
+	MigrationBytes    int64
+	MigrationBatches  int64
+	MigrationAborts   int64
+	CutoverNanos      int64
 }
 
 // Snapshot copies the current counter values.
@@ -97,16 +117,28 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		CatchUpBatches:    m.CatchUpBatches.Load(),
 		SnapshotsServed:   m.SnapshotsServed.Load(),
 		TailBatchesServed: m.TailBatchesServed.Load(),
+		Reroutes:          m.Reroutes.Load(),
+		RoutingRefreshes:  m.RoutingRefreshes.Load(),
+		NotOwnerRejects:   m.NotOwnerRejects.Load(),
+		ShardsMigrated:    m.ShardsMigrated.Load(),
+		MigrationBytes:    m.MigrationBytes.Load(),
+		MigrationBatches:  m.MigrationBatches.Load(),
+		MigrationAborts:   m.MigrationAborts.Load(),
+		CutoverNanos:      m.CutoverNanos.Load(),
 	}
 }
 
 // String renders the snapshot compactly for loadgen summaries and logs.
 func (s MetricsSnapshot) String() string {
 	return fmt.Sprintf(
-		"attempts=%d timeouts=%d retries=%d breaker_opens=%d failovers=%d stale_marks=%d coalesced_seeds=%d coalesced_bytes=%d catchups=%d catchup_bytes=%d catchup_batches=%d",
+		"attempts=%d timeouts=%d retries=%d breaker_opens=%d failovers=%d stale_marks=%d coalesced_seeds=%d coalesced_bytes=%d catchups=%d catchup_bytes=%d catchup_batches=%d "+
+			"reroutes=%d routing_refreshes=%d not_owner_rejects=%d shards_migrated=%d migration_bytes=%d migration_batches=%d migration_aborts=%d cutover_ms=%d",
 		s.RPCAttempts, s.RPCTimeouts, s.RPCRetries, s.BreakerOpens,
 		s.ReadFailovers, s.StaleMarks, s.CoalescedSeeds, s.CoalescedBytes,
-		s.CatchUps, s.CatchUpBytes, s.CatchUpBatches)
+		s.CatchUps, s.CatchUpBytes, s.CatchUpBatches,
+		s.Reroutes, s.RoutingRefreshes, s.NotOwnerRejects, s.ShardsMigrated,
+		s.MigrationBytes, s.MigrationBatches, s.MigrationAborts,
+		s.CutoverNanos/int64(time.Millisecond))
 }
 
 // Expvar returns an expvar.Var rendering the counters as a JSON object, for
@@ -141,6 +173,14 @@ func (m *Metrics) Register(r *obs.Registry) {
 		{"platod2gl_cluster_catchup_batches_total", "WAL-tail batches applied during catch-up.", &m.CatchUpBatches},
 		{"platod2gl_cluster_snapshots_served_total", "FetchSnapshot calls answered for rejoining replicas.", &m.SnapshotsServed},
 		{"platod2gl_cluster_tail_batches_served_total", "WAL-tail batches streamed to rejoining replicas.", &m.TailBatchesServed},
+		{"platod2gl_cluster_reroutes_total", "Operations re-routed after a NotOwner bounce.", &m.Reroutes},
+		{"platod2gl_cluster_routing_refreshes_total", "Shard-map refreshes that advanced the client's epoch.", &m.RoutingRefreshes},
+		{"platod2gl_cluster_not_owner_rejects_total", "Routed requests rejected for wrong shard ownership.", &m.NotOwnerRejects},
+		{"platod2gl_cluster_shards_migrated_total", "Shard migrations completed through cutover.", &m.ShardsMigrated},
+		{"platod2gl_cluster_migration_bytes_total", "Snapshot and feature bytes copied by shard migrations.", &m.MigrationBytes},
+		{"platod2gl_cluster_migration_batches_total", "WAL-tail batches replayed by shard migrations.", &m.MigrationBatches},
+		{"platod2gl_cluster_migration_aborts_total", "Shard migrations aborted or failed before cutover.", &m.MigrationAborts},
+		{"platod2gl_cluster_cutover_nanoseconds_total", "Cumulative shard-cutover (park to routing flip) time.", &m.CutoverNanos},
 	} {
 		r.RegisterCounter(c.name, c.help, nil, c.c)
 	}
@@ -229,6 +269,54 @@ func (m *Metrics) incSnapshotServed() {
 func (m *Metrics) addTailServed(n int64) {
 	if m != nil {
 		m.TailBatchesServed.Add(n)
+	}
+}
+
+func (m *Metrics) incReroute() {
+	if m != nil {
+		m.Reroutes.Add(1)
+	}
+}
+
+func (m *Metrics) incRoutingRefresh() {
+	if m != nil {
+		m.RoutingRefreshes.Add(1)
+	}
+}
+
+func (m *Metrics) incNotOwnerReject() {
+	if m != nil {
+		m.NotOwnerRejects.Add(1)
+	}
+}
+
+func (m *Metrics) incShardMigrated() {
+	if m != nil {
+		m.ShardsMigrated.Add(1)
+	}
+}
+
+func (m *Metrics) addMigrationBytes(n int64) {
+	if m != nil {
+		m.MigrationBytes.Add(n)
+	}
+}
+
+func (m *Metrics) addMigrationBatches(n int64) {
+	if m != nil {
+		m.MigrationBatches.Add(n)
+	}
+}
+
+func (m *Metrics) incMigrationAbort() {
+	if m != nil {
+		m.MigrationAborts.Add(1)
+	}
+}
+
+func (m *Metrics) addCutover(d time.Duration) {
+	if m != nil {
+		m.CutoverNanos.Add(int64(d))
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"net/rpc"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -23,14 +24,19 @@ import (
 // every read does not re-probe a dead peer.
 const staleProbeMinInterval = 50 * time.Millisecond
 
-// NumShards returns the number of logical shards (replica groups).
-func (c *Client) NumShards() int { return c.shards }
+// NumShards returns the number of logical shards: the adopted shard map's
+// hash space when routed, one shard per replica group otherwise.
+func (c *Client) NumShards() int { return c.numShards() }
 
 // NumReplicas returns the replica-group size R.
 func (c *Client) NumReplicas() int { return c.replicas }
 
-// group returns the peer indices serving logical shard s.
+// group returns the peers serving logical shard s under the legacy frozen
+// placement (shard s = peer group s). Routed calls resolve groups through
+// the shard map instead.
 func (c *Client) group(s int) []*peer {
+	c.peerMu.RLock()
+	defer c.peerMu.RUnlock()
 	return c.peers[s*c.replicas : (s+1)*c.replicas]
 }
 
@@ -65,16 +71,55 @@ func failoverWorthy(err error) bool {
 	return retryable(err) || isNotReady(err)
 }
 
-// readShard performs one read RPC against shard s, load-balancing across
-// its replicas and failing over on transport failure, open breaker, or a
-// replica that is still catching up. Stale replicas (ones that missed a
-// write from this client) are skipped until a SyncState probe shows they
+// shardTarget resolves logical shard s to the peers that serve it right
+// now: the shard map's owning group when routing is adopted, the frozen
+// placement's group s otherwise. It also returns the group's read-rotation
+// counter and the routing epoch to stamp on the request (0 = legacy).
+func (c *Client) shardTarget(s int) (group []*peer, rrc *atomic.Uint64, epoch uint64) {
+	if rt := c.route.Load(); rt != nil {
+		g := rt.m.Assign[s]
+		return rt.groups[g], &rt.rr[g], rt.m.Epoch
+	}
+	return c.group(s), &c.rr[s], 0
+}
+
+// readShard performs one read RPC against logical shard s, resolving it
+// through the shard map (when adopted) and bouncing on NotOwner: a
+// rejection with a newer routing epoch triggers a map refresh and a re-route
+// to the new owner, bounded by maxReroutes hops, so a mid-read cutover
+// costs a transparent retry instead of a failed operation.
+func (c *Client) readShard(s int, method string, args, reply any) error {
+	var lastErr error
+	for hop := 0; ; hop++ {
+		group, rrc, epoch := c.shardTarget(s)
+		stampRoute(args, s, epoch)
+		err := c.readGroup(s, group, rrc, method, args, reply)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if _, ok := notOwnerEpoch(err); !ok || epoch == 0 || hop >= maxReroutes {
+			break
+		}
+		c.metrics.incReroute()
+		if !c.RefreshRouting(epoch + 1) {
+			// Rejected, but no newer map visible yet: the cutover push is
+			// mid-flight across the server set. Let it land.
+			time.Sleep(rerouteSettleDelay)
+		}
+	}
+	return lastErr
+}
+
+// readGroup performs one read RPC against a replica group, load-balancing
+// across its replicas and failing over on transport failure, open breaker,
+// or a replica that is still catching up. Stale replicas (ones that missed
+// a write from this client) are skipped until a SyncState probe shows they
 // re-synced. Returns the first success, a deterministic application error
 // as soon as any replica reports one, or — when every replica failed — the
 // last failover-worthy error.
-func (c *Client) readShard(s int, method string, args, reply any) error {
-	group := c.group(s)
-	start := int(c.rr[s].Add(1)-1) % len(group)
+func (c *Client) readGroup(s int, group []*peer, rrc *atomic.Uint64, method string, args, reply any) error {
+	start := int(rrc.Add(1)-1) % len(group)
 	var lastErr error
 	for k := 0; k < len(group); k++ {
 		pe := group[(start+k)%len(group)]
@@ -82,7 +127,7 @@ func (c *Client) readShard(s int, method string, args, reply any) error {
 			lastErr = fmt.Errorf("cluster: replica %d (shard %d) is stale", pe.idx, pe.shard)
 			continue
 		}
-		err := c.callPeer(pe.idx, method, args, reply)
+		err := c.callPe(pe, method, args, reply, c.opts.MaxRetries)
 		if err == nil {
 			return nil
 		}
@@ -100,18 +145,44 @@ func (c *Client) readShard(s int, method string, args, reply any) error {
 	return fmt.Errorf("cluster: shard %d: all %d replicas failed: %w", s, len(group), lastErr)
 }
 
-// writeShard fans a write out to every replica of shard s concurrently. The
+// writeShard routes one write to logical shard s, re-routing on NotOwner
+// exactly like readShard: args is re-stamped with the refreshed epoch before
+// every hop, and the server-side (ClientID, Seq) dedup makes the repeated
+// delivery at-most-once even when the first attempt did apply before the
+// reply was lost.
+func (c *Client) writeShard(s int, args any, call func(pe *peer, maxRetries int) error) error {
+	var lastErr error
+	for hop := 0; ; hop++ {
+		group, _, epoch := c.shardTarget(s)
+		stampRoute(args, s, epoch)
+		err := c.writeGroup(s, group, call)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if _, ok := notOwnerEpoch(err); !ok || epoch == 0 || hop >= maxReroutes {
+			break
+		}
+		c.metrics.incReroute()
+		if !c.RefreshRouting(epoch + 1) {
+			time.Sleep(rerouteSettleDelay)
+		}
+	}
+	return lastErr
+}
+
+// writeGroup fans a write out to every replica of a group concurrently. The
 // write succeeds once at least one replica acknowledges; replicas that
 // failed every attempt are marked stale (out of the read rotation until
 // they demonstrably re-sync) rather than failing the batch — a missed write
 // is repaired by WAL-shipped catch-up, not by stalling training. If every
-// replica fails, the first error is returned.
+// replica fails, the first error is returned (preferring a NotOwner
+// rejection, which the caller can cure by re-routing).
 //
-// call is invoked with the global peer index and that peer's retry budget;
+// call is invoked with the replica peer and that peer's retry budget;
 // already-stale replicas get a single attempt so a down replica does not
 // tax every batch with a full retry cycle.
-func (c *Client) writeShard(s int, call func(peerIdx, maxRetries int) error) error {
-	group := c.group(s)
+func (c *Client) writeGroup(s int, group []*peer, call func(pe *peer, maxRetries int) error) error {
 	errs := make([]error, len(group))
 	var wg sync.WaitGroup
 	for r, pe := range group {
@@ -122,7 +193,7 @@ func (c *Client) writeShard(s int, call func(peerIdx, maxRetries int) error) err
 			if pe.stale.Load() {
 				budget = 0
 			}
-			errs[r] = call(pe.idx, budget)
+			errs[r] = call(pe, budget)
 		}(r, pe)
 	}
 	wg.Wait()
@@ -134,6 +205,11 @@ func (c *Client) writeShard(s int, call func(peerIdx, maxRetries int) error) err
 	}
 	if acked == 0 {
 		for _, err := range errs {
+			if _, ok := notOwnerEpoch(err); ok {
+				return err
+			}
+		}
+		for _, err := range errs {
 			if err != nil {
 				return err
 			}
@@ -141,9 +217,16 @@ func (c *Client) writeShard(s int, call func(peerIdx, maxRetries int) error) err
 		return fmt.Errorf("cluster: shard %d has no replicas", s)
 	}
 	for r, err := range errs {
-		if err != nil {
-			c.markStale(group[r])
+		if err == nil {
+			continue
 		}
+		if _, ok := notOwnerEpoch(err); ok {
+			// A routing disagreement inside the group (a push still landing),
+			// not a missed write: the replica converges via its own map
+			// update, so keep it in the read rotation.
+			continue
+		}
+		c.markStale(group[r])
 	}
 	return nil
 }

@@ -78,6 +78,12 @@ type Options struct {
 	// fail over on timeout, circuit-open, or a replica that is still
 	// catching up. 0 or 1 means unreplicated (every peer is its own shard).
 	Replicas int
+	// DialServer, if set, builds the transport to a server address when the
+	// client meets one it has no dialer for — which happens when an adopted
+	// shard map (see shardmap.go) lists a server that joined after the
+	// client dialed. Defaults to TCP with CallTimeout as the connect
+	// timeout; in-process clusters plug their pipe factory in here.
+	DialServer func(addr string) Dialer
 	// Metrics, if set, receives fault-tolerance counters (attempts,
 	// timeouts, retries, breaker opens, failovers, catch-up traffic). May
 	// be shared with a Service and published via expvar.
@@ -106,8 +112,9 @@ func DefaultOptions() Options {
 // out of the read rotation until it has demonstrably re-synced.
 type peer struct {
 	idx     int    // global peer index
-	shard   int    // logical shard this replica belongs to
+	shard   int    // logical shard this replica belongs to (legacy placement)
 	replica int    // position within the replica group
+	addr    string // advertised server address; "" for conn-only legacy peers
 	dial    Dialer // nil: no redial — a dead connection stays dead (legacy mode)
 	br      *breaker
 
@@ -251,7 +258,12 @@ func (c *Client) callPeer(p int, method string, args, reply any) error {
 // fan-outs can spend fewer retries on a peer already marked stale (the
 // catch-up path will repair it) while reads keep the full budget.
 func (c *Client) callPeerBudget(p int, method string, args, reply any, maxRetries int) error {
-	pe := c.peers[p]
+	return c.callPe(c.peerAt(p), method, args, reply, maxRetries)
+}
+
+// callPe is callPeerBudget addressed by peer object — the form routing-aware
+// call sites use, since a shard map resolves to peers, not indices.
+func (c *Client) callPe(pe *peer, method string, args, reply any, maxRetries int) error {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {

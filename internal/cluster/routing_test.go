@@ -1,0 +1,343 @@
+// Routing layer tests: the epoch-versioned shard map, NotOwner rejection
+// wire format, server-side push semantics, client-side re-route after a
+// cutover, and the dial-time routing handshake over real TCP.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"strings"
+	"testing"
+	"time"
+
+	"platod2gl/internal/core"
+	"platod2gl/internal/graph"
+	"platod2gl/internal/kvstore"
+	"platod2gl/internal/storage"
+)
+
+func TestShardOfStable(t *testing.T) {
+	// The placement hash is part of the wire contract: every client and
+	// server must agree, forever. Pin a few values.
+	if ShardOf(0, 4) != ShardOf(0, 4) {
+		t.Fatal("ShardOf not deterministic")
+	}
+	counts := make([]int, 8)
+	for v := graph.VertexID(0); v < 10_000; v++ {
+		s := ShardOf(v, 8)
+		if s < 0 || s >= 8 {
+			t.Fatalf("ShardOf(%d, 8) = %d out of range", v, s)
+		}
+		counts[s]++
+	}
+	for s, n := range counts {
+		if n < 1000 || n > 1500 {
+			t.Fatalf("shard %d holds %d of 10k sequential vertices — mixing is broken", s, n)
+		}
+	}
+}
+
+func TestIdentityMapAndValidate(t *testing.T) {
+	m, err := IdentityMap([]string{"a", "b"}, 1, 4)
+	if err != nil {
+		t.Fatalf("IdentityMap: %v", err)
+	}
+	if m.Epoch != 1 || m.NumShards != 4 || m.NumGroups() != 2 {
+		t.Fatalf("unexpected identity map: %+v", m)
+	}
+	for s, g := range m.Assign {
+		if g != s%2 {
+			t.Fatalf("Assign[%d] = %d, want %d", s, g, s%2)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+
+	bad := m.Clone()
+	bad.Epoch = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("epoch 0 must be invalid (reserved for legacy)")
+	}
+	bad = m.Clone()
+	bad.Assign[0] = 5
+	if err := bad.Validate(); err == nil {
+		t.Fatal("out-of-range assignment must be invalid")
+	}
+	bad = m.Clone()
+	bad.Servers = []string{"a", "a"}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("duplicate server must be invalid")
+	}
+	if _, err := IdentityMap([]string{"a", "b", "c"}, 2, 4); err == nil {
+		t.Fatal("3 servers with replicas=2 must be invalid")
+	}
+}
+
+func TestCountBalancePlan(t *testing.T) {
+	m, _ := IdentityMap([]string{"a", "b"}, 1, 6)
+	if plan := CountBalancePlan(m); len(plan) != 0 {
+		t.Fatalf("balanced map produced plan %v", plan)
+	}
+	// Grow: a third, empty group appears; the plan must move 2 shards to it.
+	m.Servers = append(m.Servers, "c")
+	m.Epoch++
+	plan := CountBalancePlan(m)
+	if len(plan) != 2 {
+		t.Fatalf("grow plan = %v, want 2 moves", plan)
+	}
+	counts := make([]int, 3)
+	for s, g := range m.Assign {
+		_ = s
+		counts[g]++
+	}
+	for _, mv := range plan {
+		if mv.To != 2 {
+			t.Fatalf("move %v does not target the empty group", mv)
+		}
+		counts[mv.From]--
+		counts[mv.To]++
+	}
+	for g, n := range counts {
+		if n != 2 {
+			t.Fatalf("group %d ends with %d shards after plan, want 2", g, n)
+		}
+	}
+}
+
+func TestNotOwnerErrorRoundTrip(t *testing.T) {
+	// NotOwner crosses the wire as an rpc.ServerError string; the parser must
+	// recover the epoch from the flattened form.
+	err := notOwnerError(3, 17)
+	wire := rpc.ServerError(err.Error()) // what the client actually sees
+	epoch, ok := notOwnerEpoch(wire)
+	if !ok || epoch != 17 {
+		t.Fatalf("notOwnerEpoch(%q) = (%d, %v), want (17, true)", wire, epoch, ok)
+	}
+	if _, ok := notOwnerEpoch(errors.New("cluster: something else")); ok {
+		t.Fatal("unrelated error parsed as NotOwner")
+	}
+	if _, ok := notOwnerEpoch(nil); ok {
+		t.Fatal("nil error parsed as NotOwner")
+	}
+	// A wrapped NotOwner (retry layers add context) still parses.
+	wrapped := fmt.Errorf("call failed after 2 attempts: %w", err)
+	if epoch, ok := notOwnerEpoch(wrapped); !ok || epoch != 17 {
+		t.Fatalf("wrapped NotOwner not recognized: (%d, %v)", epoch, ok)
+	}
+}
+
+func newTestService(t *testing.T) *Service {
+	t.Helper()
+	store := storage.NewDynamicStore(storage.Options{Tree: core.Options{Capacity: 16}})
+	return NewService(store, kvstore.New())
+}
+
+func TestUpdateRoutingSemantics(t *testing.T) {
+	svc := newTestService(t)
+	svc.SetAdvertise("b")
+	m, _ := IdentityMap([]string{"a", "b"}, 1, 4)
+
+	var reply UpdateRoutingReply
+	if err := svc.UpdateRouting(&UpdateRoutingArgs{Map: *m}, &reply); err != nil {
+		t.Fatalf("install: %v", err)
+	}
+	if reply.Epoch != 1 {
+		t.Fatalf("install epoch = %d", reply.Epoch)
+	}
+	got, self := svc.RoutingSnapshot()
+	if got == nil || got.Epoch != 1 || self != 1 {
+		t.Fatalf("snapshot = (%v, %d), want epoch 1 self 1", got, self)
+	}
+
+	// Newer epoch installs; re-push of the same or older is a no-op.
+	next := m.Clone()
+	next.Epoch = 3
+	next.Assign[0] = 1 // migrate shard 0 onto group 1
+	if err := svc.UpdateRouting(&UpdateRoutingArgs{Map: *next}, &reply); err != nil || reply.Epoch != 3 {
+		t.Fatalf("newer push: %v epoch %d", err, reply.Epoch)
+	}
+	if err := svc.UpdateRouting(&UpdateRoutingArgs{Map: *m}, &reply); err != nil {
+		t.Fatalf("stale push errored: %v", err)
+	}
+	if reply.Epoch != 3 {
+		t.Fatalf("stale push changed epoch to %d", reply.Epoch)
+	}
+	if got, _ := svc.RoutingSnapshot(); got.Assign[0] != 1 {
+		t.Fatal("stale push overwrote assignment")
+	}
+
+	// The hash space is fixed for the cluster's lifetime.
+	resized, _ := IdentityMap([]string{"a", "b"}, 1, 8)
+	resized.Epoch = 9
+	if err := svc.UpdateRouting(&UpdateRoutingArgs{Map: *resized}, &reply); err == nil {
+		t.Fatal("NumShards change accepted")
+	}
+
+	// Ownership checks follow the installed map; legacy epoch-0 bypasses.
+	var owned, notOwned int
+	for s := 0; s < 4; s++ {
+		if err := svc.checkRoute(s, 3); err == nil {
+			owned++
+		} else if _, ok := notOwnerEpoch(err); ok {
+			notOwned++
+		} else {
+			t.Fatalf("checkRoute(%d): %v", s, err)
+		}
+	}
+	if owned != 3 || notOwned != 1 { // self=1 owns shards 0 (migrated), 1, 3
+		t.Fatalf("owned=%d notOwned=%d, want 3/1", owned, notOwned)
+	}
+	if err := svc.checkRoute(0, 0); err != nil {
+		t.Fatalf("legacy request rejected: %v", err)
+	}
+}
+
+// TestClientReRouteOnCutover drives a live migration and asserts a client
+// holding the pre-cutover map transparently follows the shard: its next
+// operations hit the old owner, bounce with NotOwner, refresh the map, and
+// succeed against the new owner — zero surfaced errors.
+func TestClientReRouteOnCutover(t *testing.T) {
+	const servers = 2
+	const numShards = 4
+	metrics := &Metrics{}
+	lc, oracle := newMigrationCluster(t, servers, metrics)
+	defer lc.Shutdown()
+	client := lc.Client()
+
+	d := &Driver{Dial: lc.DialAddr, Metrics: metrics, Logf: t.Logf}
+	addrs := []string{LocalAddr(0), LocalAddr(1)}
+	m, err := d.InitRouting(addrs, 1, numShards)
+	if err != nil {
+		t.Fatalf("init routing: %v", err)
+	}
+	if err := client.AdoptRouting(m); err != nil {
+		t.Fatalf("adopt: %v", err)
+	}
+
+	apply := func(events []graph.Event) {
+		t.Helper()
+		cp := make([]graph.Event, len(events))
+		copy(cp, events)
+		if err := client.ApplyBatch(cp); err != nil {
+			t.Fatalf("apply: %v", err)
+		}
+		oracle.ApplyBatch(events)
+	}
+	var events []graph.Event
+	for v := graph.VertexID(0); v < 400; v++ {
+		events = append(events, graph.Event{Kind: graph.AddEdge,
+			Edge: graph.Edge{Src: v, Dst: v + 1000, Type: 0, Weight: 1}})
+	}
+	apply(events)
+
+	// Move shard 0 from group 0 to group 1. The client is not told.
+	if _, err := d.MigrateShard(m, 0, 1); err != nil {
+		t.Fatalf("migrate: %v", err)
+	}
+
+	// Reads and writes for shard 0 re-route transparently.
+	var probe []graph.VertexID
+	for v := graph.VertexID(0); len(probe) < 16; v++ {
+		if ShardOf(v, numShards) == 0 {
+			probe = append(probe, v)
+		}
+	}
+	degs, err := client.Degree(probe, 0)
+	if err != nil {
+		t.Fatalf("degree after cutover: %v", err)
+	}
+	for i, v := range probe {
+		if want := oracle.Degree(v, 0); degs[i] != want {
+			t.Fatalf("degree(%v) = %d, want %d", v, degs[i], want)
+		}
+	}
+	var more []graph.Event
+	for _, v := range probe {
+		more = append(more, graph.Event{Kind: graph.AddEdge,
+			Edge: graph.Edge{Src: v, Dst: v + 2000, Type: 0, Weight: 1}})
+	}
+	apply(more)
+
+	rm := client.RoutingMap()
+	if rm == nil || rm.Epoch != m.Epoch+1 {
+		t.Fatalf("client did not adopt the cutover map: %+v", rm)
+	}
+	snap := metrics.Snapshot()
+	if snap.Reroutes == 0 || snap.RoutingRefreshes == 0 || snap.NotOwnerRejects == 0 {
+		t.Fatalf("re-route path not exercised: %s", snap)
+	}
+	if snap.ShardsMigrated != 1 || snap.MigrationBytes == 0 {
+		t.Fatalf("migration not accounted: %s", snap)
+	}
+}
+
+// TestDialHandshake covers the routing-epoch handshake over real TCP: a
+// uniformly legacy cluster dials fine; a mixed cluster (one server lost the
+// map) fails fast with the re-push instruction; a uniformly routed cluster
+// adopts the newest map at dial time.
+func TestDialHandshake(t *testing.T) {
+	newTCPServer := func() (addr string, svc *Service, closeFn func()) {
+		svc = newTestService(t)
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		srv := NewServer(svc)
+		go srv.Serve(lis)
+		return lis.Addr().String(), svc, func() { lis.Close() }
+	}
+	addr0, svc0, close0 := newTCPServer()
+	defer close0()
+	addr1, svc1, close1 := newTCPServer()
+	defer close1()
+	addrs := []string{addr0, addr1}
+	opts := DefaultOptions()
+	opts.CallTimeout = 5 * time.Second
+
+	// Uniformly legacy: dial succeeds, no map adopted.
+	c, err := Dial(addrs, opts)
+	if err != nil {
+		t.Fatalf("legacy dial: %v", err)
+	}
+	if c.RoutingMap() != nil {
+		t.Fatal("legacy dial adopted a map from nowhere")
+	}
+	c.Close()
+
+	// Mixed: server 0 routed, server 1 legacy — fail fast, name the laggard.
+	m, err := IdentityMap(addrs, 1, 4)
+	if err != nil {
+		t.Fatalf("IdentityMap: %v", err)
+	}
+	svc0.SetAdvertise(addr0)
+	svc1.SetAdvertise(addr1)
+	var ur UpdateRoutingReply
+	if err := svc0.UpdateRouting(&UpdateRoutingArgs{Map: *m}, &ur); err != nil {
+		t.Fatalf("push to svc0: %v", err)
+	}
+	if _, err := Dial(addrs, opts); err == nil {
+		t.Fatal("mixed routed/legacy dial succeeded")
+	} else if !strings.Contains(err.Error(), addr1) || !strings.Contains(err.Error(), "re-push") {
+		t.Fatalf("mixed dial error unhelpful: %v", err)
+	}
+
+	// Uniformly routed: dial adopts the map.
+	if err := svc1.UpdateRouting(&UpdateRoutingArgs{Map: *m}, &ur); err != nil {
+		t.Fatalf("push to svc1: %v", err)
+	}
+	c, err = Dial(addrs, opts)
+	if err != nil {
+		t.Fatalf("routed dial: %v", err)
+	}
+	defer c.Close()
+	rm := c.RoutingMap()
+	if rm == nil || rm.Epoch != m.Epoch || rm.NumShards != 4 {
+		t.Fatalf("routed dial adopted %+v, want epoch %d x 4 shards", rm, m.Epoch)
+	}
+	if c.NumShards() != 4 {
+		t.Fatalf("NumShards = %d under routing, want 4", c.NumShards())
+	}
+}

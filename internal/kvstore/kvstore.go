@@ -147,6 +147,66 @@ func (s *Store) DeleteVertex(id graph.VertexID) {
 	sh.mu.Unlock()
 }
 
+// RangeVertices calls fn for every vertex holding features and/or a label,
+// until fn returns false. Feature slices are the stored ones (do not
+// mutate); hasLabel distinguishes "label 0" from "no label". Iteration is
+// per-shard consistent but not a global snapshot — concurrent writes may or
+// may not be observed. The shard-migration path uses this to enumerate
+// attribute state, which the plain map-based store never needed to expose.
+func (s *Store) RangeVertices(fn func(id graph.VertexID, features []float32, label int32, hasLabel bool) bool) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		ids := make([]graph.VertexID, 0, len(sh.features)+len(sh.labels))
+		for id := range sh.features {
+			ids = append(ids, id)
+		}
+		for id := range sh.labels {
+			if _, ok := sh.features[id]; !ok {
+				ids = append(ids, id)
+			}
+		}
+		sh.mu.RUnlock()
+		for _, id := range ids {
+			sh.mu.RLock()
+			f := sh.features[id]
+			l, hasL := sh.labels[id]
+			sh.mu.RUnlock()
+			if f == nil && !hasL {
+				continue // deleted between the scans
+			}
+			if !fn(id, f, l, hasL) {
+				return
+			}
+		}
+	}
+}
+
+// RangeEdges calls fn for every edge holding features, until fn returns
+// false. The same consistency caveats as RangeVertices apply.
+func (s *Store) RangeEdges(fn func(k EdgeKey, features []float32) bool) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		keys := make([]EdgeKey, 0, len(sh.edges))
+		for k := range sh.edges {
+			keys = append(keys, k)
+		}
+		sh.mu.RUnlock()
+		for _, k := range keys {
+			sh.mu.RLock()
+			f, ok := sh.edges[k]
+			sh.mu.RUnlock()
+			if !ok {
+				continue
+			}
+			if !fn(k, f) {
+				return
+			}
+		}
+	}
+}
+
 // Len returns the number of vertices holding features.
 func (s *Store) Len() int {
 	n := 0
