@@ -1,7 +1,7 @@
 GO ?= go
 REV := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: build test vet lint race chaos chaos-smoke migration-chaos migration-chaos-smoke tier1 bench bench-json bench-regress train-smoke train-chaos
+.PHONY: build test vet lint race chaos chaos-smoke migration-chaos migration-chaos-smoke integrity-chaos integrity-chaos-smoke tier1 bench bench-json bench-regress train-smoke train-chaos
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,18 @@ migration-chaos: build
 # abort (the two cutover-adjacent paths).
 migration-chaos-smoke: build
 	$(GO) test -race -count=1 -run 'TestChaosElasticGrow|TestChaosMigrationAbortBeforeCutover' ./internal/cluster/
+
+# Anti-entropy chaos drill: asymmetric partition under write load healed
+# into a scrubber-detected divergence + auto-repair, plus bit-flips in a WAL
+# frame and a snapshot detected by CRC and repaired from the peer — twice,
+# under race.
+integrity-chaos: build
+	$(GO) test -race -count=2 -run 'TestChaosPartitionScrubRepair|TestChaosScrubRepairsDiskCorruption' ./internal/cluster/
+
+# One fast anti-entropy pass for PR CI: the partition-divergence drill (the
+# path that exercises digest comparison, classification, and repair).
+integrity-chaos-smoke: build
+	$(GO) test -race -count=1 -run 'TestChaosPartitionScrubRepair' ./internal/cluster/
 
 tier1: test race
 

@@ -18,6 +18,10 @@
 //	move -shard S -to G  migrate one logical shard to server group G
 //	rebalance            count-balance shards across groups, one live
 //	                     migration at a time
+//	verify               compare state digests across every replica group
+//	                     (names diverged shards; -scrub also runs one
+//	                     anti-entropy round per server); exits nonzero on
+//	                     any mismatch or corruption
 //
 // Shard selection is count-balanced (every group within one shard of even).
 // The planner is a pluggable seam: a locality-aware policy in the spirit of
@@ -41,7 +45,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: platod2gl-rebalance -servers a,b,c <status|init|push|grow|move|rebalance> [args]\n")
+	fmt.Fprintf(os.Stderr, "usage: platod2gl-rebalance -servers a,b,c <status|init|push|grow|move|rebalance|verify> [args]\n")
 	flag.PrintDefaults()
 	os.Exit(2)
 }
@@ -58,6 +62,7 @@ func main() {
 		pullT     = flag.Duration("pull-timeout", 10*time.Minute, "data-move RPC timeout (shard pull, drop)")
 		parkTTL   = flag.Duration("park-ttl", 30*time.Second, "source write-park self-release backstop")
 		keepSrc   = flag.Bool("keep-source", false, "keep the source's (unreachable) shard copy after cutover instead of dropping it")
+		scrub     = flag.Bool("scrub", false, "verify: also trigger one anti-entropy scrub round on every server (needs server-side scrubber)")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -134,6 +139,21 @@ func main() {
 			log.Fatalf("rebalance: moved %d shard(s), then: %v", moved, err)
 		}
 		fmt.Printf("rebalanced: %d shard(s) migrated, now %s\n", moved, next)
+
+	case "verify":
+		// Tolerate an unrouted cluster: digests are still collected and
+		// printed, there is just no replica group to compare within.
+		m, err := d.FetchMap(addrs)
+		if err != nil {
+			log.Printf("verify: no shard map (%v); reporting ungrouped digests", err)
+			m = nil
+		}
+		rep := d.VerifyIntegrity(m, addrs, *scrub)
+		fmt.Print(rep)
+		if !rep.Healthy() {
+			log.Fatalf("verify: integrity check FAILED")
+		}
+		fmt.Println("verify: all replica groups consistent")
 
 	default:
 		usage()

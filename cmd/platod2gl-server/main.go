@@ -86,6 +86,9 @@ func main() {
 		catchupT  = flag.Duration("catchup-call-timeout", 30*time.Second, "per-RPC timeout for catch-up snapshot/WAL-tail calls")
 		advertise = flag.String("advertise", "", "address this server appears under in shard maps (host:port reachable by peers and clients; default: -addr)")
 		join      = flag.String("join", "", "comma-separated seed server addresses of a routed cluster to join as a new, empty server group")
+		scrubInt  = flag.Duration("scrub-interval", 0, "anti-entropy scrub cadence (0 = no background scrubbing; on-demand Scrub RPC stays available)")
+		scrubPeer = flag.String("scrub-peers", "", "comma-separated replica-group addresses to compare state digests against (may include this server)")
+		scrubFix  = flag.Bool("scrub-auto-repair", true, "let a scrub round that finds this replica diverged or corrupt rebuild it from a healthy peer")
 	)
 	flag.Parse()
 	if *join != "" && *advertise == "" {
@@ -200,6 +203,46 @@ func main() {
 		// and FetchWALTail become serveable.
 		svc.EnableSync(wal)
 	}
+	// Anti-entropy: a Scrubber is always installed (the Scrub RPC lets
+	// `platod2gl-rebalance verify` trigger on-demand rounds); the background
+	// loop only runs when -scrub-interval is set. Every round re-verifies the
+	// on-disk WAL and snapshot CRCs, and with -scrub-peers also compares
+	// state digests across the replica group.
+	var scrubPeers []string
+	if *scrubPeer != "" {
+		scrubPeers = strings.Split(*scrubPeer, ",")
+	}
+	scrub := cluster.NewScrubber(svc, cluster.ScrubConfig{
+		Interval:     *scrubInt,
+		Self:         *advertise,
+		Peers:        scrubPeers,
+		WALPath:      *walPath,
+		SnapshotPath: *snapshot,
+		AutoRepair:   *scrubFix,
+		Metrics:      cm,
+		Logf:         log.Printf,
+		PostRepair: func() error {
+			// A repaired store must also be what disk recovers to: persist it
+			// and truncate the WAL (which may itself have been the corrupt
+			// artifact) under one quiesce.
+			resume := svc.Pause()
+			defer resume()
+			if *snapshot != "" {
+				if err := saveSnapshot(store, *snapshot); err != nil {
+					return err
+				}
+			}
+			if wal != nil {
+				return wal.Reset()
+			}
+			return nil
+		},
+	})
+	svc.SetScrubber(scrub)
+	if *scrubInt > 0 {
+		scrub.Start()
+		log.Printf("anti-entropy scrubbing every %v (peers=%q auto-repair=%v)", *scrubInt, *scrubPeer, *scrubFix)
+	}
 	srv := cluster.NewServer(svc)
 
 	// Metrics endpoint: one registry serving Prometheus text at /metrics and
@@ -277,6 +320,13 @@ func main() {
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sigs
+		// Stop scrubbing first: a repair racing the final snapshot would
+		// tear the durable state this handler is about to write.
+		scrub.Stop()
+		// Unpark any write goroutines gated for a migration cutover — the
+		// migration dies with this process, and a parked client call must
+		// get its error before the listener goes away.
+		svc.ReleaseAllShards()
 		if metricsSrv != nil {
 			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 			if err := metricsSrv.Shutdown(ctx); err != nil {

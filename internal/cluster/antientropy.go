@@ -1,0 +1,694 @@
+// Anti-entropy: detecting and repairing replica divergence that slipped
+// past the synchronous write path. Replication here is client-driven
+// fan-out — a network partition, a crashed-then-restored process, or plain
+// disk corruption can leave one replica silently holding different state
+// than its group, and nothing on the request path would ever notice (reads
+// fail over, writes mark stale and move on). The scrubber closes that gap:
+//
+//   - Every store maintains cheap incremental state digests — an
+//     order-independent XOR over per-entry checksums, O(1) per mutation —
+//     for attributes (kvstore) and a walk-computed one for topology. The
+//     ShardDigest RPC exposes them.
+//   - A background Scrubber on each server periodically compares its own
+//     digests against its replica peers', re-checking a few times with
+//     delays so in-flight write skew settles before anything is declared
+//     divergent. It also re-verifies the on-disk WAL (per-frame CRC) and
+//     shutdown snapshot (CRC trailer), so latent disk corruption is found
+//     before the next restart would load it.
+//   - A mismatch is classified: if this replica disagrees with the healthy
+//     majority (ties broken by WAL position), it is diverged and — with
+//     AutoRepair — rebuilds itself from a healthy peer via the proven
+//     catch-up path (SyncFromPeer with Attrs), converging byte-identically,
+//     features included. Local disk corruption triggers the same repair:
+//     the PostRepair hook lets the server rewrite a clean snapshot and WAL.
+//
+// Topology digests cover the edge set (type, src, dst), not weights: the
+// sampling trees reconstruct weights through float summation whose rounding
+// depends on insertion order, so weight bits are not replica-stable even
+// when the logical state is identical. Weight divergence with an identical
+// edge set would require a lost UpdateWeight, which the WAL-shipped
+// catch-up path already covers.
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"platod2gl/internal/eventlog"
+	"platod2gl/internal/graph"
+	"platod2gl/internal/kvstore"
+	"platod2gl/internal/storage"
+)
+
+// ---------------------------------------------------------------------------
+// Digests.
+
+// topoSeed keeps the topology digest domain-separated from attribute sums.
+const topoSeed = 0x746f706f6c6f6779
+
+// edgeDigest is one edge's contribution to the topology digest.
+func edgeDigest(et graph.EdgeType, src, dst graph.VertexID) uint64 {
+	h := mix64(topoSeed ^ uint64(et))
+	h = mix64(h ^ uint64(src))
+	return mix64(h ^ uint64(dst))
+}
+
+// topologyDigest XORs edgeDigest over the store's *distinct* edge set —
+// optionally filtered to one logical shard — so identical edge sets produce
+// identical digests regardless of insertion order or internal layout.
+// Duplicate entries are digested once: the samtree can transiently hold an
+// edge — or a whole source run — in more than one leaf, and which copies a
+// walk reports is not replica-stable (a snapshot save/load cycle
+// redistributes them), so multiplicity — like the weight bits — must stay
+// out of the digest or byte-equal replicas would scrub as diverged. A
+// repeated source is skipped outright: Neighbors is a key lookup, so both
+// occurrences resolve to the same full list.
+func topologyDigest(store storage.TopologyStore, shard, numShards int) (uint64, error) {
+	types, err := relationTypes(store)
+	if err != nil {
+		return 0, err
+	}
+	var d uint64
+	seenSrc := make(map[graph.VertexID]struct{})
+	seenDst := make(map[graph.VertexID]struct{})
+	for _, et := range types {
+		clear(seenSrc)
+		for _, src := range store.Sources(et) {
+			if shard >= 0 && ShardOf(src, numShards) != shard {
+				continue
+			}
+			if _, dup := seenSrc[src]; dup {
+				continue
+			}
+			seenSrc[src] = struct{}{}
+			nbrs, _ := store.Neighbors(src, et)
+			clear(seenDst)
+			for _, dst := range nbrs {
+				if _, dup := seenDst[dst]; dup {
+					continue
+				}
+				seenDst[dst] = struct{}{}
+				d ^= edgeDigest(et, src, dst)
+			}
+		}
+	}
+	return d, nil
+}
+
+// DigestArgs requests a server's state digests. Shard < 0 digests the whole
+// store; Shard >= 0 restricts to one logical shard under a NumShards hash
+// space (used by the rebalance CLI to compare per-shard across owners).
+type DigestArgs struct {
+	Shard     int
+	NumShards int
+}
+
+// DigestReply carries one server's state digests plus the context a
+// comparator needs: convergence state (skip replicas mid-catch-up), WAL
+// position (tie-break two-replica divergence), and the sync epoch.
+type DigestReply struct {
+	Topology  uint64 // order-independent edge-set digest
+	Attrs     uint64 // attribute-store digest (features, labels, edge feats)
+	NumEdges  int64
+	WALSeq    uint64
+	SyncEpoch uint64
+	Ready     bool
+}
+
+// localDigest computes this server's digests under a write quiesce, so a
+// digest is never torn mid-batch. The Pause barrier is the same one
+// snapshots use; the walk is O(edges) but only the scrubber cadence pays it.
+func (s *Service) localDigest(shard, numShards int) (DigestReply, error) {
+	var reply DigestReply
+	if shard >= 0 && numShards <= 0 {
+		return reply, fmt.Errorf("cluster: shard digest needs a hash space (shard %d, numShards %d)", shard, numShards)
+	}
+	resume := s.Pause()
+	defer resume()
+	topo, err := topologyDigest(s.store, shard, numShards)
+	if err != nil {
+		return reply, err
+	}
+	reply.Topology = topo
+	if s.attrs != nil {
+		if shard < 0 {
+			reply.Attrs = s.attrs.Digest()
+		} else {
+			reply.Attrs = s.attrs.DigestWhere(func(id graph.VertexID) bool {
+				return ShardOf(id, numShards) == shard
+			})
+		}
+	}
+	reply.NumEdges = s.store.NumEdges()
+	if s.syncWAL != nil {
+		reply.WALSeq = s.syncWAL.Seq()
+	}
+	reply.SyncEpoch = s.syncEpoch.Load()
+	reply.Ready = s.ready.Load()
+	return reply, nil
+}
+
+// ShardDigest serves this server's state digests. Served even while not
+// ready — the Ready flag tells comparators to skip it — because a scrubber
+// probing a catching-up sibling must not error out the whole round.
+func (s *Service) ShardDigest(args *DigestArgs, reply *DigestReply) (err error) {
+	start := time.Now()
+	defer func() { s.metrics.observeServed("ShardDigest", start, 48) }()
+	defer guard("ShardDigest", &err)
+	*reply, err = s.localDigest(args.Shard, args.NumShards)
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Whole-store attribute export (the repair path's feature transfer).
+
+// AttrsArgs is empty.
+type AttrsArgs struct{}
+
+// AttrsReply carries the server's complete attribute state in the same
+// shape shard migration uses, checksummed end-to-end.
+type AttrsReply struct {
+	Attrs ShardFeaturesReply
+	Sum   uint64
+}
+
+// FetchAttrs exports the whole attribute store under a write quiesce.
+// Repair pulls it after the WAL drain so a rebuilt replica converges on
+// features too — the topology WAL does not cover them.
+func (s *Service) FetchAttrs(_ *AttrsArgs, reply *AttrsReply) (err error) {
+	start := time.Now()
+	defer func() { s.metrics.observeServed("FetchAttrs", start, reply.Attrs.approxBytes()) }()
+	defer guard("FetchAttrs", &err)
+	if !s.ready.Load() {
+		return ErrReplicaNotReady
+	}
+	resume := s.Pause()
+	defer resume()
+	if s.attrs != nil {
+		r := &reply.Attrs
+		s.attrs.RangeVertices(func(id graph.VertexID, features []float32, label int32, hasLabel bool) bool {
+			r.Nodes = append(r.Nodes, id)
+			r.RowLens = append(r.RowLens, int32(len(features)))
+			r.Data = append(r.Data, features...)
+			r.Labels = append(r.Labels, label)
+			r.HasLabel = append(r.HasLabel, hasLabel)
+			return true
+		})
+		s.attrs.RangeEdges(func(k kvstore.EdgeKey, features []float32) bool {
+			r.EdgeKeys = append(r.EdgeKeys, k)
+			r.EdgeLens = append(r.EdgeLens, int32(len(features)))
+			r.EdgeData = append(r.EdgeData, features...)
+			return true
+		})
+	}
+	reply.Sum = checksumFeatures(&reply.Attrs)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// The scrubber.
+
+// ScrubConfig configures a Scrubber.
+type ScrubConfig struct {
+	// Interval between background rounds (Start). <= 0: 30s.
+	Interval time.Duration
+	// Self is this server's address as it appears in Peers; it is skipped
+	// when fanning digest probes out.
+	Self string
+	// Peers are the replica group's member addresses (may include Self).
+	// Empty: digest comparison is skipped and only disk checks run.
+	Peers []string
+	// Dial builds the transport to a peer address. nil: TCP.
+	Dial func(addr string) Dialer
+	// CallTimeout bounds each digest probe. 0: 10s. (Repair pulls use
+	// RepairTimeout.)
+	CallTimeout time.Duration
+	// RepairTimeout bounds each repair RPC (snapshot fetches move the whole
+	// store). 0: 2m.
+	RepairTimeout time.Duration
+	// SettleRetries re-checks a digest mismatch this many times before
+	// declaring divergence, absorbing in-flight write skew. <= 0: 3.
+	SettleRetries int
+	// SettleDelay is the wait between settle re-checks. <= 0: 100ms.
+	SettleDelay time.Duration
+	// WALPath, when set, is CRC-verified on disk every round.
+	WALPath string
+	// SnapshotPath, when set and existing, is CRC-verified every round.
+	SnapshotPath string
+	// AutoRepair rebuilds this replica from a healthy peer when a round
+	// finds it diverged or locally corrupt. Off: rounds only report.
+	AutoRepair bool
+	// PostRepair runs after a successful repair — the server binary uses it
+	// to write a fresh snapshot and reset the WAL so the repaired state is
+	// also what disk recovers to.
+	PostRepair func() error
+	// Metrics receives scrub counters. May be nil.
+	Metrics *Metrics
+	// Logf receives human-oriented scrub lines. nil: silent.
+	Logf func(format string, args ...any)
+}
+
+// PeerDigest is one peer's answer (or failure) in a scrub round.
+type PeerDigest struct {
+	Addr   string
+	Err    string // probe failure ("" on success)
+	Digest DigestReply
+}
+
+// RoundReport is one scrub round's outcome, gob-encodable for the Scrub RPC.
+type RoundReport struct {
+	DurationNanos int64
+	Local         DigestReply
+	Peers         []PeerDigest
+	DiskErrors    []string // on-disk CRC failures found this round
+	Diverged      bool     // this replica disagrees with the healthy majority
+	Corrupt       bool     // local disk corruption detected
+	RepairPeer    string   // peer a repair pulled from ("" when none ran)
+	Repaired      bool
+	RepairErr     string
+	RepairBytes   int64
+}
+
+// healthy reports whether the round found nothing wrong.
+func (r *RoundReport) healthy() bool {
+	return !r.Diverged && !r.Corrupt && len(r.DiskErrors) == 0
+}
+
+// Scrubber runs anti-entropy rounds for one service: digest comparison
+// across its replica group, on-disk CRC verification, and (optionally)
+// self-repair from a healthy peer.
+type Scrubber struct {
+	svc *Service
+	cfg ScrubConfig
+
+	mu      sync.Mutex // serializes rounds (background loop vs Scrub RPC)
+	last    atomic.Pointer[RoundReport]
+	stopCh  chan struct{}
+	doneCh  chan struct{}
+	started bool
+}
+
+// NewScrubber builds a scrubber for svc. Call Start for the background
+// loop, or RunRound (directly or via the Scrub RPC) for on-demand rounds.
+func NewScrubber(svc *Service, cfg ScrubConfig) *Scrubber {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 30 * time.Second
+	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 10 * time.Second
+	}
+	if cfg.RepairTimeout <= 0 {
+		cfg.RepairTimeout = 2 * time.Minute
+	}
+	if cfg.SettleRetries <= 0 {
+		cfg.SettleRetries = 3
+	}
+	if cfg.SettleDelay <= 0 {
+		cfg.SettleDelay = 100 * time.Millisecond
+	}
+	return &Scrubber{svc: svc, cfg: cfg}
+}
+
+func (sc *Scrubber) logf(format string, args ...any) {
+	if sc.cfg.Logf != nil {
+		sc.cfg.Logf(format, args...)
+	}
+}
+
+func (sc *Scrubber) dialer(addr string) Dialer {
+	if sc.cfg.Dial != nil {
+		return sc.cfg.Dial(addr)
+	}
+	return TCPDialer(addr, sc.cfg.CallTimeout)
+}
+
+// Start launches the background scrub loop. Idempotent.
+func (sc *Scrubber) Start() {
+	sc.mu.Lock()
+	if sc.started {
+		sc.mu.Unlock()
+		return
+	}
+	sc.started = true
+	sc.stopCh = make(chan struct{})
+	sc.doneCh = make(chan struct{})
+	stop, done := sc.stopCh, sc.doneCh
+	sc.mu.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(sc.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				sc.RunRound()
+			}
+		}
+	}()
+}
+
+// Stop halts the background loop and waits for an in-flight round.
+func (sc *Scrubber) Stop() {
+	sc.mu.Lock()
+	if !sc.started {
+		sc.mu.Unlock()
+		return
+	}
+	sc.started = false
+	close(sc.stopCh)
+	done := sc.doneCh
+	sc.mu.Unlock()
+	<-done
+}
+
+// LastReport returns the most recent round's report (zero before any round).
+func (sc *Scrubber) LastReport() RoundReport {
+	if r := sc.last.Load(); r != nil {
+		return *r
+	}
+	return RoundReport{}
+}
+
+// RunRound executes one scrub round and returns its report. Rounds are
+// serialized: a Scrub RPC arriving mid-background-round waits.
+func (sc *Scrubber) RunRound() RoundReport {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	start := time.Now()
+	var rep RoundReport
+
+	sc.checkDisk(&rep)
+	sc.compareDigests(&rep)
+
+	// Latency covers detection only; a triggered repair is accounted by its
+	// own counters.
+	sc.cfg.Metrics.observeScrub(start)
+	sc.cfg.Metrics.incScrubRound()
+
+	if (rep.Diverged || rep.Corrupt) && sc.cfg.AutoRepair {
+		sc.repair(&rep)
+	}
+	rep.DurationNanos = int64(time.Since(start))
+	sc.last.Store(&rep)
+	if !rep.healthy() || rep.Repaired {
+		sc.logf("scrub: diverged=%v corrupt=%v disk_errors=%d repaired=%v repair_peer=%q repair_err=%q",
+			rep.Diverged, rep.Corrupt, len(rep.DiskErrors), rep.Repaired, rep.RepairPeer, rep.RepairErr)
+	}
+	return rep
+}
+
+// checkDisk re-verifies the on-disk WAL frames and snapshot trailer.
+func (sc *Scrubber) checkDisk(rep *RoundReport) {
+	if p := sc.cfg.WALPath; p != "" {
+		if vr, err := eventlog.Verify(p); err != nil {
+			if !os.IsNotExist(err) {
+				rep.DiskErrors = append(rep.DiskErrors, fmt.Sprintf("wal %s: %v", p, err))
+			}
+		} else if vr.Corrupt {
+			rep.Corrupt = true
+			rep.DiskErrors = append(rep.DiskErrors, fmt.Sprintf("wal %s: corrupt frame at offset %d (last good seq %d)", p, vr.BadOffset, vr.LastSeq))
+			sc.cfg.Metrics.incCorruptionDetected()
+		}
+	}
+	if p := sc.cfg.SnapshotPath; p != "" {
+		f, err := os.Open(p)
+		switch {
+		case os.IsNotExist(err):
+			// No snapshot yet: nothing to verify.
+		case err != nil:
+			rep.DiskErrors = append(rep.DiskErrors, fmt.Sprintf("snapshot %s: %v", p, err))
+		default:
+			verr := storage.VerifySnapshot(f)
+			f.Close()
+			if verr != nil {
+				rep.Corrupt = true
+				rep.DiskErrors = append(rep.DiskErrors, fmt.Sprintf("snapshot %s: %v", p, verr))
+				sc.cfg.Metrics.incCorruptionDetected()
+			}
+		}
+	}
+}
+
+// digestKey is the comparable pair replicas are grouped by.
+type digestKey struct{ topo, attrs uint64 }
+
+// compareDigests probes the replica group and classifies any persistent
+// mismatch. A transient mismatch (writes in flight during the probe) is
+// absorbed by re-checking SettleRetries times: divergence is only declared
+// when the group still disagrees after the skew had time to settle.
+func (sc *Scrubber) compareDigests(rep *RoundReport) {
+	if !sc.svc.ready.Load() {
+		return // mid-catch-up: nothing meaningful to compare yet
+	}
+	local, err := sc.svc.localDigest(-1, 0)
+	if err != nil {
+		rep.DiskErrors = append(rep.DiskErrors, fmt.Sprintf("local digest: %v", err))
+		return
+	}
+	rep.Local = local
+	if len(sc.cfg.Peers) == 0 {
+		return // nothing to compare against; the digest still reports state
+	}
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if local, err = sc.svc.localDigest(-1, 0); err != nil {
+				rep.DiskErrors = append(rep.DiskErrors, fmt.Sprintf("local digest: %v", err))
+				return
+			}
+		}
+		peers := sc.probePeers()
+		rep.Local, rep.Peers = local, peers
+		if digestsAgree(local, peers) {
+			rep.Diverged = false
+			return
+		}
+		if attempt >= sc.cfg.SettleRetries {
+			break
+		}
+		time.Sleep(sc.cfg.SettleDelay)
+	}
+	sc.cfg.Metrics.incDigestMismatch()
+	sc.classify(rep)
+}
+
+// probePeers fetches every peer's whole-store digest.
+func (sc *Scrubber) probePeers() []PeerDigest {
+	var out []PeerDigest
+	for _, addr := range sc.cfg.Peers {
+		if addr == sc.cfg.Self {
+			continue
+		}
+		pd := PeerDigest{Addr: addr}
+		if err := roundTrip(sc.dialer(addr), "ShardDigest",
+			&DigestArgs{Shard: -1}, &pd.Digest, sc.cfg.CallTimeout); err != nil {
+			pd.Err = err.Error()
+		}
+		out = append(out, pd)
+	}
+	return out
+}
+
+// digestsAgree reports whether every reachable, ready peer matches local.
+func digestsAgree(local DigestReply, peers []PeerDigest) bool {
+	for _, p := range peers {
+		if p.Err != "" || !p.Digest.Ready {
+			continue // unreachable or catching up: not evidence either way
+		}
+		if p.Digest.Topology != local.Topology || p.Digest.Attrs != local.Attrs {
+			return false
+		}
+	}
+	return true
+}
+
+// classify decides, after a persistent mismatch, whether this replica is
+// the diverged one: the digest value held by the majority of ready group
+// members (local included) is presumed healthy; with no majority — the
+// two-replica case — the member with the higher WAL position wins, since a
+// partitioned replica missed appends rather than invented them. An exact
+// WAL tie falls through to a deterministic address-order tie-break so the
+// group converges instead of splitting forever.
+func (sc *Scrubber) classify(rep *RoundReport) {
+	localKey := digestKey{rep.Local.Topology, rep.Local.Attrs}
+	votes := map[digestKey]int{localKey: 1}
+	bestPeer := map[digestKey]string{}
+	var maxPeerWAL uint64
+	var maxPeerKey digestKey
+	var maxPeerAddr string
+	for _, p := range rep.Peers {
+		if p.Err != "" || !p.Digest.Ready {
+			continue
+		}
+		k := digestKey{p.Digest.Topology, p.Digest.Attrs}
+		votes[k]++
+		if _, ok := bestPeer[k]; !ok || p.Digest.WALSeq > maxPeerWAL {
+			bestPeer[k] = p.Addr
+		}
+		if p.Digest.WALSeq >= maxPeerWAL {
+			maxPeerWAL, maxPeerKey, maxPeerAddr = p.Digest.WALSeq, k, p.Addr
+		}
+	}
+	// Deterministic winner: most votes, ties by key order.
+	keys := make([]digestKey, 0, len(votes))
+	for k := range votes {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if votes[keys[i]] != votes[keys[j]] {
+			return votes[keys[i]] > votes[keys[j]]
+		}
+		if keys[i].topo != keys[j].topo {
+			return keys[i].topo < keys[j].topo
+		}
+		return keys[i].attrs < keys[j].attrs
+	})
+	winner := keys[0]
+	if votes[winner] > 1 && winner == localKey {
+		return // local agrees with the majority: a peer is diverged, its own scrubber repairs it
+	}
+	if votes[winner] == 1 {
+		// No majority (the R=2 case, or total disagreement): trust the
+		// highest WAL position.
+		if maxPeerAddr == "" || maxPeerWAL < rep.Local.WALSeq {
+			return // local is strictly the most advanced copy: hold state, let the peer repair
+		}
+		if maxPeerWAL == rep.Local.WALSeq {
+			// Exact WAL tie with differing digests: both sides applied
+			// every write but in different interleavings (racing batches on
+			// the fan-out), so neither is "more correct" — converging on
+			// either beats a permanent split. The tied member with the
+			// lexically smallest address holds; everyone else rebuilds from
+			// it. Every scrubber computes the same winner independently, so
+			// exactly one side yields without coordination.
+			tieAddr, tieKey := sc.cfg.Self, localKey
+			for _, p := range rep.Peers {
+				if p.Err != "" || !p.Digest.Ready || p.Digest.WALSeq != rep.Local.WALSeq {
+					continue
+				}
+				if p.Addr < tieAddr {
+					tieAddr, tieKey = p.Addr, digestKey{p.Digest.Topology, p.Digest.Attrs}
+				}
+			}
+			if tieAddr == sc.cfg.Self || tieKey == localKey {
+				return // local holds (or already matches the tie winner)
+			}
+			rep.Diverged = true
+			rep.RepairPeer = tieAddr
+			return
+		}
+		winner = maxPeerKey
+	}
+	rep.Diverged = true
+	rep.RepairPeer = bestPeer[winner]
+	if rep.RepairPeer == "" {
+		rep.RepairPeer = maxPeerAddr
+	}
+}
+
+// pickRepairPeer returns the peer a corruption-only repair pulls from: any
+// reachable ready peer (they all agree when nothing diverged).
+func (sc *Scrubber) pickRepairPeer(rep *RoundReport) string {
+	if rep.RepairPeer != "" {
+		return rep.RepairPeer
+	}
+	peers := rep.Peers
+	if len(peers) == 0 {
+		peers = sc.probePeers()
+	}
+	for _, p := range peers {
+		if p.Err == "" && p.Digest.Ready {
+			return p.Addr
+		}
+	}
+	return ""
+}
+
+// repair rebuilds this replica from a healthy peer: reset the local stores
+// (Load and replay merge, so stale local state must go first), then run the
+// full catch-up path with attribute transfer, then let the owner rewrite
+// its durable state via PostRepair.
+func (sc *Scrubber) repair(rep *RoundReport) {
+	peer := sc.pickRepairPeer(rep)
+	if peer == "" {
+		rep.RepairErr = "no healthy peer to repair from"
+		sc.logf("scrub: repair needed but %s", rep.RepairErr)
+		return
+	}
+	rep.RepairPeer = peer
+	sc.cfg.Metrics.incRepairTriggered()
+	sc.logf("scrub: repairing from %s (diverged=%v corrupt=%v)", peer, rep.Diverged, rep.Corrupt)
+
+	svc := sc.svc
+	// Take the replica out of service before wiping it; SyncFromPeer keeps
+	// it not-ready until converged.
+	svc.BeginCatchUp()
+	resume := svc.Pause()
+	if r, ok := svc.store.(interface{ Reset() }); ok {
+		r.Reset()
+	} else {
+		resume()
+		rep.RepairErr = fmt.Sprintf("store %T cannot be reset for repair", svc.store)
+		return
+	}
+	if svc.attrs != nil {
+		svc.attrs.Reset()
+	}
+	resume()
+
+	stats, err := SyncFromPeerStats(svc, sc.dialer(peer), SyncOptions{
+		CallTimeout: sc.cfg.RepairTimeout,
+		Attrs:       true,
+		Metrics:     sc.cfg.Metrics,
+	})
+	if err != nil {
+		rep.RepairErr = err.Error()
+		sc.logf("scrub: repair from %s failed (replica stays out of rotation; next round retries): %v", peer, err)
+		return
+	}
+	rep.RepairBytes = stats.SnapshotBytes + stats.AttrBytes
+	sc.cfg.Metrics.addRepairBytes(rep.RepairBytes)
+	if sc.cfg.PostRepair != nil {
+		if err := sc.cfg.PostRepair(); err != nil {
+			rep.RepairErr = fmt.Sprintf("post-repair: %v", err)
+			sc.logf("scrub: post-repair hook failed: %v", err)
+			return
+		}
+	}
+	rep.Repaired = true
+	sc.logf("scrub: repaired from %s (%d bytes)", peer, rep.RepairBytes)
+}
+
+// ---------------------------------------------------------------------------
+// The Scrub RPC.
+
+// SetScrubber installs sc as the scrubber the Scrub RPC drives. Call before
+// serving.
+func (s *Service) SetScrubber(sc *Scrubber) { s.scrubber.Store(sc) }
+
+// ScrubArgs is empty.
+type ScrubArgs struct{}
+
+// ScrubReply carries the on-demand round's report.
+type ScrubReply struct {
+	Report RoundReport
+}
+
+// Scrub runs one scrub round on demand (the rebalance CLI's verify verb and
+// tests use it) and returns the report.
+func (s *Service) Scrub(_ *ScrubArgs, reply *ScrubReply) (err error) {
+	start := time.Now()
+	defer func() { s.metrics.observeServed("Scrub", start, 64) }()
+	defer guard("Scrub", &err)
+	sc := s.scrubber.Load()
+	if sc == nil {
+		return fmt.Errorf("cluster: no scrubber installed on this server")
+	}
+	reply.Report = sc.RunRound()
+	return nil
+}

@@ -60,6 +60,10 @@ type BatchArgs struct {
 	Seq        uint64
 	Shard      int
 	RouteEpoch uint64
+	// Sum is the sender's checksum over Events (checksumEvents); the server
+	// recomputes it before applying so a batch corrupted in flight is
+	// rejected instead of poisoning the store. 0 = unchecksummed (legacy).
+	Sum uint64
 }
 
 // BatchReply reports the resulting edge count on the server. Duplicate is
@@ -197,6 +201,10 @@ type Service struct {
 	parked    map[int]*shardGate
 	migMu     sync.Mutex     // one inbound migration pull at a time
 	hooks     MigrationHooks // chaos-test instrumentation; zero in production
+
+	// scrubber, when installed (SetScrubber), serves on-demand anti-entropy
+	// rounds via the Scrub RPC. See antientropy.go.
+	scrubber atomic.Pointer[Scrubber]
 }
 
 // NewService wraps a topology store and an attribute store. The service
@@ -243,6 +251,12 @@ func (s *Service) ApplyBatch(args *BatchArgs, reply *BatchReply) (err error) {
 	start := time.Now()
 	defer func() { s.metrics.observeServed("ApplyBatch", start, approxEvents(len(args.Events))+16) }()
 	if err := s.checkRoute(args.Shard, args.RouteEpoch); err != nil {
+		return err
+	}
+	// Verify before the dedup claim: a corrupted batch must not consume its
+	// at-most-once identity, or the client's (clean) retry would be skipped
+	// as a duplicate.
+	if err := verifySum(s.metrics, "ApplyBatch events", checksumEvents(args.Events), args.Sum); err != nil {
 		return err
 	}
 	// Gates before pauseMu: a write parked on the catch-up or migration gate
@@ -777,7 +791,7 @@ func (c *Client) ApplyBatch(events []graph.Event) error {
 		if len(parts[s]) == 0 {
 			return nil
 		}
-		args := &BatchArgs{Events: parts[s], ClientID: c.clientID, Seq: seqs[s]}
+		args := &BatchArgs{Events: parts[s], ClientID: c.clientID, Seq: seqs[s], Sum: checksumEvents(parts[s])}
 		return c.writeShard(s, args, func(pe *peer, maxRetries int) error {
 			var reply BatchReply
 			return c.callPe(pe, ServiceName+".ApplyBatch", args, &reply, maxRetries)

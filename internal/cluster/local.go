@@ -78,9 +78,17 @@ func (sh *localShard) dial(wrap func(int, net.Conn) net.Conn) (net.Conn, error) 
 func (sh *localShard) stop() {
 	sh.mu.Lock()
 	sh.down = true
+	svc := sh.svc
 	conns := sh.conns
 	sh.conns = nil
 	sh.mu.Unlock()
+	// Release any parked shard gates before severing connections: a write
+	// goroutine parked on a gate would otherwise outlive the "crashed"
+	// server (its TTL timer fires into a dead service), and the migration
+	// the park served died with the process anyway.
+	if svc != nil {
+		svc.ReleaseAllShards()
+	}
 	for _, c := range conns {
 		c.Close()
 	}
@@ -88,10 +96,14 @@ func (sh *localShard) stop() {
 
 func (sh *localShard) restart(svc *Service) {
 	sh.mu.Lock()
+	old := sh.svc
 	sh.svc = svc
 	sh.srv = NewServer(svc)
 	sh.down = false
 	sh.mu.Unlock()
+	if old != nil && old != svc {
+		old.ReleaseAllShards() // a restart without a prior stop must not leak parked writes
+	}
 }
 
 // LocalAddr returns server i's pseudo-address ("mem://<i>") — what shard

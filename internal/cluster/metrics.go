@@ -23,6 +23,7 @@ var rpcMethods = []string{
 	"Sources", "Stats", "FetchSnapshot", "FetchWALTail", "SyncState",
 	"Routing", "UpdateRouting", "FetchShardSnapshot", "FetchShardFeatures",
 	"ParkShard", "ReleaseShard", "DropShard", "PullShard",
+	"ShardDigest", "Scrub", "FetchAttrs",
 }
 
 // Metrics aggregates fault-tolerance counters and RPC histograms. The zero
@@ -63,6 +64,14 @@ type Metrics struct {
 	MigrationAborts  obs.Counter // migrations aborted (or failed) before cutover
 	CutoverNanos     obs.Counter // cumulative park-to-routing-flip time, ns
 
+	// Anti-entropy (see antientropy.go): periodic digest comparison across
+	// replica groups, on-disk CRC verification, and divergence repair.
+	ScrubRounds        obs.Counter // completed scrub rounds
+	DigestMismatches   obs.Counter // replica digest comparisons that disagreed
+	CorruptionDetected obs.Counter // payload-checksum or on-disk CRC failures
+	RepairsTriggered   obs.Counter // SyncFromPeer repairs launched by the scrubber
+	RepairBytes        obs.Counter // snapshot+attr bytes pulled by repairs
+
 	// Per-method histograms. Client latency covers one network attempt
 	// (dial + call, excluding backoff sleeps); server latency covers one
 	// handler execution; payload bytes approximate request+reply wire size
@@ -70,32 +79,41 @@ type Metrics struct {
 	ClientLatency obs.HistogramVec // nanoseconds, label = method
 	ServerLatency obs.HistogramVec // nanoseconds, label = method
 	PayloadBytes  obs.HistogramVec // bytes, label = method
+
+	// ScrubLatency tracks whole scrub-round duration (digest fetches +
+	// disk verification, excluding any repair it triggers), nanoseconds.
+	ScrubLatency obs.Histogram
 }
 
 // MetricsSnapshot is a plain-value copy of the counters for printing and
 // JSON encoding.
 type MetricsSnapshot struct {
-	RPCAttempts       int64
-	RPCTimeouts       int64
-	RPCRetries        int64
-	BreakerOpens      int64
-	ReadFailovers     int64
-	StaleMarks        int64
-	CoalescedSeeds    int64
-	CoalescedBytes    int64
-	CatchUps          int64
-	CatchUpBytes      int64
-	CatchUpBatches    int64
-	SnapshotsServed   int64
-	TailBatchesServed int64
-	Reroutes          int64
-	RoutingRefreshes  int64
-	NotOwnerRejects   int64
-	ShardsMigrated    int64
-	MigrationBytes    int64
-	MigrationBatches  int64
-	MigrationAborts   int64
-	CutoverNanos      int64
+	RPCAttempts        int64
+	RPCTimeouts        int64
+	RPCRetries         int64
+	BreakerOpens       int64
+	ReadFailovers      int64
+	StaleMarks         int64
+	CoalescedSeeds     int64
+	CoalescedBytes     int64
+	CatchUps           int64
+	CatchUpBytes       int64
+	CatchUpBatches     int64
+	SnapshotsServed    int64
+	TailBatchesServed  int64
+	Reroutes           int64
+	RoutingRefreshes   int64
+	NotOwnerRejects    int64
+	ShardsMigrated     int64
+	MigrationBytes     int64
+	MigrationBatches   int64
+	MigrationAborts    int64
+	CutoverNanos       int64
+	ScrubRounds        int64
+	DigestMismatches   int64
+	CorruptionDetected int64
+	RepairsTriggered   int64
+	RepairBytes        int64
 }
 
 // Snapshot copies the current counter values.
@@ -104,27 +122,32 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		return MetricsSnapshot{}
 	}
 	return MetricsSnapshot{
-		RPCAttempts:       m.RPCAttempts.Load(),
-		RPCTimeouts:       m.RPCTimeouts.Load(),
-		RPCRetries:        m.RPCRetries.Load(),
-		BreakerOpens:      m.BreakerOpens.Load(),
-		ReadFailovers:     m.ReadFailovers.Load(),
-		StaleMarks:        m.StaleMarks.Load(),
-		CoalescedSeeds:    m.CoalescedSeeds.Load(),
-		CoalescedBytes:    m.CoalescedBytes.Load(),
-		CatchUps:          m.CatchUps.Load(),
-		CatchUpBytes:      m.CatchUpBytes.Load(),
-		CatchUpBatches:    m.CatchUpBatches.Load(),
-		SnapshotsServed:   m.SnapshotsServed.Load(),
-		TailBatchesServed: m.TailBatchesServed.Load(),
-		Reroutes:          m.Reroutes.Load(),
-		RoutingRefreshes:  m.RoutingRefreshes.Load(),
-		NotOwnerRejects:   m.NotOwnerRejects.Load(),
-		ShardsMigrated:    m.ShardsMigrated.Load(),
-		MigrationBytes:    m.MigrationBytes.Load(),
-		MigrationBatches:  m.MigrationBatches.Load(),
-		MigrationAborts:   m.MigrationAborts.Load(),
-		CutoverNanos:      m.CutoverNanos.Load(),
+		RPCAttempts:        m.RPCAttempts.Load(),
+		RPCTimeouts:        m.RPCTimeouts.Load(),
+		RPCRetries:         m.RPCRetries.Load(),
+		BreakerOpens:       m.BreakerOpens.Load(),
+		ReadFailovers:      m.ReadFailovers.Load(),
+		StaleMarks:         m.StaleMarks.Load(),
+		CoalescedSeeds:     m.CoalescedSeeds.Load(),
+		CoalescedBytes:     m.CoalescedBytes.Load(),
+		CatchUps:           m.CatchUps.Load(),
+		CatchUpBytes:       m.CatchUpBytes.Load(),
+		CatchUpBatches:     m.CatchUpBatches.Load(),
+		SnapshotsServed:    m.SnapshotsServed.Load(),
+		TailBatchesServed:  m.TailBatchesServed.Load(),
+		Reroutes:           m.Reroutes.Load(),
+		RoutingRefreshes:   m.RoutingRefreshes.Load(),
+		NotOwnerRejects:    m.NotOwnerRejects.Load(),
+		ShardsMigrated:     m.ShardsMigrated.Load(),
+		MigrationBytes:     m.MigrationBytes.Load(),
+		MigrationBatches:   m.MigrationBatches.Load(),
+		MigrationAborts:    m.MigrationAborts.Load(),
+		CutoverNanos:       m.CutoverNanos.Load(),
+		ScrubRounds:        m.ScrubRounds.Load(),
+		DigestMismatches:   m.DigestMismatches.Load(),
+		CorruptionDetected: m.CorruptionDetected.Load(),
+		RepairsTriggered:   m.RepairsTriggered.Load(),
+		RepairBytes:        m.RepairBytes.Load(),
 	}
 }
 
@@ -132,13 +155,16 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 func (s MetricsSnapshot) String() string {
 	return fmt.Sprintf(
 		"attempts=%d timeouts=%d retries=%d breaker_opens=%d failovers=%d stale_marks=%d coalesced_seeds=%d coalesced_bytes=%d catchups=%d catchup_bytes=%d catchup_batches=%d "+
-			"reroutes=%d routing_refreshes=%d not_owner_rejects=%d shards_migrated=%d migration_bytes=%d migration_batches=%d migration_aborts=%d cutover_ms=%d",
+			"reroutes=%d routing_refreshes=%d not_owner_rejects=%d shards_migrated=%d migration_bytes=%d migration_batches=%d migration_aborts=%d cutover_ms=%d "+
+			"scrub_rounds=%d digest_mismatches=%d corruption_detected=%d repairs_triggered=%d repair_bytes=%d",
 		s.RPCAttempts, s.RPCTimeouts, s.RPCRetries, s.BreakerOpens,
 		s.ReadFailovers, s.StaleMarks, s.CoalescedSeeds, s.CoalescedBytes,
 		s.CatchUps, s.CatchUpBytes, s.CatchUpBatches,
 		s.Reroutes, s.RoutingRefreshes, s.NotOwnerRejects, s.ShardsMigrated,
 		s.MigrationBytes, s.MigrationBatches, s.MigrationAborts,
-		s.CutoverNanos/int64(time.Millisecond))
+		s.CutoverNanos/int64(time.Millisecond),
+		s.ScrubRounds, s.DigestMismatches, s.CorruptionDetected,
+		s.RepairsTriggered, s.RepairBytes)
 }
 
 // Expvar returns an expvar.Var rendering the counters as a JSON object, for
@@ -181,6 +207,11 @@ func (m *Metrics) Register(r *obs.Registry) {
 		{"platod2gl_cluster_migration_batches_total", "WAL-tail batches replayed by shard migrations.", &m.MigrationBatches},
 		{"platod2gl_cluster_migration_aborts_total", "Shard migrations aborted or failed before cutover.", &m.MigrationAborts},
 		{"platod2gl_cluster_cutover_nanoseconds_total", "Cumulative shard-cutover (park to routing flip) time.", &m.CutoverNanos},
+		{"platod2gl_cluster_scrub_rounds_total", "Completed anti-entropy scrub rounds.", &m.ScrubRounds},
+		{"platod2gl_cluster_digest_mismatches_total", "Replica digest comparisons that disagreed.", &m.DigestMismatches},
+		{"platod2gl_cluster_corruption_detected_total", "Payload-checksum and on-disk CRC failures detected.", &m.CorruptionDetected},
+		{"platod2gl_cluster_repairs_triggered_total", "Replica repairs launched by the scrubber.", &m.RepairsTriggered},
+		{"platod2gl_cluster_repair_bytes_total", "Snapshot and attribute bytes pulled by repairs.", &m.RepairBytes},
 	} {
 		r.RegisterCounter(c.name, c.help, nil, c.c)
 	}
@@ -195,6 +226,8 @@ func (m *Metrics) Register(r *obs.Registry) {
 		"Server-side RPC handler latency.", "method", 1e-9, &m.ServerLatency)
 	r.RegisterHistogramVec("platod2gl_cluster_rpc_payload_bytes",
 		"Approximate request+reply payload size per served RPC.", "method", 1, &m.PayloadBytes)
+	r.RegisterHistogram("platod2gl_cluster_scrub_latency_seconds",
+		"Whole scrub-round duration, excluding triggered repairs.", nil, 1e-9, &m.ScrubLatency)
 }
 
 // Nil-tolerant increment helpers keep call sites unconditional about
@@ -317,6 +350,43 @@ func (m *Metrics) incMigrationAbort() {
 func (m *Metrics) addCutover(d time.Duration) {
 	if m != nil {
 		m.CutoverNanos.Add(int64(d))
+	}
+}
+
+func (m *Metrics) incScrubRound() {
+	if m != nil {
+		m.ScrubRounds.Add(1)
+	}
+}
+
+func (m *Metrics) incDigestMismatch() {
+	if m != nil {
+		m.DigestMismatches.Add(1)
+	}
+}
+
+func (m *Metrics) incCorruptionDetected() {
+	if m != nil {
+		m.CorruptionDetected.Add(1)
+	}
+}
+
+func (m *Metrics) incRepairTriggered() {
+	if m != nil {
+		m.RepairsTriggered.Add(1)
+	}
+}
+
+func (m *Metrics) addRepairBytes(n int64) {
+	if m != nil {
+		m.RepairBytes.Add(n)
+	}
+}
+
+// observeScrub records one completed scrub round's duration.
+func (m *Metrics) observeScrub(start time.Time) {
+	if m != nil {
+		m.ScrubLatency.ObserveSince(start)
 	}
 }
 

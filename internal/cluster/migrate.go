@@ -141,11 +141,13 @@ type ShardSnapshotArgs struct {
 // ShardSnapshotReply carries one shard's topology as AddEdge events, the
 // WAL position the export is consistent with (tail streaming starts past
 // it), the hash space it was filtered under, and the source's dedup table.
+// Sum checksums Events end-to-end (0 = legacy sender).
 type ShardSnapshotReply struct {
 	Events    []graph.Event
 	WALSeq    uint64
 	NumShards int
 	Dedup     []DedupEntry
+	Sum       uint64
 }
 
 // FetchShardSnapshot exports one logical shard's topology under a write
@@ -195,6 +197,7 @@ func (s *Service) FetchShardSnapshot(args *ShardSnapshotArgs, reply *ShardSnapsh
 		}
 	}
 	reply.Dedup = s.dedup.export()
+	reply.Sum = checksumEvents(reply.Events)
 	return nil
 }
 
@@ -464,6 +467,9 @@ func (s *Service) PullShard(args *PullShardArgs, reply *PullShardReply) (err err
 		if err := call("FetchShardSnapshot", &ShardSnapshotArgs{Shard: args.Shard}, &snap); err != nil {
 			return fmt.Errorf("cluster: fetch shard %d snapshot from %s: %w", args.Shard, args.Source, err)
 		}
+		if err := verifySum(s.metrics, "FetchShardSnapshot events", checksumEvents(snap.Events), snap.Sum); err != nil {
+			return err
+		}
 		if snap.NumShards != v {
 			return fmt.Errorf("cluster: source %s exports %d logical shards, this server routes %d", args.Source, snap.NumShards, v)
 		}
@@ -489,6 +495,9 @@ func (s *Service) PullShard(args *PullShardArgs, reply *PullShardReply) (err err
 		var tail WALTailReply
 		if err := call("FetchWALTail", &WALTailArgs{AfterSeq: after, MaxBatches: limit}, &tail); err != nil {
 			return fmt.Errorf("cluster: fetch shard %d wal tail after %d: %w", args.Shard, after, err)
+		}
+		if err := verifySum(s.metrics, "FetchWALTail records", checksumRecords(tail.Records), tail.Sum); err != nil {
+			return err
 		}
 		if tail.WriterSeq < after {
 			return fmt.Errorf("%w: writer at %d, stream at %d", ErrSyncWALReset, tail.WriterSeq, after)
@@ -536,33 +545,41 @@ func (s *Service) PullShard(args *PullShardArgs, reply *PullShardReply) (err err
 		if err := call("FetchShardFeatures", &ShardFeaturesArgs{Shard: args.Shard}, &feats); err != nil {
 			return fmt.Errorf("cluster: fetch shard %d features from %s: %w", args.Shard, args.Source, err)
 		}
-		if s.attrs != nil {
-			off := 0
-			for i, id := range feats.Nodes {
-				n := int(feats.RowLens[i])
-				if n > 0 {
-					row := make([]float32, n)
-					copy(row, feats.Data[off:off+n])
-					s.attrs.SetFeatures(id, row)
-					off += n
-				}
-				if feats.HasLabel[i] {
-					s.attrs.SetLabel(id, feats.Labels[i])
-				}
-			}
-			off = 0
-			for i, k := range feats.EdgeKeys {
-				n := int(feats.EdgeLens[i])
-				row := make([]float32, n)
-				copy(row, feats.EdgeData[off:off+n])
-				s.attrs.SetEdgeFeatures(k, row)
-				off += n
-			}
-		}
+		s.importAttrs(&feats)
 		reply.Bytes += feats.approxBytes()
 	}
 	reply.EndSeq = after
 	return nil
+}
+
+// importAttrs merges an attribute export into this server's attribute
+// store — the shared import path for shard migration and whole-store
+// repair. Rows are copied (the decoded reply's backing arrays are shared).
+func (s *Service) importAttrs(feats *ShardFeaturesReply) {
+	if s.attrs == nil {
+		return
+	}
+	off := 0
+	for i, id := range feats.Nodes {
+		n := int(feats.RowLens[i])
+		if n > 0 {
+			row := make([]float32, n)
+			copy(row, feats.Data[off:off+n])
+			s.attrs.SetFeatures(id, row)
+			off += n
+		}
+		if feats.HasLabel[i] {
+			s.attrs.SetLabel(id, feats.Labels[i])
+		}
+	}
+	off = 0
+	for i, k := range feats.EdgeKeys {
+		n := int(feats.EdgeLens[i])
+		row := make([]float32, n)
+		copy(row, feats.EdgeData[off:off+n])
+		s.attrs.SetEdgeFeatures(k, row)
+		off += n
+	}
 }
 
 // ---------------------------------------------------------------------------

@@ -52,9 +52,12 @@ type Options struct {
 	// SetFeatures) and for ApplyBatch, whose at-most-once batch sequence
 	// numbers make retries safe. 0 disables retries.
 	MaxRetries int
-	// RetryBaseDelay is the backoff before the first retry; each further
-	// retry doubles it up to RetryMaxDelay, with uniform jitter in
-	// [delay/2, delay) to avoid synchronized retry storms across a fan-out.
+	// RetryBaseDelay scales the backoff before the first retry; the
+	// exponential ceiling doubles per retry up to RetryMaxDelay, and each
+	// delay is drawn uniformly from [0, ceiling) — "full jitter", which
+	// decorrelates the retry times of the many clients that all failed at
+	// the same instant (a partition heal, a server restart) instead of
+	// having them re-arrive in synchronized waves.
 	RetryBaseDelay time.Duration
 	RetryMaxDelay  time.Duration
 	// BreakerThreshold consecutive transport failures open a peer's circuit
@@ -225,12 +228,16 @@ func Transient(err error) bool {
 // retryable reports whether err is a transport-level failure worth retrying
 // on a fresh connection. Application errors returned by the service
 // (rpc.ServerError) are deterministic — retrying them wastes a round trip —
-// except in-progress duplicate failures, which servers never return as
-// ServerError anyway.
-func retryable(err error) bool { return Transient(err) }
+// with one exception: a payload checksum rejection means the bytes were
+// damaged in flight, and a retry re-sends them intact.
+func retryable(err error) bool { return Transient(err) || isChecksumMismatch(err) }
 
-// backoff returns the delay before retry attempt (1-based), exponential
-// from base capped at max, with uniform jitter in [delay/2, delay).
+// backoff returns the delay before retry attempt (1-based): full jitter,
+// i.e. uniform in [0, ceiling) where the ceiling grows exponentially from
+// base and caps at max. Full jitter (vs the previous fixed-multiplier
+// jitter in [d/2, d)) spreads the retries of clients that failed together —
+// after a partition heals, every client's first retry lands at a different
+// instant instead of hammering the recovering server in lockstep.
 func (c *Client) backoff(attempt int) time.Duration {
 	base := c.opts.RetryBaseDelay
 	if base <= 0 {
@@ -241,7 +248,7 @@ func (c *Client) backoff(attempt int) time.Duration {
 		d = maxD
 	}
 	c.jitterMu.Lock()
-	f := 0.5 + 0.5*c.jitter.Float64()
+	f := c.jitter.Float64()
 	c.jitterMu.Unlock()
 	return time.Duration(float64(d) * f)
 }

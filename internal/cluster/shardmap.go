@@ -458,6 +458,24 @@ func (s *Service) releaseShard(shard int) {
 	s.parkMu.Unlock()
 }
 
+// ReleaseAllShards opens every parked write gate. Servers call it on
+// shutdown and restart: a park belongs to a migration driver's in-flight
+// cutover, and neither the gate channels nor the TTL timers survive the
+// process, so a restarted server that rebuilt `parked` entries from nothing
+// must not leave old parks wedging writes until clients give up — the
+// restart already aborted whatever migration the park served.
+func (s *Service) ReleaseAllShards() {
+	s.parkMu.Lock()
+	for shard, gate := range s.parked {
+		close(gate.ch)
+		if gate.timer != nil {
+			gate.timer.Stop()
+		}
+		delete(s.parked, shard)
+	}
+	s.parkMu.Unlock()
+}
+
 // ---------------------------------------------------------------------------
 // Routing RPCs.
 

@@ -19,10 +19,12 @@
 // parks and applies instead of vanishing into the gap between "last tail
 // fetch" and "accepting writes again".
 //
-// Feature attributes are not transferred: the repo's durability layer
-// (snapshot + WAL) covers topology only, so feature state on a restarted
-// replica — exactly as on a restarted single node — repairs only via the
-// next absolute SetFeatures push. See docs/OPERATIONS.md.
+// Feature attributes are transferred only when SyncOptions.Attrs is set
+// (the FetchAttrs RPC, used by repair paths so replicas converge features
+// included): the repo's durability layer (snapshot + WAL) covers topology
+// only, so by default feature state on a restarted replica — exactly as on
+// a restarted single node — repairs via the next absolute SetFeatures push.
+// See docs/OPERATIONS.md.
 package cluster
 
 import (
@@ -156,6 +158,10 @@ type SnapshotReply struct {
 	Snapshot []byte
 	WALSeq   uint64
 	Dedup    []DedupEntry
+	// Sum checksums Snapshot end-to-end (the image also carries its own
+	// internal CRC trailer; this one catches corruption of the byte slice in
+	// flight before the loader even parses it). 0 = legacy sender.
+	Sum uint64
 }
 
 // FetchSnapshot serves a catch-up snapshot: writes drain (Pause), the WAL
@@ -184,6 +190,7 @@ func (s *Service) FetchSnapshot(_ *SnapshotArgs, reply *SnapshotReply) (err erro
 		return fmt.Errorf("cluster: snapshot: %w", err)
 	}
 	reply.Snapshot = buf.Bytes()
+	reply.Sum = checksumBytes(reply.Snapshot)
 	reply.Dedup = s.dedup.export()
 	s.metrics.incSnapshotServed()
 	return nil
@@ -204,6 +211,8 @@ type WALTailReply struct {
 	Records   []eventlog.BatchRecord
 	EndSeq    uint64
 	WriterSeq uint64
+	// Sum checksums Records (checksumRecords). 0 = legacy sender.
+	Sum uint64
 }
 
 // FetchWALTail streams a chunk of this server's WAL past AfterSeq. Safe
@@ -221,6 +230,7 @@ func (s *Service) FetchWALTail(args *WALTailArgs, reply *WALTailReply) (err erro
 		return fmt.Errorf("cluster: wal tail: %w", err)
 	}
 	reply.Records = recs
+	reply.Sum = checksumRecords(recs)
 	reply.EndSeq = args.AfterSeq
 	if n := len(recs); n > 0 {
 		reply.EndSeq = recs[n-1].Seq
@@ -245,8 +255,22 @@ type SyncOptions struct {
 	CallTimeout time.Duration
 	// MaxBatches is the WAL-tail chunk size per fetch. <= 0: 256.
 	MaxBatches int
+	// Attrs additionally transfers the peer's whole attribute store
+	// (features, labels, edge features) after the final drain. The topology
+	// WAL does not cover attributes, so without this a rebuilt replica only
+	// repairs its features via the next absolute SetFeatures push; repair
+	// paths set Attrs so the replica converges byte-identically, features
+	// included.
+	Attrs bool
 	// Metrics receives catch-up counters. May be nil.
 	Metrics *Metrics
+}
+
+// SyncStats reports what a catch-up moved — repair metrics feed on it.
+type SyncStats struct {
+	SnapshotBytes int64
+	Batches       int64
+	AttrBytes     int64
 }
 
 const (
@@ -283,10 +307,17 @@ const (
 // same or another peer (the store must be discarded and rebuilt empty if a
 // snapshot had already been loaded).
 func SyncFromPeer(svc *Service, dial Dialer, opts SyncOptions) error {
+	_, err := SyncFromPeerStats(svc, dial, opts)
+	return err
+}
+
+// SyncFromPeerStats is SyncFromPeer reporting what it moved.
+func SyncFromPeerStats(svc *Service, dial Dialer, opts SyncOptions) (SyncStats, error) {
+	var stats SyncStats
 	svc.BeginCatchUp()
 	conn, err := dial()
 	if err != nil {
-		return fmt.Errorf("cluster: sync dial: %w", err)
+		return stats, fmt.Errorf("cluster: sync dial: %w", err)
 	}
 	rc := rpc.NewClient(conn)
 	defer rc.Close()
@@ -296,44 +327,50 @@ func SyncFromPeer(svc *Service, dial Dialer, opts SyncOptions) error {
 
 	var snap SnapshotReply
 	if err := call("FetchSnapshot", &SnapshotArgs{}, &snap); err != nil {
-		return fmt.Errorf("cluster: fetch snapshot: %w", err)
+		return stats, fmt.Errorf("cluster: fetch snapshot: %w", err)
+	}
+	if err := verifySum(opts.Metrics, "FetchSnapshot image", checksumBytes(snap.Snapshot), snap.Sum); err != nil {
+		return stats, err
 	}
 	loader, ok := svc.store.(interface{ Load(io.Reader) error })
 	if !ok {
-		return fmt.Errorf("cluster: store %T cannot load snapshots", svc.store)
+		return stats, fmt.Errorf("cluster: store %T cannot load snapshots", svc.store)
 	}
 	resume := svc.Pause()
 	svc.dedup.importEntries(snap.Dedup)
 	err = loader.Load(bytes.NewReader(snap.Snapshot))
 	resume()
 	if err != nil {
-		return fmt.Errorf("cluster: load snapshot: %w", err)
+		return stats, fmt.Errorf("cluster: load snapshot: %w", err)
 	}
+	stats.SnapshotBytes = int64(len(snap.Snapshot))
 
 	limit := opts.MaxBatches
 	if limit <= 0 {
 		limit = defaultSyncBatches
 	}
 	after := snap.WALSeq
-	var batches int64
 	polls := 0
 	confirms := 0
 	blocking := false
 	for {
 		var tail WALTailReply
 		if err := call("FetchWALTail", &WALTailArgs{AfterSeq: after, MaxBatches: limit}, &tail); err != nil {
-			return fmt.Errorf("cluster: fetch wal tail after %d: %w", after, err)
+			return stats, fmt.Errorf("cluster: fetch wal tail after %d: %w", after, err)
+		}
+		if err := verifySum(opts.Metrics, "FetchWALTail records", checksumRecords(tail.Records), tail.Sum); err != nil {
+			return stats, err
 		}
 		if tail.WriterSeq < after {
-			return fmt.Errorf("%w: writer at %d, stream at %d", ErrSyncWALReset, tail.WriterSeq, after)
+			return stats, fmt.Errorf("%w: writer at %d, stream at %d", ErrSyncWALReset, tail.WriterSeq, after)
 		}
 		for i := range tail.Records {
 			rec := &tail.Records[i]
 			var reply BatchReply
 			if err := svc.applyBatch(&BatchArgs{Events: rec.Events, ClientID: rec.ClientID, Seq: rec.ClientSeq}, &reply); err != nil {
-				return fmt.Errorf("cluster: apply wal record %d: %w", rec.Seq, err)
+				return stats, fmt.Errorf("cluster: apply wal record %d: %w", rec.Seq, err)
 			}
-			batches++
+			stats.Batches++
 		}
 		if len(tail.Records) > 0 {
 			after = tail.EndSeq
@@ -344,7 +381,7 @@ func SyncFromPeer(svc *Service, dial Dialer, opts SyncOptions) error {
 			// Writer ahead but no complete frame readable: append in flight.
 			polls++
 			if polls > syncTailMaxPolls {
-				return fmt.Errorf("cluster: wal tail stalled at %d (writer at %d)", after, tail.WriterSeq)
+				return stats, fmt.Errorf("cluster: wal tail stalled at %d (writer at %d)", after, tail.WriterSeq)
 			}
 			time.Sleep(syncTailPollDelay)
 			continue
@@ -365,9 +402,23 @@ func SyncFromPeer(svc *Service, dial Dialer, opts SyncOptions) error {
 		}
 		time.Sleep(syncDrainPollDelay)
 	}
+	if opts.Attrs {
+		// Pull the peer's full attribute state after the drain, while direct
+		// writes are still parked on the gate: the peer's store is quiescent
+		// modulo in-flight absolute writes, which converge on both sides.
+		var attrs AttrsReply
+		if err := call("FetchAttrs", &AttrsArgs{}, &attrs); err != nil {
+			return stats, fmt.Errorf("cluster: fetch attrs: %w", err)
+		}
+		if err := verifySum(opts.Metrics, "FetchAttrs payload", checksumFeatures(&attrs.Attrs), attrs.Sum); err != nil {
+			return stats, err
+		}
+		svc.importAttrs(&attrs.Attrs)
+		stats.AttrBytes = attrs.Attrs.approxBytes()
+	}
 	svc.MarkSynced()
 	opts.Metrics.incCatchUp()
-	opts.Metrics.addCatchUpBytes(int64(len(snap.Snapshot)))
-	opts.Metrics.addCatchUpBatches(batches)
-	return nil
+	opts.Metrics.addCatchUpBytes(stats.SnapshotBytes)
+	opts.Metrics.addCatchUpBatches(stats.Batches)
+	return stats, nil
 }

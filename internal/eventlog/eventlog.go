@@ -9,6 +9,15 @@
 // record. Framing (rather than one long gob stream) keeps the file
 // appendable across process restarts and makes torn tails (a crash mid
 // append) detectable: replay stops at the first incomplete frame.
+//
+// Version 2 files additionally carry a CRC-32C checksum per frame (4 bytes
+// between the length prefix and the payload), so silent on-disk corruption —
+// a bit flip inside an otherwise complete frame — is detected rather than
+// fed to gob and (worse) possibly decoded into wrong events. New files are
+// written as v2; v1 files remain readable and are appended in v1 format so a
+// version upgrade never mixes frame layouts within one file. Verify reports
+// a file's integrity, distinguishing an expected torn tail from mid-file
+// corruption.
 package eventlog
 
 import (
@@ -18,6 +27,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"sync"
@@ -25,8 +35,15 @@ import (
 	"platod2gl/internal/graph"
 )
 
-// header is the first line of every log file.
-const header = "platod2gl-eventlog v1\n"
+// Header lines. Both are the same length, so frame offsets are comparable
+// across versions.
+const (
+	headerV1 = "platod2gl-eventlog v1\n"
+	headerV2 = "platod2gl-eventlog v2\n"
+)
+
+// crcTable is the Castagnoli polynomial — hardware-accelerated on amd64/arm64.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // maxFrame bounds a single record's encoded size (a corrupt length prefix
 // must not trigger a huge allocation).
@@ -54,28 +71,34 @@ type BatchRecord struct {
 
 // Writer appends event batches to a log file.
 type Writer struct {
-	mu   sync.Mutex
-	f    *os.File
-	seq  uint64
-	open bool
+	mu      sync.Mutex
+	f       *os.File
+	path    string // canonical log path; f.Name() goes stale after Reset's rename
+	seq     uint64
+	open    bool
+	version int // frame format of the underlying file (1 or 2)
 }
 
 // Create opens (or creates) the log at path for appending. A new file gets
-// a header; an existing file is validated, its tail sequence recovered, and
-// any torn final frame truncated away.
+// the current (v2, CRC-framed) header; an existing file is validated, its
+// tail sequence recovered, its frame version remembered so appends match,
+// and any torn final frame truncated away.
 func Create(path string) (*Writer, error) {
 	fi, err := os.Stat(path)
 	fresh := errors.Is(err, os.ErrNotExist) || (err == nil && fi.Size() == 0)
 	if err != nil && !errors.Is(err, os.ErrNotExist) {
 		return nil, fmt.Errorf("eventlog: stat %s: %w", path, err)
 	}
+	version := 2
 	var lastSeq uint64
 	var goodSize int64
 	if !fresh {
-		lastSeq, goodSize, err = scan(path, nil)
+		var res scanResult
+		res, err = scanFull(path, nil)
 		if err != nil {
 			return nil, err
 		}
+		version, lastSeq, goodSize = res.version, res.lastSeq, res.goodSize
 		if fi.Size() > goodSize {
 			// Torn tail from a crash mid-append: drop it before appending.
 			if err := os.Truncate(path, goodSize); err != nil {
@@ -87,9 +110,9 @@ func Create(path string) (*Writer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("eventlog: open %s: %w", path, err)
 	}
-	w := &Writer{f: f, seq: lastSeq, open: true}
+	w := &Writer{f: f, path: path, seq: lastSeq, open: true, version: version}
 	if fresh {
-		if _, err := f.WriteString(header); err != nil {
+		if _, err := f.WriteString(headerV2); err != nil {
 			f.Close()
 			return nil, fmt.Errorf("eventlog: write header: %w", err)
 		}
@@ -97,47 +120,110 @@ func Create(path string) (*Writer, error) {
 	return w, nil
 }
 
+// stopCause classifies why a scan stopped before the file's end.
+type stopCause int
+
+const (
+	stopEOF      stopCause = iota // clean end of file
+	stopTorn                      // incomplete final frame (crash mid-append)
+	stopCorrupt                   // complete frame failed CRC or decode
+	stopCallback                  // the per-record callback returned an error
+)
+
+// scanResult summarizes one pass over a log file.
+type scanResult struct {
+	version  int
+	frames   int
+	lastSeq  uint64
+	goodSize int64 // end offset of the last valid frame
+	cause    stopCause
+}
+
 // scan validates the log, invoking fn (if non-nil) per complete record, and
 // returns the last sequence number plus the byte offset of the end of the
-// last complete frame.
+// last complete frame. Replay stops silently at the first torn or corrupt
+// frame — Verify exposes the distinction to callers that need it.
 func scan(path string, fn func(rec BatchRecord) error) (uint64, int64, error) {
+	res, err := scanFull(path, fn)
+	return res.lastSeq, res.goodSize, err
+}
+
+// scanFull is scan with the stop cause and frame version exposed.
+func scanFull(path string, fn func(rec BatchRecord) error) (scanResult, error) {
+	var res scanResult
 	f, err := os.Open(path)
 	if err != nil {
-		return 0, 0, fmt.Errorf("eventlog: open %s: %w", path, err)
+		return res, fmt.Errorf("eventlog: open %s: %w", path, err)
 	}
 	defer f.Close()
 	br := bufio.NewReader(f)
-	head := make([]byte, len(header))
-	if _, err := io.ReadFull(br, head); err != nil || string(head) != header {
-		return 0, 0, fmt.Errorf("eventlog: %s is not an event log", path)
+	head := make([]byte, len(headerV1))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return res, fmt.Errorf("eventlog: %s is not an event log", path)
 	}
-	offset := int64(len(header))
-	var lastSeq uint64
+	switch string(head) {
+	case headerV1:
+		res.version = 1
+	case headerV2:
+		res.version = 2
+	default:
+		return res, fmt.Errorf("eventlog: %s is not an event log", path)
+	}
+	res.goodSize = int64(len(headerV1))
+	frameOverhead := int64(4)
+	if res.version >= 2 {
+		frameOverhead = 8 // length + CRC
+	}
 	var lenBuf [4]byte
 	for {
 		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
-			return lastSeq, offset, nil // clean EOF or torn length prefix
+			if errors.Is(err, io.EOF) {
+				res.cause = stopEOF
+			} else {
+				res.cause = stopTorn // partial length prefix
+			}
+			return res, nil
 		}
 		n := binary.BigEndian.Uint32(lenBuf[:])
 		if n == 0 || n > maxFrame {
-			return lastSeq, offset, nil // corrupt frame: stop here
+			// A fully written length prefix with an impossible value is
+			// corruption, not a torn append.
+			res.cause = stopCorrupt
+			return res, nil
+		}
+		var wantCRC uint32
+		if res.version >= 2 {
+			var crcBuf [4]byte
+			if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
+				res.cause = stopTorn
+				return res, nil
+			}
+			wantCRC = binary.BigEndian.Uint32(crcBuf[:])
 		}
 		payload := make([]byte, n)
 		if _, err := io.ReadFull(br, payload); err != nil {
-			return lastSeq, offset, nil // torn payload
+			res.cause = stopTorn
+			return res, nil
+		}
+		if res.version >= 2 && crc32.Checksum(payload, crcTable) != wantCRC {
+			res.cause = stopCorrupt
+			return res, nil
 		}
 		var rec logRecord
 		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
-			return lastSeq, offset, nil // corrupt payload: stop here
+			res.cause = stopCorrupt
+			return res, nil
 		}
 		if fn != nil {
 			br := BatchRecord{Seq: rec.Seq, ClientID: rec.ClientID, ClientSeq: rec.ClientSeq, Events: rec.Events}
 			if err := fn(br); err != nil {
-				return lastSeq, offset, err
+				res.cause = stopCallback
+				return res, err
 			}
 		}
-		lastSeq = rec.Seq
-		offset += int64(4 + n)
+		res.frames++
+		res.lastSeq = rec.Seq
+		res.goodSize += frameOverhead + int64(n)
 	}
 }
 
@@ -165,6 +251,11 @@ func (w *Writer) AppendBatch(clientID, clientSeq uint64, events []graph.Event) (
 	var lenBuf [4]byte
 	binary.BigEndian.PutUint32(lenBuf[:], uint32(payload.Len()))
 	frame.Write(lenBuf[:])
+	if w.version >= 2 {
+		var crcBuf [4]byte
+		binary.BigEndian.PutUint32(crcBuf[:], crc32.Checksum(payload.Bytes(), crcTable))
+		frame.Write(crcBuf[:])
+	}
 	frame.Write(payload.Bytes())
 	// One Write call per frame keeps appends atomic with respect to
 	// concurrent Writers on POSIX O_APPEND semantics.
@@ -266,7 +357,7 @@ func ReadTail(path string, afterSeq uint64, limit int) ([]BatchRecord, error) {
 func (w *Writer) Path() string {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return w.f.Name()
+	return w.path
 }
 
 // Reset atomically truncates the log to an empty file (header only) and
@@ -282,13 +373,19 @@ func (w *Writer) Reset() error {
 	if !w.open {
 		return errors.New("eventlog: writer closed")
 	}
-	path := w.f.Name()
+	// The canonical path, NOT w.f.Name(): after a previous Reset, w.f is the
+	// file that was created at the tmp path and renamed into place, so its
+	// Name() still reports "<path>.reset" — resetting by that name would
+	// swap the fresh file in beside the log instead of over it, and every
+	// append after that would land in the orphan.
+	path := w.path
 	tmp := path + ".reset"
 	nf, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("eventlog: reset: %w", err)
 	}
-	if _, err := nf.WriteString(header); err != nil {
+	// A reset file is fresh, so it always upgrades to the current format.
+	if _, err := nf.WriteString(headerV2); err != nil {
 		nf.Close()
 		os.Remove(tmp)
 		return fmt.Errorf("eventlog: reset header: %w", err)
@@ -306,6 +403,61 @@ func (w *Writer) Reset() error {
 	old := w.f
 	w.f = nf
 	w.seq = 0
+	w.version = 2
 	old.Close()
 	return nil
+}
+
+// VerifyReport is the result of an offline integrity pass over a log file.
+type VerifyReport struct {
+	Version  int    // frame format (1 = no per-frame CRC, 2 = CRC-32C framed)
+	Frames   int    // complete, valid frames
+	LastSeq  uint64 // sequence number of the last valid frame
+	GoodSize int64  // byte offset of the end of the last valid frame
+	// TornTail is true when the file ends with an incomplete frame — the
+	// expected residue of a crash mid-append, repaired automatically by the
+	// next Create.
+	TornTail bool
+	// Corrupt is true when a complete frame failed its CRC (v2) or decode:
+	// on-disk corruption, not a torn append. BadOffset is where the bad
+	// frame starts.
+	Corrupt   bool
+	BadOffset int64
+}
+
+// Err returns a non-nil error iff the report found corruption. A torn tail
+// is not an error (Create truncates it away).
+func (r VerifyReport) Err() error {
+	if r.Corrupt {
+		return fmt.Errorf("eventlog: corrupt frame at offset %d (after %d valid frames, seq %d)",
+			r.BadOffset, r.Frames, r.LastSeq)
+	}
+	return nil
+}
+
+// Verify walks the log at path checking every frame (length bounds, CRC-32C
+// on v2 files, gob decodability) without applying anything, and classifies
+// any early stop: a torn final frame is expected crash residue, while a
+// complete frame that fails verification is corruption that a scrubber
+// should repair from a peer. Safe to run against a live writer's file —
+// concurrent appends read as a torn tail at worst.
+func Verify(path string) (VerifyReport, error) {
+	res, err := scanFull(path, nil)
+	if err != nil {
+		return VerifyReport{}, err
+	}
+	rep := VerifyReport{
+		Version:  res.version,
+		Frames:   res.frames,
+		LastSeq:  res.lastSeq,
+		GoodSize: res.goodSize,
+	}
+	switch res.cause {
+	case stopTorn:
+		rep.TornTail = true
+	case stopCorrupt:
+		rep.Corrupt = true
+		rep.BadOffset = res.goodSize
+	}
+	return rep, nil
 }

@@ -397,7 +397,7 @@ func TestResetTruncatesAtomically(t *testing.T) {
 	if err := w.Reset(); err != nil {
 		t.Fatal(err)
 	}
-	if fi, err := os.Stat(path); err != nil || fi.Size() != int64(len(header)) {
+	if fi, err := os.Stat(path); err != nil || fi.Size() != int64(len(headerV2)) {
 		t.Fatalf("post-reset size = %v (err %v), want bare header", fi.Size(), err)
 	}
 	if n, err := Replay(path, func(uint64, []graph.Event) error { return nil }); err != nil || n != 0 {
@@ -424,5 +424,55 @@ func TestResetTruncatesAtomically(t *testing.T) {
 	}
 	if got != 2 {
 		t.Fatalf("post-reset replay saw %d events, want 2", got)
+	}
+}
+
+// TestResetTwiceKeepsCanonicalPath is the double-reset regression: the
+// writer's fd is the file that was created at "<path>.reset" and renamed
+// into place, so a path derived from f.Name() goes stale after the first
+// Reset. A second Reset must still truncate the log at its canonical path —
+// not swap a fresh file in beside it — and appends must keep landing in the
+// real log, with no ".reset" orphan accumulating frames.
+func TestResetTwiceKeepsCanonicalPath(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cycle := 0; cycle < 3; cycle++ {
+		for i := uint64(1); i <= 2; i++ {
+			if _, err := w.Append(mkEvents(i, 4)); err != nil {
+				t.Fatalf("cycle %d: %v", cycle, err)
+			}
+		}
+		if err := w.Reset(); err != nil {
+			t.Fatalf("cycle %d reset: %v", cycle, err)
+		}
+		if got := w.Path(); got != path {
+			t.Fatalf("cycle %d: Path() = %q, want %q", cycle, got, path)
+		}
+		if fi, err := os.Stat(path); err != nil || fi.Size() != int64(len(headerV2)) {
+			t.Fatalf("cycle %d: post-reset size = %v (err %v), want bare header", cycle, fi.Size(), err)
+		}
+		if _, err := os.Stat(path + ".reset"); !os.IsNotExist(err) {
+			t.Fatalf("cycle %d: orphan %s.reset left behind (err %v)", cycle, path, err)
+		}
+	}
+	// Appends after the final reset must land in the canonical file.
+	if _, err := w.Append(mkEvents(9, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	if _, err := Replay(path, func(_ uint64, events []graph.Event) error {
+		got += len(events)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Fatalf("replay after double reset saw %d events, want 3", got)
 	}
 }

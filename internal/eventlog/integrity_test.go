@@ -1,0 +1,218 @@
+package eventlog
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"platod2gl/internal/graph"
+)
+
+// writeLog creates a log with n batches of 4 events each and closes it.
+func writeLog(t *testing.T, path string, n int) {
+	t.Helper()
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= n; i++ {
+		if _, err := w.AppendBatch(uint64(i), uint64(i), mkEvents(uint64(i), 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// frameOffsets scans a v2 file and returns the start offset of each frame.
+func frameOffsets(t *testing.T, path string) []int64 {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data[:len(headerV2)]) != headerV2 {
+		t.Fatalf("not a v2 log")
+	}
+	var offs []int64
+	off := int64(len(headerV2))
+	for off < int64(len(data)) {
+		offs = append(offs, off)
+		n := binary.BigEndian.Uint32(data[off:])
+		off += 8 + int64(n)
+	}
+	return offs
+}
+
+// TestReadTailStopsAtBitFlippedFrame flips one payload bit in the middle
+// frame of a five-frame log: ReadTail must return only the records before
+// the corrupt frame (detect + stop at last good frame), and Verify must
+// classify the file as corrupt with the bad frame's offset.
+func TestReadTailStopsAtBitFlippedFrame(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	writeLog(t, path, 5)
+	offs := frameOffsets(t, path)
+	if len(offs) != 5 {
+		t.Fatalf("got %d frames, want 5", len(offs))
+	}
+
+	// Flip one bit inside frame 3's payload (offset +8 skips len+CRC).
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[offs[2]+8+3] ^= 0x10
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := ReadTail(path, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("ReadTail returned %d records after bit flip, want 2 (stop at last good frame)", len(recs))
+	}
+	if recs[len(recs)-1].Seq != 2 {
+		t.Fatalf("last good seq = %d, want 2", recs[len(recs)-1].Seq)
+	}
+
+	rep, err := Verify(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Corrupt || rep.TornTail {
+		t.Fatalf("Verify = %+v, want Corrupt=true TornTail=false", rep)
+	}
+	if rep.BadOffset != offs[2] {
+		t.Fatalf("BadOffset = %d, want %d (start of the flipped frame)", rep.BadOffset, offs[2])
+	}
+	if rep.Frames != 2 || rep.LastSeq != 2 {
+		t.Fatalf("Verify frames=%d lastSeq=%d, want 2/2", rep.Frames, rep.LastSeq)
+	}
+	if rep.Err() == nil {
+		t.Fatal("Err() = nil for a corrupt file")
+	}
+}
+
+// TestVerifyTornTailIsNotCorruption truncates the file mid-frame: Verify
+// reports a torn tail (expected crash residue), not corruption, and Err()
+// stays nil. A clean file reports neither.
+func TestVerifyTornTailIsNotCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	writeLog(t, path, 3)
+
+	rep, err := Verify(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Corrupt || rep.TornTail || rep.Frames != 3 || rep.Err() != nil {
+		t.Fatalf("clean file: Verify = %+v", rep)
+	}
+
+	offs := frameOffsets(t, path)
+	// Cut inside the last frame's payload.
+	if err := os.Truncate(path, offs[2]+10); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = Verify(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.TornTail || rep.Corrupt {
+		t.Fatalf("torn file: Verify = %+v, want TornTail=true Corrupt=false", rep)
+	}
+	if rep.Frames != 2 || rep.GoodSize != offs[2] {
+		t.Fatalf("torn file: frames=%d goodSize=%d, want 2/%d", rep.Frames, rep.GoodSize, offs[2])
+	}
+	if rep.Err() != nil {
+		t.Fatalf("torn tail must not be an error: %v", rep.Err())
+	}
+
+	// Create repairs the torn tail and appends cleanly after it.
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(mkEvents(9, 2)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	rep, err = Verify(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Corrupt || rep.TornTail || rep.Frames != 3 {
+		t.Fatalf("post-repair: Verify = %+v", rep)
+	}
+}
+
+// writeV1Log hand-writes a version-1 (no CRC) log file.
+func writeV1Log(t *testing.T, path string, n int) {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.WriteString(headerV1)
+	for i := 1; i <= n; i++ {
+		var payload bytes.Buffer
+		rec := logRecord{Seq: uint64(i), Events: mkEvents(uint64(i), 4)}
+		if err := gob.NewEncoder(&payload).Encode(rec); err != nil {
+			t.Fatal(err)
+		}
+		var lenBuf [4]byte
+		binary.BigEndian.PutUint32(lenBuf[:], uint32(payload.Len()))
+		buf.Write(lenBuf[:])
+		buf.Write(payload.Bytes())
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestV1Compatibility: a v1 file replays, appends stay in v1 format (no
+// mixed frame layouts within one file), and Reset upgrades it to v2.
+func TestV1Compatibility(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	writeV1Log(t, path, 3)
+
+	rep, err := Verify(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Version != 1 || rep.Frames != 3 || rep.Corrupt {
+		t.Fatalf("v1 Verify = %+v", rep)
+	}
+
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Seq() != 3 {
+		t.Fatalf("recovered seq = %d, want 3", w.Seq())
+	}
+	if _, err := w.Append(mkEvents(4, 4)); err != nil {
+		t.Fatal(err)
+	}
+	n, err := Replay(path, func(uint64, []graph.Event) error { return nil })
+	if err != nil || n != 4 {
+		t.Fatalf("v1 replay after append: %d batches, err %v", n, err)
+	}
+	if rep, _ := Verify(path); rep.Version != 1 || rep.Frames != 4 {
+		t.Fatalf("appended v1 file: Verify = %+v", rep)
+	}
+
+	// Reset rewrites the file fresh, which upgrades the format.
+	if err := w.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(mkEvents(5, 2)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if rep, _ := Verify(path); rep.Version != 2 || rep.Frames != 1 || rep.Corrupt {
+		t.Fatalf("post-reset: Verify = %+v", rep)
+	}
+}

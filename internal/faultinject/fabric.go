@@ -1,0 +1,151 @@
+// Fabric: deterministic fault injection for a whole cluster's link
+// topology. A single Injector disturbs every connection it wraps
+// identically; partition chaos needs finer grain — "replica 2 cannot reach
+// anyone, but everyone else is fine", or the nastier asymmetric case where
+// A hears B but B never hears A. The Fabric keys one Injector per directed
+// (from, to) link, each with its own RNG seeded deterministically from
+// (fabric seed, from, to), so the fault sequence on one link is a pure
+// function of that link's own operation order — traffic on other links
+// cannot perturb it, and a fixed seed reproduces a scenario exactly.
+package faultinject
+
+import (
+	"net"
+	"sync"
+)
+
+// linkKey identifies a directed link: the node that dialed and the node it
+// dialed. Node numbering is the caller's (test harness indices; -1 is a
+// conventional choice for "the external client").
+type linkKey struct{ from, to int }
+
+// Fabric hands out per-link Injectors with derived seeds and scripts
+// partitions across them.
+type Fabric struct {
+	seed int64
+	base Config
+
+	mu       sync.Mutex
+	links    map[linkKey]*Injector
+	isolated map[int]bool // nodes currently cut off from everyone
+}
+
+// NewFabric returns a fabric whose links start with the base config. Links
+// are created lazily on first use, seeded from (seed, from, to).
+func NewFabric(seed int64, base Config) *Fabric {
+	return &Fabric{
+		seed:     seed,
+		base:     base,
+		links:    make(map[linkKey]*Injector),
+		isolated: make(map[int]bool),
+	}
+}
+
+// linkSeed derives a per-link seed: splitmix64 over the fabric seed and
+// both endpoints, so (from, to) and (to, from) get independent streams.
+func linkSeed(seed int64, from, to int) int64 {
+	x := uint64(seed)
+	for _, v := range [...]uint64{uint64(int64(from)), uint64(int64(to))} {
+		x ^= v + 0x9e3779b97f4a7c15
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+	}
+	return int64(x)
+}
+
+// Link returns the Injector for the directed link from → to, creating it
+// (with any standing node isolation applied) on first use.
+func (f *Fabric) Link(from, to int) *Injector {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.linkLocked(from, to)
+}
+
+func (f *Fabric) linkLocked(from, to int) *Injector {
+	k := linkKey{from, to}
+	if in, ok := f.links[k]; ok {
+		return in
+	}
+	cfg := f.base
+	if f.isolated[from] || f.isolated[to] {
+		cfg.PartitionIn = true
+		cfg.PartitionOut = true
+	}
+	in := New(linkSeed(f.seed, from, to), cfg)
+	f.links[k] = in
+	return in
+}
+
+// Wrap fault-injects one connection on the from → to link — the hook to
+// hand to a dialer or a harness's WrapConn.
+func (f *Fabric) Wrap(from, to int, c net.Conn) net.Conn {
+	return f.Link(from, to).WrapConn(c)
+}
+
+// SetLink replaces the from → to link's whole config (latency, drops,
+// resets, partitions), waking any partition-blocked operations on it.
+func (f *Fabric) SetLink(from, to int, cfg Config) {
+	f.Link(from, to).SetConfig(cfg)
+}
+
+// Partition blackholes the from → to link's directions independently:
+// outbound blocks data flowing to `to` (the dialer's writes), inbound
+// blocks the responses. Partition(a, b, false, true) is the classic
+// asymmetric fault — a's requests vanish while b's answers (to whatever
+// arrived earlier) still flow.
+func (f *Fabric) Partition(from, to int, inbound, outbound bool) {
+	f.Link(from, to).Partition(inbound, outbound)
+}
+
+// PartitionNode cuts node off from everyone: every existing link touching
+// it is blackholed in both directions, and links created while the
+// isolation stands inherit the blackhole. Heal (or a fresh PartitionNode
+// set) lifts it.
+func (f *Fabric) PartitionNode(node int) {
+	f.mu.Lock()
+	f.isolated[node] = true
+	var touched []*Injector
+	for k, in := range f.links {
+		if k.from == node || k.to == node {
+			touched = append(touched, in)
+		}
+	}
+	f.mu.Unlock()
+	for _, in := range touched {
+		in.Partition(true, true)
+	}
+}
+
+// Heal lifts every partition — per-link and node isolation — leaving the
+// other fault settings (latency, drops, resets) as they were.
+func (f *Fabric) Heal() {
+	f.mu.Lock()
+	f.isolated = make(map[int]bool)
+	ins := make([]*Injector, 0, len(f.links))
+	for _, in := range f.links {
+		ins = append(ins, in)
+	}
+	f.mu.Unlock()
+	for _, in := range ins {
+		in.Partition(false, false)
+	}
+}
+
+// Stats sums injected drops and resets across every link.
+func (f *Fabric) Stats() (drops, resets int) {
+	f.mu.Lock()
+	ins := make([]*Injector, 0, len(f.links))
+	for _, in := range f.links {
+		ins = append(ins, in)
+	}
+	f.mu.Unlock()
+	for _, in := range ins {
+		d, r := in.Stats()
+		drops += d
+		resets += r
+	}
+	return drops, resets
+}

@@ -24,6 +24,9 @@ type shard struct {
 	features map[graph.VertexID][]float32
 	labels   map[graph.VertexID]int32
 	edges    map[EdgeKey][]float32
+	// digest is the XOR of every entry's checksum (see digest.go), kept
+	// current by each mutation under mu.
+	digest uint64
 }
 
 // Store is a concurrent vertex-attribute store.
@@ -55,7 +58,11 @@ func (s *Store) shardFor(id graph.VertexID) *shard {
 func (s *Store) SetFeatures(id graph.VertexID, f []float32) {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
+	if old, ok := sh.features[id]; ok {
+		sh.digest ^= featureSum(id, old)
+	}
 	sh.features[id] = f
+	sh.digest ^= featureSum(id, f)
 	sh.mu.Unlock()
 }
 
@@ -97,7 +104,11 @@ func (s *Store) GatherLabels(ids []graph.VertexID) []int32 {
 func (s *Store) SetLabel(id graph.VertexID, label int32) {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
+	if old, ok := sh.labels[id]; ok {
+		sh.digest ^= labelSum(id, old)
+	}
 	sh.labels[id] = label
+	sh.digest ^= labelSum(id, label)
 	sh.mu.Unlock()
 }
 
@@ -116,7 +127,11 @@ func (s *Store) Label(id graph.VertexID) (int32, bool) {
 func (s *Store) SetEdgeFeatures(k EdgeKey, f []float32) {
 	sh := s.shardFor(k.Src)
 	sh.mu.Lock()
+	if old, ok := sh.edges[k]; ok {
+		sh.digest ^= edgeSum(k, old)
+	}
 	sh.edges[k] = f
+	sh.digest ^= edgeSum(k, f)
 	sh.mu.Unlock()
 }
 
@@ -134,7 +149,10 @@ func (s *Store) EdgeFeatures(k EdgeKey) ([]float32, bool) {
 func (s *Store) DeleteEdgeFeatures(k EdgeKey) {
 	sh := s.shardFor(k.Src)
 	sh.mu.Lock()
-	delete(sh.edges, k)
+	if old, ok := sh.edges[k]; ok {
+		sh.digest ^= edgeSum(k, old)
+		delete(sh.edges, k)
+	}
 	sh.mu.Unlock()
 }
 
@@ -142,8 +160,14 @@ func (s *Store) DeleteEdgeFeatures(k EdgeKey) {
 func (s *Store) DeleteVertex(id graph.VertexID) {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
-	delete(sh.features, id)
-	delete(sh.labels, id)
+	if old, ok := sh.features[id]; ok {
+		sh.digest ^= featureSum(id, old)
+		delete(sh.features, id)
+	}
+	if old, ok := sh.labels[id]; ok {
+		sh.digest ^= labelSum(id, old)
+		delete(sh.labels, id)
+	}
 	sh.mu.Unlock()
 }
 

@@ -3,6 +3,7 @@ package storage
 import (
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"platod2gl/internal/graph"
@@ -14,10 +15,15 @@ import (
 // per-source adjacency records — deliberately engine-independent, so a
 // snapshot taken from one configuration (capacity, α, compression) loads
 // into any other.
+//
+// Version 2 appends a CRC-32C trailer record covering every stream byte
+// before it, so a bit-flipped snapshot — on disk or in flight over the
+// replica catch-up RPCs — is rejected at load instead of silently building
+// a wrong topology. Version 1 snapshots (no trailer) still load.
 
 const (
 	snapshotMagic   = "platod2gl-snapshot"
-	snapshotVersion = 1
+	snapshotVersion = 2
 )
 
 type snapHeader struct {
@@ -37,10 +43,54 @@ type snapSource struct {
 	Weights []float64
 }
 
+// snapTrailer closes a v2 stream with the checksum of all preceding bytes.
+type snapTrailer struct {
+	CRC uint32
+}
+
+var snapCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// crcWriter hashes every byte it forwards.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.crc = crc32.Update(cw.crc, snapCRCTable, p[:n])
+	return n, err
+}
+
+// crcReader hashes every byte consumed. It implements io.ByteReader so
+// gob.Decoder reads from it directly (no internal bufio read-ahead), which
+// keeps the hash exactly in step with the messages decoded — required for
+// excluding the trailer record from its own checksum.
+type crcReader struct {
+	r   io.Reader
+	b   [1]byte
+	crc uint32
+}
+
+func (cr *crcReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.crc = crc32.Update(cr.crc, snapCRCTable, p[:n])
+	return n, err
+}
+
+func (cr *crcReader) ReadByte() (byte, error) {
+	if _, err := io.ReadFull(cr.r, cr.b[:]); err != nil {
+		return 0, err
+	}
+	cr.crc = crc32.Update(cr.crc, snapCRCTable, cr.b[:])
+	return cr.b[0], nil
+}
+
 // Save serializes the full topology. Concurrent updates during Save are
 // safe but may or may not be included.
 func (s *DynamicStore) Save(w io.Writer) error {
-	enc := gob.NewEncoder(w)
+	cw := &crcWriter{w: w}
+	enc := gob.NewEncoder(cw)
 	s.relsMu.RLock()
 	types := make([]graph.EdgeType, 0, len(s.rels))
 	for et := range s.rels {
@@ -73,13 +123,47 @@ func (s *DynamicStore) Save(w io.Writer) error {
 			}
 		}
 	}
+	// The trailer checksums everything before it (its own bytes excluded).
+	if err := enc.Encode(snapTrailer{CRC: cw.crc}); err != nil {
+		return fmt.Errorf("storage: encode trailer: %w", err)
+	}
 	return nil
 }
 
 // Load rebuilds topology from a snapshot into the store (which should be
-// empty; loaded edges merge with any existing ones otherwise).
+// empty; loaded edges merge with any existing ones otherwise). Version-2
+// streams are checksum-verified; a CRC mismatch fails the load, though
+// records decoded before the trailer have already been merged — callers that
+// must stay clean on failure Reset and retry from another source.
 func (s *DynamicStore) Load(rd io.Reader) error {
-	dec := gob.NewDecoder(rd)
+	return walkSnapshot(rd, func(et graph.EdgeType, rec snapSource) error {
+		ent := s.entry(rec.Src, et, true)
+		ent.mu.Lock()
+		var added int64
+		for j, id := range rec.IDs {
+			if ent.tree.Insert(id, rec.Weights[j]) {
+				added++
+			}
+		}
+		ent.mu.Unlock()
+		s.numEdges.Add(added)
+		return nil
+	})
+}
+
+// VerifySnapshot streams through a snapshot checking structure and, on v2,
+// the CRC trailer, without building a store. This is what a scrubber runs
+// against the on-disk snapshot file: cheap enough for periodic checks, and
+// a failure pinpoints corruption before a restart would trip over it.
+func VerifySnapshot(rd io.Reader) error {
+	return walkSnapshot(rd, func(graph.EdgeType, snapSource) error { return nil })
+}
+
+// walkSnapshot decodes a snapshot stream, handing each non-empty source
+// record to fn, and verifies the v2 CRC trailer.
+func walkSnapshot(rd io.Reader, fn func(et graph.EdgeType, rec snapSource) error) error {
+	cr := &crcReader{r: rd}
+	dec := gob.NewDecoder(cr)
 	var h snapHeader
 	if err := dec.Decode(&h); err != nil {
 		return fmt.Errorf("storage: decode header: %w", err)
@@ -87,7 +171,7 @@ func (s *DynamicStore) Load(rd io.Reader) error {
 	if h.Magic != snapshotMagic {
 		return fmt.Errorf("storage: not a platod2gl snapshot (magic %q)", h.Magic)
 	}
-	if h.Version != snapshotVersion {
+	if h.Version != 1 && h.Version != snapshotVersion {
 		return fmt.Errorf("storage: unsupported snapshot version %d", h.Version)
 	}
 	for rel := 0; rel < h.NumRelations; rel++ {
@@ -107,16 +191,19 @@ func (s *DynamicStore) Load(rd io.Reader) error {
 			if len(rec.IDs) == 0 {
 				continue
 			}
-			ent := s.entry(rec.Src, sr.Type, true)
-			ent.mu.Lock()
-			var added int64
-			for j, id := range rec.IDs {
-				if ent.tree.Insert(id, rec.Weights[j]) {
-					added++
-				}
+			if err := fn(sr.Type, rec); err != nil {
+				return err
 			}
-			ent.mu.Unlock()
-			s.numEdges.Add(added)
+		}
+	}
+	if h.Version >= 2 {
+		want := cr.crc // everything consumed so far; the trailer excludes itself
+		var tr snapTrailer
+		if err := dec.Decode(&tr); err != nil {
+			return fmt.Errorf("storage: decode trailer: %w", err)
+		}
+		if tr.CRC != want {
+			return fmt.Errorf("storage: snapshot checksum mismatch (have %08x, want %08x)", want, tr.CRC)
 		}
 	}
 	return nil

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"bytes"
+	"encoding/gob"
 	"math"
 	"strings"
 	"testing"
@@ -104,5 +105,88 @@ func TestSnapshotTruncatedStream(t *testing.T) {
 	truncated := buf.Bytes()[:buf.Len()/2]
 	if err := NewDynamicStore(Options{}).Load(bytes.NewReader(truncated)); err == nil {
 		t.Fatal("expected error on truncated snapshot")
+	}
+}
+
+// TestSnapshotBitFlipDetected: any single flipped payload bit in a v2
+// snapshot fails the CRC trailer at load and at VerifySnapshot.
+func TestSnapshotBitFlipDetected(t *testing.T) {
+	s := NewDynamicStore(Options{})
+	for i := uint64(0); i < 300; i++ {
+		s.AddEdge(graph.Edge{Src: graph.VertexID(i % 7), Dst: graph.VertexID(i + 100), Type: graph.EdgeType(i % 2), Weight: float64(i)})
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("clean snapshot failed verify: %v", err)
+	}
+	// Flip a bit deep in the record section (past the header, before the
+	// trailer) — the kind of corruption gob alone would happily decode.
+	raw := append([]byte(nil), buf.Bytes()...)
+	raw[len(raw)/2] ^= 0x04
+	if err := VerifySnapshot(bytes.NewReader(raw)); err == nil {
+		t.Fatal("VerifySnapshot accepted a bit-flipped snapshot")
+	}
+	if err := NewDynamicStore(Options{}).Load(bytes.NewReader(raw)); err == nil {
+		t.Fatal("Load accepted a bit-flipped snapshot")
+	}
+}
+
+// TestSnapshotV1StillLoads: a version-1 stream (no CRC trailer) loads and
+// verifies — upgraded servers must read snapshots written before the
+// trailer existed.
+func TestSnapshotV1StillLoads(t *testing.T) {
+	s := NewDynamicStore(Options{})
+	s.AddEdge(graph.Edge{Src: 1, Dst: 2, Weight: 0.5})
+	s.AddEdge(graph.Edge{Src: 1, Dst: 3, Weight: 1.5})
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(snapHeader{Magic: snapshotMagic, Version: 1, NumRelations: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(snapRelation{Type: 0, NumSources: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(snapSource{Src: 1, IDs: []uint64{2, 3}, Weights: []float64{0.5, 1.5}}); err != nil {
+		t.Fatal(err)
+	}
+	v1 := append([]byte(nil), buf.Bytes()...)
+	if err := VerifySnapshot(bytes.NewReader(v1)); err != nil {
+		t.Fatalf("v1 verify: %v", err)
+	}
+	dst := NewDynamicStore(Options{})
+	if err := dst.Load(bytes.NewReader(v1)); err != nil {
+		t.Fatalf("v1 load: %v", err)
+	}
+	if dst.NumEdges() != 2 {
+		t.Fatalf("v1 load edges = %d, want 2", dst.NumEdges())
+	}
+}
+
+// TestDynamicStoreReset: Reset empties the store so a repair can rebuild
+// from a peer without merging stale edges.
+func TestDynamicStoreReset(t *testing.T) {
+	s := NewDynamicStore(Options{})
+	for i := uint64(0); i < 50; i++ {
+		s.AddEdge(graph.Edge{Src: graph.VertexID(i % 5), Dst: graph.VertexID(i + 10), Weight: 1})
+	}
+	if s.NumEdges() == 0 {
+		t.Fatal("setup produced no edges")
+	}
+	s.Reset()
+	if s.NumEdges() != 0 {
+		t.Fatalf("post-Reset edges = %d", s.NumEdges())
+	}
+	if srcs := s.Sources(0); len(srcs) != 0 {
+		t.Fatalf("post-Reset sources = %v", srcs)
+	}
+	// The store stays usable.
+	if !s.AddEdge(graph.Edge{Src: 1, Dst: 2, Weight: 1}) {
+		t.Fatal("AddEdge after Reset")
+	}
+	if s.NumEdges() != 1 {
+		t.Fatalf("edges after re-add = %d", s.NumEdges())
 	}
 }

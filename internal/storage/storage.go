@@ -98,6 +98,19 @@ func NewDynamicStore(opt Options) *DynamicStore {
 	return &DynamicStore{opt: opt, rels: make(map[graph.EdgeType]*relation)}
 }
 
+// Reset drops every relation and zeroes the edge count, returning the store
+// to its freshly constructed state. Repair paths use it before rebuilding
+// from a healthy peer: Load and replay merge rather than replace, so stale
+// local edges the peer deleted must be discarded first. Callers must
+// quiesce writers (e.g. via the cluster service's pause) — concurrent
+// updates during Reset are lost or land in the fresh state unpredictably.
+func (s *DynamicStore) Reset() {
+	s.relsMu.Lock()
+	s.rels = make(map[graph.EdgeType]*relation)
+	s.relsMu.Unlock()
+	s.numEdges.Store(0)
+}
+
 // Name implements TopologyStore.
 func (s *DynamicStore) Name() string {
 	if s.opt.Tree.Compress {
