@@ -1,7 +1,7 @@
 GO ?= go
 REV := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: build test vet lint race chaos chaos-smoke migration-chaos migration-chaos-smoke integrity-chaos integrity-chaos-smoke tier1 bench bench-json bench-regress train-smoke train-chaos
+.PHONY: build test vet lint race chaos chaos-smoke migration-chaos migration-chaos-smoke integrity-chaos integrity-chaos-smoke tier1 bench bench-json bench-regress bench-codec fuzz-smoke train-smoke train-chaos
 
 build:
 	$(GO) build ./...
@@ -58,8 +58,24 @@ integrity-chaos-smoke: build
 
 tier1: test race
 
+# Short fuzz pass over the wire protocol for PR CI: frame/handshake parsing,
+# the bounds-checked reader, and every RPC payload decoder. go test allows
+# one -fuzz pattern per invocation, hence three runs. Corpus findings land
+# in testdata/fuzz/ — commit them as regression seeds.
+FUZZTIME ?= 15s
+fuzz-smoke: build
+	$(GO) test -run '^$$' -fuzz FuzzReader -fuzztime $(FUZZTIME) ./internal/wire/
+	$(GO) test -run '^$$' -fuzz FuzzFrame -fuzztime $(FUZZTIME) ./internal/wire/
+	$(GO) test -run '^$$' -fuzz FuzzWireDecode -fuzztime $(FUZZTIME) ./internal/cluster/
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Codec micro-benchmarks: gob vs wire encode/decode with B/op + allocs/op.
+# The same comparison feeds BENCH_<rev>.json via the perf experiment's
+# codec_* metrics; this target is the interactive form.
+bench-codec: build
+	$(GO) test -run '^$$' -bench 'BenchmarkCodec' -benchmem ./internal/cluster/
 
 # Machine-readable perf benchmark at pinned size and seed: writes
 # BENCH_<rev>.json for the CI regression gate (and for keeping

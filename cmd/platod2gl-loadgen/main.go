@@ -53,6 +53,7 @@ func main() {
 		timeout  = flag.Duration("call-timeout", 5*time.Second, "per-RPC-attempt timeout (0 = none)")
 		retries  = flag.Int("retries", 4, "retry attempts per failed call (batches are at-most-once)")
 		replicas = flag.Int("replicas", 1, "replica-group size R; servers are grouped in consecutive runs of R")
+		protocol = flag.String("protocol", "auto", "RPC codec: auto (wire with per-peer gob fallback), wire, gob")
 	)
 	flag.Parse()
 
@@ -80,6 +81,16 @@ func main() {
 		opts.MaxRetries = *retries
 		opts.Replicas = *replicas
 		opts.Metrics = metrics
+		switch *protocol {
+		case "auto":
+			opts.Protocol = cluster.ProtoAuto
+		case "wire":
+			opts.Protocol = cluster.ProtoWire
+		case "gob":
+			opts.Protocol = cluster.ProtoGob
+		default:
+			log.Fatalf("unknown -protocol %q (auto, wire, gob)", *protocol)
+		}
 		var err error
 		client, err = cluster.Dial(addrs, opts)
 		if err != nil {

@@ -157,7 +157,7 @@ func (s *Service) localDigest(shard, numShards int) (DigestReply, error) {
 // probing a catching-up sibling must not error out the whole round.
 func (s *Service) ShardDigest(args *DigestArgs, reply *DigestReply) (err error) {
 	start := time.Now()
-	defer func() { s.metrics.observeServed("ShardDigest", start, 48) }()
+	defer func() { s.metrics.observeServed("ShardDigest", start) }()
 	defer guard("ShardDigest", &err)
 	*reply, err = s.localDigest(args.Shard, args.NumShards)
 	return err
@@ -181,7 +181,7 @@ type AttrsReply struct {
 // features too — the topology WAL does not cover them.
 func (s *Service) FetchAttrs(_ *AttrsArgs, reply *AttrsReply) (err error) {
 	start := time.Now()
-	defer func() { s.metrics.observeServed("FetchAttrs", start, reply.Attrs.approxBytes()) }()
+	defer func() { s.metrics.observeServed("FetchAttrs", start) }()
 	defer guard("FetchAttrs", &err)
 	if !s.ready.Load() {
 		return ErrReplicaNotReady
@@ -683,7 +683,7 @@ type ScrubReply struct {
 // tests use it) and returns the report.
 func (s *Service) Scrub(_ *ScrubArgs, reply *ScrubReply) (err error) {
 	start := time.Now()
-	defer func() { s.metrics.observeServed("Scrub", start, 64) }()
+	defer func() { s.metrics.observeServed("Scrub", start) }()
 	defer guard("Scrub", &err)
 	sc := s.scrubber.Load()
 	if sc == nil {

@@ -249,7 +249,7 @@ func guard(method string, err *error) {
 // reported as success.
 func (s *Service) ApplyBatch(args *BatchArgs, reply *BatchReply) (err error) {
 	start := time.Now()
-	defer func() { s.metrics.observeServed("ApplyBatch", start, approxEvents(len(args.Events))+16) }()
+	defer func() { s.metrics.observeServed("ApplyBatch", start) }()
 	if err := s.checkRoute(args.Shard, args.RouteEpoch); err != nil {
 		return err
 	}
@@ -310,10 +310,7 @@ func (s *Service) applyBatch(args *BatchArgs, reply *BatchReply) (err error) {
 // SampleNeighbors draws weighted neighbor samples for each seed.
 func (s *Service) SampleNeighbors(args *SampleArgs, reply *SampleReply) (err error) {
 	start := time.Now()
-	defer func() {
-		s.metrics.observeServed("SampleNeighbors", start,
-			approxIDs(len(args.Seeds))+approxIDs(len(reply.Neighbors))+24)
-	}()
+	defer func() { s.metrics.observeServed("SampleNeighbors", start) }()
 	defer guard("SampleNeighbors", &err)
 	if !s.ready.Load() {
 		return ErrReplicaNotReady
@@ -332,10 +329,7 @@ func (s *Service) SampleNeighbors(args *SampleArgs, reply *SampleReply) (err err
 // Degree returns out-degrees.
 func (s *Service) Degree(args *DegreeArgs, reply *DegreeReply) (err error) {
 	start := time.Now()
-	defer func() {
-		s.metrics.observeServed("Degree", start,
-			approxIDs(len(args.Nodes))+approxDegrees(len(reply.Degrees)))
-	}()
+	defer func() { s.metrics.observeServed("Degree", start) }()
 	defer guard("Degree", &err)
 	if !s.ready.Load() {
 		return ErrReplicaNotReady
@@ -353,10 +347,7 @@ func (s *Service) Degree(args *DegreeArgs, reply *DegreeReply) (err error) {
 // Features gathers feature rows.
 func (s *Service) Features(args *FeatureArgs, reply *FeatureReply) (err error) {
 	start := time.Now()
-	defer func() {
-		s.metrics.observeServed("Features", start,
-			approxIDs(len(args.Nodes))+approxFloats(len(reply.Data))+approxLabels(len(reply.Labels)))
-	}()
+	defer func() { s.metrics.observeServed("Features", start) }()
 	defer guard("Features", &err)
 	if !s.ready.Load() {
 		return ErrReplicaNotReady
@@ -380,7 +371,7 @@ func (s *Service) Features(args *FeatureArgs, reply *FeatureReply) (err error) {
 // until cutover) are never reported early.
 func (s *Service) Sources(args *SourcesArgs, reply *SourcesReply) (err error) {
 	start := time.Now()
-	defer func() { s.metrics.observeServed("Sources", start, approxIDs(len(reply.Nodes))+8) }()
+	defer func() { s.metrics.observeServed("Sources", start) }()
 	defer guard("Sources", &err)
 	if !s.ready.Load() {
 		return ErrReplicaNotReady
@@ -407,10 +398,7 @@ func (s *Service) Sources(args *SourcesArgs, reply *SourcesReply) (err error) {
 // SetFeatures stores feature rows (and optional labels) on this server.
 func (s *Service) SetFeatures(args *SetFeaturesArgs, _ *SetFeaturesReply) (err error) {
 	start := time.Now()
-	defer func() {
-		s.metrics.observeServed("SetFeatures", start,
-			approxIDs(len(args.Nodes))+approxFloats(len(args.Data))+approxLabels(len(args.Labels)))
-	}()
+	defer func() { s.metrics.observeServed("SetFeatures", start) }()
 	defer guard("SetFeatures", &err)
 	if err := s.checkRoute(args.Shard, args.RouteEpoch); err != nil {
 		return err
@@ -452,7 +440,7 @@ func (s *Service) SetFeatures(args *SetFeaturesArgs, _ *SetFeaturesReply) (err e
 // per-relation stats (DynamicStore does).
 func (s *Service) Stats(_ *StatsArgs, reply *StatsReply) (err error) {
 	start := time.Now()
-	defer func() { s.metrics.observeServed("Stats", start, 24) }()
+	defer func() { s.metrics.observeServed("Stats", start) }()
 	defer guard("Stats", &err)
 	if !s.ready.Load() {
 		return ErrReplicaNotReady
@@ -469,9 +457,12 @@ func (s *Service) Stats(_ *StatsArgs, reply *StatsReply) (err error) {
 	return nil
 }
 
-// Server serves the RPC service over accepted connections.
+// Server serves the RPC service over accepted connections, speaking either
+// the binary wire protocol or legacy net/rpc gob per connection — the codec
+// is sniffed from the first bytes (see dispatch.go).
 type Server struct {
 	rpcServer *rpc.Server
+	svc       *Service
 }
 
 // NewServer registers the service.
@@ -480,7 +471,7 @@ func NewServer(svc *Service) *Server {
 	if err := rs.RegisterName(ServiceName, svc); err != nil {
 		panic(fmt.Sprintf("cluster: register: %v", err))
 	}
-	return &Server{rpcServer: rs}
+	return &Server{rpcServer: rs, svc: svc}
 }
 
 // acceptBackoffMax caps the accept-loop retry delay.
@@ -506,12 +497,12 @@ func (s *Server) Serve(lis net.Listener) {
 			continue
 		}
 		delay = 0
-		go s.rpcServer.ServeConn(conn)
+		go s.serveConn(conn)
 	}
 }
 
-// ServeConn serves a single connection (blocking).
-func (s *Server) ServeConn(conn net.Conn) { s.rpcServer.ServeConn(conn) }
+// ServeConn serves a single connection (blocking), sniffing the codec.
+func (s *Server) ServeConn(conn net.Conn) { s.serveConn(conn) }
 
 // ShardError is one shard's failure inside a degraded fan-out.
 type ShardError struct {
@@ -630,8 +621,9 @@ func NewClientOptions(conns []*rpc.Client, dialers []Dialer, opts Options) *Clie
 			idx: i, shard: i / r, replica: i % r,
 			br: newBreaker(opts.BreakerThreshold, opts.BreakerCooldown, c.metrics),
 		}
-		if i < len(conns) {
-			p.rc = conns[i]
+		if i < len(conns) && conns[i] != nil {
+			// Pre-established rpc.Clients are by construction gob sessions.
+			p.tc = &gobTransport{rc: conns[i], m: c.metrics}
 		}
 		if i < len(dialers) {
 			p.dial = dialers[i]
@@ -659,39 +651,49 @@ func Dial(addrs []string, opts Options) (*Client, error) {
 	if len(addrs)%r != 0 {
 		return nil, fmt.Errorf("cluster: %d addresses not divisible into replica groups of %d", len(addrs), r)
 	}
-	fail := func(conns []*rpc.Client, err error) (*Client, error) {
-		for _, c := range conns {
-			if c != nil {
-				c.Close()
+	if opts.Metrics == nil {
+		// Allocate before the eager dials so handshake/negotiation metrics
+		// from them land in the same Metrics the client will use.
+		opts.Metrics = &Metrics{}
+	}
+	fail := func(transports []Transport, err error) (*Client, error) {
+		for _, t := range transports {
+			if t != nil {
+				t.Close()
 			}
 		}
 		return nil, err
 	}
-	conns := make([]*rpc.Client, len(addrs))
+	transports := make([]Transport, len(addrs))
 	dialers := make([]Dialer, len(addrs))
 	for i, addr := range addrs {
 		dialers[i] = TCPDialer(addr, opts.CallTimeout)
-		conn, err := dialers[i]()
+		t, err := dialTransport(dialers[i], opts.Protocol, opts.CallTimeout, opts.Metrics)
 		if err != nil {
 			if r == 1 {
-				return fail(conns, fmt.Errorf("cluster: dial %s: %w", addr, err))
+				return fail(transports, fmt.Errorf("cluster: dial %s: %w", addr, err))
 			}
 			continue
 		}
-		conns[i] = rpc.NewClient(conn)
+		transports[i] = t
 	}
 	for s := 0; s*r < len(addrs); s++ {
 		live := 0
 		for i := s * r; i < (s+1)*r; i++ {
-			if conns[i] != nil {
+			if transports[i] != nil {
 				live++
 			}
 		}
 		if live == 0 {
-			return fail(conns, fmt.Errorf("cluster: no live replica for shard %d (%v)", s, addrs[s*r:(s+1)*r]))
+			return fail(transports, fmt.Errorf("cluster: no live replica for shard %d (%v)", s, addrs[s*r:(s+1)*r]))
 		}
 	}
-	c := NewClientOptions(conns, dialers, opts)
+	c := NewClientOptions(nil, dialers, opts)
+	for i, t := range transports {
+		if t != nil {
+			c.peers[i].tc = t
+		}
+	}
 	c.SetPeerAddrs(addrs)
 	// Routing handshake: learn the cluster's shard map (if it has one) and
 	// fail fast on a torn or stale map instead of silently mis-routing.
@@ -829,10 +831,11 @@ func (c *Client) sampleNeighbors(seeds []graph.VertexID, et graph.EdgeType, fano
 	shards := c.numShards()
 	// Coalesce duplicate seeds per shard: multi-hop frontiers repeat
 	// vertices heavily, so each shard samples every distinct seed once and
-	// the reply block is scattered back to all of its occurrences.
-	partSeeds := make([][]graph.VertexID, shards) // distinct seeds per shard
-	partOcc := make([][][]int, shards)            // original indices per distinct seed
-	uniqOf := make(map[graph.VertexID]int, len(seeds))
+	// the reply block is scattered back to all of its occurrences. The
+	// coalescing scratch (per-shard seed slices, occurrence lists, uniq map)
+	// is pooled across fan-outs — see scratch.go.
+	scratch := getSampleScratch(shards)
+	partSeeds, partOcc, uniqOf := scratch.partSeeds, scratch.partOcc, scratch.uniqOf
 	uniq := 0
 	for i, s := range seeds {
 		p := c.shardFor(s)
@@ -841,7 +844,7 @@ func (c *Client) sampleNeighbors(seeds []graph.VertexID, et graph.EdgeType, fano
 			j = len(partSeeds[p])
 			uniqOf[s] = j
 			partSeeds[p] = append(partSeeds[p], s)
-			partOcc[p] = append(partOcc[p], nil)
+			scratch.addOcc(p)
 			uniq++
 		}
 		partOcc[p][j] = append(partOcc[p][j], i)
@@ -883,6 +886,7 @@ func (c *Client) sampleNeighbors(seeds []graph.VertexID, et graph.EdgeType, fano
 			continue
 		}
 		if !degraded {
+			c.recycleSampleScratch(scratch)
 			return nil, nil, err
 		}
 		report.Errors = append(report.Errors, ShardError{Shard: p, Err: err})
@@ -898,6 +902,7 @@ func (c *Client) sampleNeighbors(seeds []graph.VertexID, et graph.EdgeType, fano
 			}
 		}
 	}
+	c.recycleSampleScratch(scratch)
 	return out, report, nil
 }
 
@@ -925,13 +930,11 @@ func (c *Client) SampleSubgraph(seeds []graph.VertexID, path graph.MetaPath, fan
 func (c *Client) Degree(nodes []graph.VertexID, et graph.EdgeType) ([]int, error) {
 	out := make([]int, len(nodes))
 	shards := c.numShards()
-	partNodes := make([][]graph.VertexID, shards)
-	partIdx := make([][]int, shards)
+	scratch := getFanoutScratch(shards)
 	for i, n := range nodes {
-		p := c.shardFor(n)
-		partNodes[p] = append(partNodes[p], n)
-		partIdx[p] = append(partIdx[p], i)
+		scratch.add(c.shardFor(n), n, i)
 	}
+	partNodes, partIdx := scratch.partNodes, scratch.partIdx
 	err := c.fanOut(shards, func(p int) error {
 		if len(partNodes[p]) == 0 {
 			return nil
@@ -945,6 +948,7 @@ func (c *Client) Degree(nodes []graph.VertexID, et graph.EdgeType) ([]int, error
 		}
 		return nil
 	})
+	c.recycleFanoutScratch(scratch)
 	return out, err
 }
 
@@ -1010,13 +1014,11 @@ func (c *Client) featuresLabels(nodes []graph.VertexID, dim int, withLabels bool
 		labels = make([]int32, len(nodes))
 	}
 	shards := c.numShards()
-	partNodes := make([][]graph.VertexID, shards)
-	partIdx := make([][]int, shards)
+	scratch := getFanoutScratch(shards)
 	for i, n := range nodes {
-		p := c.shardFor(n)
-		partNodes[p] = append(partNodes[p], n)
-		partIdx[p] = append(partIdx[p], i)
+		scratch.add(c.shardFor(n), n, i)
 	}
+	partNodes, partIdx := scratch.partNodes, scratch.partIdx
 	err := c.fanOut(shards, func(p int) error {
 		if len(partNodes[p]) == 0 {
 			return nil
@@ -1041,6 +1043,7 @@ func (c *Client) featuresLabels(nodes []graph.VertexID, dim int, withLabels bool
 		}
 		return nil
 	})
+	c.recycleFanoutScratch(scratch)
 	return out, labels, err
 }
 

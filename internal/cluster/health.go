@@ -145,7 +145,7 @@ func (c *Client) Health() []PeerHealth {
 	out := make([]PeerHealth, len(peers))
 	for i, p := range peers {
 		p.mu.Lock()
-		connected := p.rc != nil
+		connected := p.tc != nil
 		p.mu.Unlock()
 		st, fails, lastErr := p.br.snapshot()
 		out[i] = PeerHealth{

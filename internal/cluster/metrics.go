@@ -10,20 +10,22 @@ package cluster
 import (
 	"expvar"
 	"fmt"
+	"sync/atomic"
 	"time"
 
-	"platod2gl/internal/eventlog"
 	"platod2gl/internal/obs"
 )
 
 // rpcMethods is the full RPC surface, used to pre-seed the per-method
 // histogram families so a scrape sees every series from the first request.
+// "Handshake" is the wire-protocol version negotiation (see transport.go),
+// which has client latency and a fixed 16-byte payload but no server handler.
 var rpcMethods = []string{
 	"ApplyBatch", "SampleNeighbors", "Degree", "Features", "SetFeatures",
 	"Sources", "Stats", "FetchSnapshot", "FetchWALTail", "SyncState",
 	"Routing", "UpdateRouting", "FetchShardSnapshot", "FetchShardFeatures",
 	"ParkShard", "ReleaseShard", "DropShard", "PullShard",
-	"ShardDigest", "Scrub", "FetchAttrs",
+	"ShardDigest", "Scrub", "FetchAttrs", "Handshake",
 }
 
 // Metrics aggregates fault-tolerance counters and RPC histograms. The zero
@@ -72,10 +74,16 @@ type Metrics struct {
 	RepairsTriggered   obs.Counter // SyncFromPeer repairs launched by the scrubber
 	RepairBytes        obs.Counter // snapshot+attr bytes pulled by repairs
 
+	// Wire-protocol negotiation (see transport.go, dispatch.go).
+	WireHandshakes     obs.Counter // successful binary-protocol handshakes (both sides)
+	GobFallbacks       obs.Counter // server connections sniffed as legacy gob
+	WireNegotiateDowns obs.Counter // client dials downgraded to gob after a refused hello
+
 	// Per-method histograms. Client latency covers one network attempt
 	// (dial + call, excluding backoff sleeps); server latency covers one
-	// handler execution; payload bytes approximate request+reply wire size
-	// per served call.
+	// handler execution; payload bytes are the exact framed request+reply
+	// wire size per served call (transport-recorded; gob connections count
+	// codec bytes through a counting ServerCodec).
 	ClientLatency obs.HistogramVec // nanoseconds, label = method
 	ServerLatency obs.HistogramVec // nanoseconds, label = method
 	PayloadBytes  obs.HistogramVec // bytes, label = method
@@ -83,6 +91,13 @@ type Metrics struct {
 	// ScrubLatency tracks whole scrub-round duration (digest fetches +
 	// disk verification, excluding any repair it triggers), nanoseconds.
 	ScrubLatency obs.Histogram
+
+	// encInflight counts gob-encoder goroutines that may still be reading a
+	// call's args after the caller's deadline fired. Pooled-scratch callers
+	// consult encBusy before recycling buffers an abandoned encoder could
+	// still see. The wire transport encodes synchronously and never
+	// contributes here.
+	encInflight atomic.Int64
 }
 
 // MetricsSnapshot is a plain-value copy of the counters for printing and
@@ -114,6 +129,9 @@ type MetricsSnapshot struct {
 	CorruptionDetected int64
 	RepairsTriggered   int64
 	RepairBytes        int64
+	WireHandshakes     int64
+	GobFallbacks       int64
+	WireNegotiateDowns int64
 }
 
 // Snapshot copies the current counter values.
@@ -148,6 +166,9 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		CorruptionDetected: m.CorruptionDetected.Load(),
 		RepairsTriggered:   m.RepairsTriggered.Load(),
 		RepairBytes:        m.RepairBytes.Load(),
+		WireHandshakes:     m.WireHandshakes.Load(),
+		GobFallbacks:       m.GobFallbacks.Load(),
+		WireNegotiateDowns: m.WireNegotiateDowns.Load(),
 	}
 }
 
@@ -156,7 +177,8 @@ func (s MetricsSnapshot) String() string {
 	return fmt.Sprintf(
 		"attempts=%d timeouts=%d retries=%d breaker_opens=%d failovers=%d stale_marks=%d coalesced_seeds=%d coalesced_bytes=%d catchups=%d catchup_bytes=%d catchup_batches=%d "+
 			"reroutes=%d routing_refreshes=%d not_owner_rejects=%d shards_migrated=%d migration_bytes=%d migration_batches=%d migration_aborts=%d cutover_ms=%d "+
-			"scrub_rounds=%d digest_mismatches=%d corruption_detected=%d repairs_triggered=%d repair_bytes=%d",
+			"scrub_rounds=%d digest_mismatches=%d corruption_detected=%d repairs_triggered=%d repair_bytes=%d "+
+			"wire_handshakes=%d gob_fallbacks=%d wire_negotiate_downs=%d",
 		s.RPCAttempts, s.RPCTimeouts, s.RPCRetries, s.BreakerOpens,
 		s.ReadFailovers, s.StaleMarks, s.CoalescedSeeds, s.CoalescedBytes,
 		s.CatchUps, s.CatchUpBytes, s.CatchUpBatches,
@@ -164,7 +186,8 @@ func (s MetricsSnapshot) String() string {
 		s.MigrationBytes, s.MigrationBatches, s.MigrationAborts,
 		s.CutoverNanos/int64(time.Millisecond),
 		s.ScrubRounds, s.DigestMismatches, s.CorruptionDetected,
-		s.RepairsTriggered, s.RepairBytes)
+		s.RepairsTriggered, s.RepairBytes,
+		s.WireHandshakes, s.GobFallbacks, s.WireNegotiateDowns)
 }
 
 // Expvar returns an expvar.Var rendering the counters as a JSON object, for
@@ -212,6 +235,9 @@ func (m *Metrics) Register(r *obs.Registry) {
 		{"platod2gl_cluster_corruption_detected_total", "Payload-checksum and on-disk CRC failures detected.", &m.CorruptionDetected},
 		{"platod2gl_cluster_repairs_triggered_total", "Replica repairs launched by the scrubber.", &m.RepairsTriggered},
 		{"platod2gl_cluster_repair_bytes_total", "Snapshot and attribute bytes pulled by repairs.", &m.RepairBytes},
+		{"platod2gl_cluster_wire_handshakes_total", "Successful binary wire-protocol handshakes.", &m.WireHandshakes},
+		{"platod2gl_cluster_gob_fallbacks_total", "Server connections served as legacy net/rpc gob.", &m.GobFallbacks},
+		{"platod2gl_cluster_wire_negotiate_downs_total", "Client dials downgraded from wire to gob.", &m.WireNegotiateDowns},
 	} {
 		r.RegisterCounter(c.name, c.help, nil, c.c)
 	}
@@ -225,7 +251,7 @@ func (m *Metrics) Register(r *obs.Registry) {
 	r.RegisterHistogramVec("platod2gl_cluster_rpc_server_latency_seconds",
 		"Server-side RPC handler latency.", "method", 1e-9, &m.ServerLatency)
 	r.RegisterHistogramVec("platod2gl_cluster_rpc_payload_bytes",
-		"Approximate request+reply payload size per served RPC.", "method", 1, &m.PayloadBytes)
+		"Exact framed request+reply wire bytes per served RPC.", "method", 1, &m.PayloadBytes)
 	r.RegisterHistogram("platod2gl_cluster_scrub_latency_seconds",
 		"Whole scrub-round duration, excluding triggered repairs.", nil, 1e-9, &m.ScrubLatency)
 }
@@ -398,13 +424,54 @@ func (m *Metrics) observeClientCall(method string, start time.Time) {
 	}
 }
 
-// observeServed records one served RPC: handler latency plus approximate
-// request+reply payload size.
-func (m *Metrics) observeServed(method string, start time.Time, payloadBytes int64) {
+// observeServed records one served RPC handler's latency. Payload bytes are
+// recorded separately by the transport (observePayload), which sees the
+// exact framed wire size; the handler does not.
+func (m *Metrics) observeServed(method string, start time.Time) {
 	if m != nil {
 		m.ServerLatency.With(method).ObserveSince(start)
-		m.PayloadBytes.With(method).Observe(payloadBytes)
 	}
+}
+
+// observePayload records the exact request+reply wire bytes of one served
+// RPC: frame prefixes + kind + method id + payload for wire connections,
+// codec-counted bytes for gob connections.
+func (m *Metrics) observePayload(method string, bytes int64) {
+	if m != nil {
+		m.PayloadBytes.With(method).Observe(bytes)
+	}
+}
+
+func (m *Metrics) incWireHandshake() {
+	if m != nil {
+		m.WireHandshakes.Add(1)
+	}
+}
+
+func (m *Metrics) incGobFallback() {
+	if m != nil {
+		m.GobFallbacks.Add(1)
+	}
+}
+
+func (m *Metrics) incNegotiateDown() {
+	if m != nil {
+		m.WireNegotiateDowns.Add(1)
+	}
+}
+
+// encAdd adjusts the gob-encoder inflight count (see Metrics.encInflight).
+func (m *Metrics) encAdd(d int64) {
+	if m != nil {
+		m.encInflight.Add(d)
+	}
+}
+
+// encBusy reports whether an abandoned gob encoder goroutine may still be
+// reading some call's args. A nil Metrics cannot track encoders, so it
+// conservatively reports busy — pooled scratch is then never recycled.
+func (m *Metrics) encBusy() bool {
+	return m == nil || m.encInflight.Load() != 0
 }
 
 // shortMethod strips the RPC receiver prefix: "PlatoD2GL.Stats" -> "Stats".
@@ -417,10 +484,10 @@ func shortMethod(method string) string {
 	return method
 }
 
-// Approximate wire sizes of the variable-length payload components. net/rpc
-// uses gob, whose exact framing is not worth reproducing; these flat
-// per-element costs track the dominant terms (IDs, floats, events) closely
-// enough to size payloads within a bucket or two.
+// Approximate wire sizes of the variable-length payload components, used
+// only for byte *accounting* counters (coalescing savings, migration and
+// repair byte totals) — the rpc_payload_bytes histogram records exact framed
+// sizes from the transport instead.
 const (
 	approxVertexIDBytes = 8
 	approxEventBytes    = 34 // kind + src + dst + type + weight + timestamp
@@ -428,17 +495,7 @@ const (
 	approxLabelBytes    = 4
 )
 
-func approxIDs(n int) int64 { return int64(n) * approxVertexIDBytes }
-
-// lenRecords sums event counts across WAL batch records for payload sizing.
-func lenRecords(recs []eventlog.BatchRecord) int {
-	n := 0
-	for _, r := range recs {
-		n += len(r.Events)
-	}
-	return n
-}
-func approxEvents(n int) int64  { return int64(n) * approxEventBytes }
-func approxFloats(n int) int64  { return int64(n) * approxFloat32Bytes }
-func approxLabels(n int) int64  { return int64(n) * approxLabelBytes }
-func approxDegrees(n int) int64 { return int64(n) * 8 }
+func approxIDs(n int) int64    { return int64(n) * approxVertexIDBytes }
+func approxEvents(n int) int64 { return int64(n) * approxEventBytes }
+func approxFloats(n int) int64 { return int64(n) * approxFloat32Bytes }
+func approxLabels(n int) int64 { return int64(n) * approxLabelBytes }

@@ -45,7 +45,6 @@ package cluster
 
 import (
 	"fmt"
-	"net/rpc"
 	"time"
 
 	"platod2gl/internal/graph"
@@ -156,7 +155,7 @@ type ShardSnapshotReply struct {
 // would stage a stale or partial copy.
 func (s *Service) FetchShardSnapshot(args *ShardSnapshotArgs, reply *ShardSnapshotReply) (err error) {
 	start := time.Now()
-	defer func() { s.metrics.observeServed("FetchShardSnapshot", start, approxEvents(len(reply.Events))+16) }()
+	defer func() { s.metrics.observeServed("FetchShardSnapshot", start) }()
 	defer guard("FetchShardSnapshot", &err)
 	if !s.ready.Load() {
 		return ErrReplicaNotReady
@@ -232,7 +231,7 @@ func (r *ShardFeaturesReply) approxBytes() int64 {
 // making park-time copy the only loss-free window.
 func (s *Service) FetchShardFeatures(args *ShardFeaturesArgs, reply *ShardFeaturesReply) (err error) {
 	start := time.Now()
-	defer func() { s.metrics.observeServed("FetchShardFeatures", start, reply.approxBytes()) }()
+	defer func() { s.metrics.observeServed("FetchShardFeatures", start) }()
 	defer guard("FetchShardFeatures", &err)
 	rt := s.routing.Load()
 	if rt == nil {
@@ -287,7 +286,7 @@ type ParkShardReply struct {
 // position. Idempotent; re-parking does not extend a pending TTL.
 func (s *Service) ParkShard(args *ParkShardArgs, reply *ParkShardReply) (err error) {
 	start := time.Now()
-	defer func() { s.metrics.observeServed("ParkShard", start, 16) }()
+	defer func() { s.metrics.observeServed("ParkShard", start) }()
 	defer guard("ParkShard", &err)
 	if s.syncWAL == nil {
 		return fmt.Errorf("cluster: cannot park shard %d: server has no WAL to drain against", args.Shard)
@@ -313,7 +312,7 @@ type ReleaseShardReply struct{}
 // this server under the unchanged routing. Idempotent.
 func (s *Service) ReleaseShard(args *ReleaseShardArgs, _ *ReleaseShardReply) (err error) {
 	start := time.Now()
-	defer func() { s.metrics.observeServed("ReleaseShard", start, 8) }()
+	defer func() { s.metrics.observeServed("ReleaseShard", start) }()
 	defer guard("ReleaseShard", &err)
 	s.releaseShard(args.Shard)
 	return nil
@@ -338,7 +337,7 @@ type DropShardReply struct {
 // so a restart does not resurrect the dropped shard.
 func (s *Service) DropShard(args *DropShardArgs, reply *DropShardReply) (err error) {
 	start := time.Now()
-	defer func() { s.metrics.observeServed("DropShard", start, 24) }()
+	defer func() { s.metrics.observeServed("DropShard", start) }()
 	defer guard("DropShard", &err)
 	rt := s.routing.Load()
 	if rt == nil {
@@ -434,7 +433,7 @@ type PullShardReply struct {
 // routed Sources requests filter by ownership. One pull runs at a time.
 func (s *Service) PullShard(args *PullShardArgs, reply *PullShardReply) (err error) {
 	start := time.Now()
-	defer func() { s.metrics.observeServed("PullShard", start, 24) }()
+	defer func() { s.metrics.observeServed("PullShard", start) }()
 	defer guard("PullShard", &err)
 	s.migMu.Lock()
 	defer s.migMu.Unlock()
@@ -450,15 +449,14 @@ func (s *Service) PullShard(args *PullShardArgs, reply *PullShardReply) (err err
 	if err != nil {
 		return err
 	}
-	conn, err := dial()
+	timeout := time.Duration(args.CallTimeoutMillis) * time.Millisecond
+	tc, err := dialTransport(dial, ProtoAuto, timeout, s.metrics)
 	if err != nil {
 		return fmt.Errorf("cluster: migration dial %s: %w", args.Source, err)
 	}
-	rc := rpc.NewClient(conn)
-	defer rc.Close()
-	timeout := time.Duration(args.CallTimeoutMillis) * time.Millisecond
+	defer tc.Close()
 	call := func(method string, a, r any) error {
-		return callTimeout(rc, ServiceName+"."+method, a, r, timeout)
+		return tc.Call(ServiceName+"."+method, a, r, timeout)
 	}
 
 	after := args.AfterSeq

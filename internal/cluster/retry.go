@@ -87,6 +87,10 @@ type Options struct {
 	// client dialed. Defaults to TCP with CallTimeout as the connect
 	// timeout; in-process clusters plug their pipe factory in here.
 	DialServer func(addr string) Dialer
+	// Protocol selects the codec negotiated with peers: ProtoAuto (default)
+	// probes the binary wire protocol and falls back to gob per peer,
+	// ProtoWire requires it, ProtoGob forces legacy gob. See transport.go.
+	Protocol Protocol
 	// Metrics, if set, receives fault-tolerance counters (attempts,
 	// timeouts, retries, breaker opens, failovers, catch-up traffic). May
 	// be shared with a Service and published via expvar.
@@ -134,81 +138,54 @@ type peer struct {
 	lastProbe  atomic.Int64 // unix nanos of the last stale probe, rate-limiting
 
 	mu sync.Mutex
-	rc *rpc.Client
+	tc Transport
 }
 
-// client returns the established RPC client, dialing if necessary.
-func (p *peer) client() (*rpc.Client, error) {
+// transportFor returns peer p's established transport, dialing (and codec
+// handshaking, per Options.Protocol) if necessary.
+func (c *Client) transportFor(p *peer) (Transport, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.rc != nil {
-		return p.rc, nil
+	if p.tc != nil {
+		return p.tc, nil
 	}
 	if p.dial == nil {
 		return nil, fmt.Errorf("cluster: peer %d: connection closed and no dialer configured", p.idx)
 	}
-	conn, err := p.dial()
+	t, err := dialTransport(p.dial, c.opts.Protocol, c.opts.CallTimeout, c.metrics)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: redial peer %d: %w", p.idx, err)
 	}
-	p.rc = rpc.NewClient(conn)
-	return p.rc, nil
+	p.tc = t
+	return t, nil
 }
 
-// fail discards rc if it is still the peer's current connection, closing it
-// so any stuck goroutines unblock. Safe to call with an already-replaced rc:
-// a concurrent call that failed on the old connection must not kill the new
-// one.
-func (p *peer) fail(rc *rpc.Client) {
+// fail discards tc if it is still the peer's current transport, closing it
+// so any stuck goroutines unblock. Safe to call with an already-replaced
+// transport: a concurrent call that failed on the old one must not kill the
+// new one. The next dial re-negotiates the codec, so a peer upgraded while
+// we were speaking gob gets picked back up on wire.
+func (p *peer) fail(tc Transport) {
 	p.mu.Lock()
-	if p.rc == rc {
-		p.rc = nil
+	if p.tc == tc {
+		p.tc = nil
 	}
 	p.mu.Unlock()
-	if rc != nil {
-		rc.Close()
+	if tc != nil {
+		tc.Close()
 	}
 }
 
-// close shuts down the current connection without forgetting the dialer.
+// close shuts down the current transport without forgetting the dialer.
 func (p *peer) close() error {
 	p.mu.Lock()
-	rc := p.rc
-	p.rc = nil
+	tc := p.tc
+	p.tc = nil
 	p.mu.Unlock()
-	if rc != nil {
-		return rc.Close()
+	if tc != nil {
+		return tc.Close()
 	}
 	return nil
-}
-
-// callTimeout runs one RPC attempt with a deadline. On timeout the
-// connection is abandoned by the caller (via peer.fail), because a late
-// reply on a shared rpc.Client would otherwise complete a future call's
-// slot.
-func callTimeout(rc *rpc.Client, method string, args, reply any, d time.Duration) error {
-	if d <= 0 {
-		return rc.Call(method, args, reply)
-	}
-	// rpc.Client.Go writes the request synchronously before returning, so a
-	// partitioned (blackholed) connection would block it forever — the
-	// whole attempt runs in a goroutine and only the select enforces the
-	// deadline. On timeout the caller closes rc, which unblocks the stuck
-	// write and completes the abandoned call with an error.
-	done := make(chan error, 1)
-	go func() {
-		call := rc.Go(method, args, reply, make(chan *rpc.Call, 1))
-		<-call.Done
-		done <- call.Error
-	}()
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-t.C:
-		return ErrCallTimeout
-	case err := <-done:
-		return err
-	}
 }
 
 // Transient reports whether err is plausibly transient — a transport
@@ -290,13 +267,13 @@ func (c *Client) callPe(pe *peer, method string, args, reply any, maxRetries int
 		}
 		c.metrics.incAttempt()
 		attemptStart := time.Now()
-		rc, err := pe.client()
+		tc, err := c.transportFor(pe)
 		if err != nil {
 			pe.br.failure(time.Now(), err)
 			lastErr = err
 			continue
 		}
-		err = callTimeout(rc, method, args, reply, c.opts.CallTimeout)
+		err = tc.Call(method, args, reply, c.opts.CallTimeout)
 		c.metrics.observeClientCall(method, attemptStart)
 		if err == nil {
 			pe.br.success()
@@ -312,7 +289,7 @@ func (c *Client) callPe(pe *peer, method string, args, reply any, maxRetries int
 		}
 		// Transport failure: drop the connection so the next attempt
 		// redials, and record it against the breaker.
-		pe.fail(rc)
+		pe.fail(tc)
 		pe.br.failure(time.Now(), err)
 	}
 }

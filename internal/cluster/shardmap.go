@@ -17,7 +17,6 @@ package cluster
 
 import (
 	"fmt"
-	"net/rpc"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -493,7 +492,7 @@ type RoutingReply struct {
 // Always served, even while catching up: routing state is control-plane.
 func (s *Service) Routing(_ *RoutingArgs, reply *RoutingReply) (err error) {
 	start := time.Now()
-	defer func() { s.metrics.observeServed("Routing", start, approxMapBytes(&reply.Map)) }()
+	defer func() { s.metrics.observeServed("Routing", start) }()
 	defer guard("Routing", &err)
 	if rt := s.routing.Load(); rt != nil {
 		reply.Has = true
@@ -521,7 +520,7 @@ type UpdateRoutingReply struct {
 // driver's fan-out push idempotent and unordered-safe.
 func (s *Service) UpdateRouting(args *UpdateRoutingArgs, reply *UpdateRoutingReply) (err error) {
 	start := time.Now()
-	defer func() { s.metrics.observeServed("UpdateRouting", start, approxMapBytes(&args.Map)) }()
+	defer func() { s.metrics.observeServed("UpdateRouting", start) }()
 	defer guard("UpdateRouting", &err)
 	m := args.Map.Clone()
 	if verr := m.Validate(); verr != nil {
@@ -778,13 +777,14 @@ func (c *Client) handshake(addrs []string) error {
 }
 
 // roundTrip dials one control RPC to addr outside the peer machinery (used
-// by the rebalance driver and join mode, where no Client exists yet).
+// by the rebalance driver and join mode, where no Client exists yet). The
+// codec is auto-negotiated per dial, so these control paths work against
+// both upgraded and legacy servers.
 func roundTrip(dial Dialer, method string, args, reply any, timeout time.Duration) error {
-	conn, err := dial()
+	tc, err := dialTransport(dial, ProtoAuto, timeout, nil)
 	if err != nil {
 		return err
 	}
-	rc := rpc.NewClient(conn)
-	defer rc.Close()
-	return callTimeout(rc, ServiceName+"."+method, args, reply, timeout)
+	defer tc.Close()
+	return tc.Call(ServiceName+"."+method, args, reply, timeout)
 }

@@ -32,7 +32,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"net/rpc"
 	"sync/atomic"
 	"time"
 
@@ -136,7 +135,7 @@ type SyncStateReply struct {
 // while not ready — it is how clients and siblings probe progress.
 func (s *Service) SyncState(_ *SyncStateArgs, reply *SyncStateReply) (err error) {
 	start := time.Now()
-	defer func() { s.metrics.observeServed("SyncState", start, 32) }()
+	defer func() { s.metrics.observeServed("SyncState", start) }()
 	defer guard("SyncState", &err)
 	reply.Ready = s.ready.Load()
 	reply.SyncEpoch = s.syncEpoch.Load()
@@ -171,7 +170,7 @@ type SnapshotReply struct {
 // from each other.
 func (s *Service) FetchSnapshot(_ *SnapshotArgs, reply *SnapshotReply) (err error) {
 	start := time.Now()
-	defer func() { s.metrics.observeServed("FetchSnapshot", start, int64(len(reply.Snapshot))) }()
+	defer func() { s.metrics.observeServed("FetchSnapshot", start) }()
 	defer guard("FetchSnapshot", &err)
 	if !s.ready.Load() {
 		return ErrReplicaNotReady
@@ -220,7 +219,7 @@ type WALTailReply struct {
 // and a later call picks it up once complete.
 func (s *Service) FetchWALTail(args *WALTailArgs, reply *WALTailReply) (err error) {
 	start := time.Now()
-	defer func() { s.metrics.observeServed("FetchWALTail", start, approxEvents(lenRecords(reply.Records))+24) }()
+	defer func() { s.metrics.observeServed("FetchWALTail", start) }()
 	defer guard("FetchWALTail", &err)
 	if s.syncWAL == nil {
 		return fmt.Errorf("cluster: server has no WAL to stream")
@@ -315,14 +314,13 @@ func SyncFromPeer(svc *Service, dial Dialer, opts SyncOptions) error {
 func SyncFromPeerStats(svc *Service, dial Dialer, opts SyncOptions) (SyncStats, error) {
 	var stats SyncStats
 	svc.BeginCatchUp()
-	conn, err := dial()
+	tc, err := dialTransport(dial, ProtoAuto, opts.CallTimeout, opts.Metrics)
 	if err != nil {
 		return stats, fmt.Errorf("cluster: sync dial: %w", err)
 	}
-	rc := rpc.NewClient(conn)
-	defer rc.Close()
+	defer tc.Close()
 	call := func(method string, args, reply any) error {
-		return callTimeout(rc, ServiceName+"."+method, args, reply, opts.CallTimeout)
+		return tc.Call(ServiceName+"."+method, args, reply, opts.CallTimeout)
 	}
 
 	var snap SnapshotReply

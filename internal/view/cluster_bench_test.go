@@ -1,0 +1,71 @@
+package view
+
+import (
+	"testing"
+
+	"platod2gl/internal/cluster"
+	"platod2gl/internal/core"
+	"platod2gl/internal/graph"
+	"platod2gl/internal/kvstore"
+	"platod2gl/internal/storage"
+)
+
+// Client-side allocation benchmarks for the cluster view's sampling hot
+// path. The fan-out scratch (per-shard seed partitions, occurrence lists,
+// coalescing map) is pooled in internal/cluster and the wire codec encodes
+// without reflection, so steady-state allocs/op here is the regression
+// signal for the pooling — run with -benchmem.
+
+func benchCluster(b *testing.B, servers int) (*Cluster, func()) {
+	b.Helper()
+	lc := cluster.NewLocalClusterOptions(servers, cluster.LocalOptions{
+		StoreFactory: func(int) (storage.TopologyStore, *kvstore.Store) {
+			return storage.NewDynamicStore(storage.Options{
+				Tree: core.Options{Capacity: 64}}), kvstore.New()
+		},
+	})
+	client := lc.Client()
+	var events []graph.Event
+	for i := 0; i < 4096; i++ {
+		events = append(events, graph.Event{Kind: graph.AddEdge,
+			Edge: graph.Edge{Src: graph.VertexID(i % 512), Dst: graph.VertexID(i), Weight: 1}})
+	}
+	if err := client.ApplyBatch(events); err != nil {
+		b.Fatal(err)
+	}
+	return NewCluster(client, 7), lc.Shutdown
+}
+
+func BenchmarkClusterViewSample(b *testing.B) {
+	v, shutdown := benchCluster(b, 4)
+	defer shutdown()
+	seeds := make([]graph.VertexID, 256)
+	for i := range seeds {
+		// Duplicates on purpose: the coalescing map and occurrence lists are
+		// part of the measured path.
+		seeds[i] = graph.VertexID(i % 128)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.SampleNeighbors(seeds, 0, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusterViewDegrees(b *testing.B) {
+	v, shutdown := benchCluster(b, 4)
+	defer shutdown()
+	nodes := make([]graph.VertexID, 256)
+	for i := range nodes {
+		nodes[i] = graph.VertexID(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.Degrees(nodes, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
