@@ -1,7 +1,7 @@
 GO ?= go
 REV := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: build test vet lint race chaos chaos-smoke migration-chaos migration-chaos-smoke integrity-chaos integrity-chaos-smoke tier1 bench bench-json bench-regress bench-codec fuzz-smoke train-smoke train-chaos
+.PHONY: build test vet lint race chaos chaos-smoke migration-chaos migration-chaos-smoke integrity-chaos integrity-chaos-smoke overload-chaos overload-chaos-smoke tier1 bench bench-json bench-regress bench-codec fuzz-smoke train-smoke train-chaos
 
 build:
 	$(GO) build ./...
@@ -55,6 +55,18 @@ integrity-chaos: build
 # path that exercises digest comparison, classification, and repair).
 integrity-chaos-smoke: build
 	$(GO) test -race -count=1 -run 'TestChaosPartitionScrubRepair' ./internal/cluster/
+
+# Overload chaos drill: open-loop load past admission capacity with a live
+# shard migration racing through it, asserting bounded interactive p99,
+# priority-ordered shedding, an intact breaker, and no goroutine leak after
+# a saturation storm — twice, under race.
+overload-chaos: build
+	$(GO) test -race -count=2 -run 'TestChaosOverloadBrownout|TestOverloadGoroutineLeakRegression' ./internal/cluster/
+
+# One fast overload pass for PR CI: the brownout drill (admission gate,
+# deadline propagation, shed/retry cooperation, and migration under load).
+overload-chaos-smoke: build
+	$(GO) test -race -count=1 -run 'TestChaosOverloadBrownout' ./internal/cluster/
 
 tier1: test race
 

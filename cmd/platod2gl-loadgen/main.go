@@ -15,11 +15,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"platod2gl/internal/cluster"
@@ -54,6 +57,9 @@ func main() {
 		retries  = flag.Int("retries", 4, "retry attempts per failed call (batches are at-most-once)")
 		replicas = flag.Int("replicas", 1, "replica-group size R; servers are grouped in consecutive runs of R")
 		protocol = flag.String("protocol", "auto", "RPC codec: auto (wire with per-peer gob fallback), wire, gob")
+		qps      = flag.Int("qps", 0, "open-loop offered load in batches/sec, not waiting for completions (0 = closed loop)")
+		budget   = flag.Duration("call-budget", 0, "end-to-end deadline per batch, propagated to servers as remaining budget (0 = none)")
+		inflight = flag.Int("max-outstanding", 256, "open-loop cap on concurrently in-flight batches; beyond it offered batches are dropped client-side")
 	)
 	flag.Parse()
 
@@ -99,10 +105,32 @@ func main() {
 		defer client.Close()
 	}
 
+	// callCtx derives the per-batch context: -call-budget becomes the
+	// deadline servers see as remaining budget.
+	callCtx := func() (context.Context, context.CancelFunc) {
+		if *budget > 0 {
+			return context.WithTimeout(context.Background(), *budget)
+		}
+		return context.Background(), func() {}
+	}
+
 	start := time.Now()
 	var sent int64
 	var kinds [3]int64
+	// Open-loop accounting: batches offered at the target rate vs batches
+	// the cluster actually acknowledged. The gap is the overload story —
+	// shed, deadline-expired, or dropped at the client's outstanding cap.
+	var offered, acked, failed, droppedCap atomic.Int64
 	degreeOf := map[graph.VertexID]int64{}
+	var wg sync.WaitGroup
+	var tick *time.Ticker
+	var sem chan struct{}
+	openLoop := client != nil && *qps > 0
+	if openLoop {
+		tick = time.NewTicker(time.Second / time.Duration(*qps))
+		defer tick.Stop()
+		sem = make(chan struct{}, *inflight)
+	}
 	for remaining := *edges; remaining > 0; {
 		n := int64(*batch)
 		if n > remaining {
@@ -115,14 +143,42 @@ func main() {
 				degreeOf[ev.Edge.Src]++
 			}
 		}
-		if client != nil {
-			if err := client.ApplyBatch(events); err != nil {
+		switch {
+		case openLoop:
+			<-tick.C
+			offered.Add(1)
+			select {
+			case sem <- struct{}{}:
+				wg.Add(1)
+				go func(events []graph.Event) {
+					defer wg.Done()
+					defer func() { <-sem }()
+					ctx, cancel := callCtx()
+					defer cancel()
+					if err := client.ApplyBatchCtx(ctx, events); err != nil {
+						failed.Add(1)
+					} else {
+						acked.Add(1)
+					}
+				}(events)
+			default:
+				// The cluster is not draining batches as fast as they are
+				// offered; dropping here keeps the generator open-loop
+				// without unbounded goroutine growth.
+				droppedCap.Add(1)
+			}
+		case client != nil:
+			ctx, cancel := callCtx()
+			err := client.ApplyBatchCtx(ctx, events)
+			cancel()
+			if err != nil {
 				log.Fatalf("apply batch: %v", err)
 			}
 		}
 		sent += int64(len(events))
 		remaining -= n
 	}
+	wg.Wait()
 	elapsed := time.Since(start)
 	fmt.Printf("dataset %s: %d events (%d add, %d delete, %d update) in %v (%.0f ev/s)\n",
 		spec.Name, sent, kinds[graph.AddEdge], kinds[graph.DeleteEdge], kinds[graph.UpdateWeight],
@@ -145,6 +201,15 @@ func main() {
 			client.NumShards(), client.NumReplicas())
 		if m := client.RoutingMap(); m != nil {
 			fmt.Printf("routing: epoch %d across %d server groups\n", m.Epoch, m.NumGroups())
+		}
+		if openLoop {
+			snap := metrics.Snapshot()
+			off, ack := offered.Load(), acked.Load()
+			goodput := float64(ack) / elapsed.Seconds()
+			fmt.Printf("open-loop: offered %d batches (%.0f/s), acked %d (%.0f/s goodput, %.1f%%), failed %d, dropped %d at client cap\n",
+				off, float64(off)/elapsed.Seconds(), ack, goodput, 100*float64(ack)/float64(max(off, 1)), failed.Load(), droppedCap.Load())
+			fmt.Printf("overload: shed_seen=%d budget_exhausted=%d client_saturations=%d deadline_expired=%d\n",
+				snap.ShedSeen, snap.BudgetExhausted, snap.ClientSaturations, snap.DeadlineExpired)
 		}
 		fmt.Printf("rpc: %s\n", metrics.Snapshot())
 	}

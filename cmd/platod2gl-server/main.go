@@ -89,6 +89,13 @@ func main() {
 		scrubInt  = flag.Duration("scrub-interval", 0, "anti-entropy scrub cadence (0 = no background scrubbing; on-demand Scrub RPC stays available)")
 		scrubPeer = flag.String("scrub-peers", "", "comma-separated replica-group addresses to compare state digests against (may include this server)")
 		scrubFix  = flag.Bool("scrub-auto-repair", true, "let a scrub round that finds this replica diverged or corrupt rebuild it from a healthy peer")
+
+		admitMax   = flag.Int("admit-max", cluster.DefaultAdmission().MaxConcurrent, "max concurrently served requests before prioritized queueing kicks in (0 disables admission control)")
+		admitQueue = flag.Int("admit-queue", 0, "max queued requests awaiting admission (0 = 2x -admit-max)")
+		admitWait  = flag.Duration("admit-queue-wait", cluster.DefaultAdmission().MaxQueueWait, "max time a request may wait for admission before being shed")
+		maxConns   = flag.Int("max-conns", cluster.DefaultServerLimits().MaxConns, "max concurrent client connections (0 = unlimited)")
+		maxHs      = flag.Int("max-handshakes", cluster.DefaultServerLimits().MaxHandshakes, "max concurrent in-flight connection handshakes (0 = unlimited)")
+		hsTimeout  = flag.Duration("handshake-timeout", cluster.DefaultServerLimits().HandshakeTimeout, "per-connection handshake deadline (0 = none)")
 	)
 	flag.Parse()
 	if *join != "" && *advertise == "" {
@@ -244,6 +251,16 @@ func main() {
 		log.Printf("anti-entropy scrubbing every %v (peers=%q auto-repair=%v)", *scrubInt, *scrubPeer, *scrubFix)
 	}
 	srv := cluster.NewServer(svc)
+	srv.SetAdmission(cluster.AdmissionConfig{
+		MaxConcurrent: *admitMax,
+		MaxQueue:      *admitQueue,
+		MaxQueueWait:  *admitWait,
+	})
+	srv.SetLimits(cluster.ServerLimits{
+		MaxConns:         *maxConns,
+		MaxHandshakes:    *maxHs,
+		HandshakeTimeout: *hsTimeout,
+	})
 
 	// Metrics endpoint: one registry serving Prometheus text at /metrics and
 	// the legacy expvar JSON at /debug/vars, on a dedicated http.Server so

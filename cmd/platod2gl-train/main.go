@@ -94,6 +94,8 @@ type config struct {
 	viewRetries     int
 	degradeSampling bool
 	batchRetries    int
+	callBudget      time.Duration
+	batchBudget     time.Duration
 
 	// Test hooks. onCluster receives the in-process cluster built for
 	// -shards (chaos tests stop/restart shards through it); onStep fires
@@ -130,6 +132,8 @@ func main() {
 	flag.IntVar(&cfg.viewRetries, "view-retries", 2, "extra attempts per view call on transient storage errors")
 	flag.BoolVar(&cfg.degradeSampling, "degrade-sampling", false, "answer retry-exhausted sampling calls with self-loop batches instead of failing")
 	flag.IntVar(&cfg.batchRetries, "batch-retries", 1, "extra build attempts per failed mini-batch")
+	flag.DurationVar(&cfg.callBudget, "call-budget", 0, "end-to-end deadline per view call, propagated to servers (0 = none)")
+	flag.DurationVar(&cfg.batchBudget, "batch-budget", 0, "total wall-clock cap per mini-batch build across retries (0 = none)")
 	flag.Parse()
 	if err := run(cfg, os.Stdout); err != nil {
 		log.Fatal(err)
@@ -260,29 +264,52 @@ func run(cfg config, out io.Writer) error {
 		return err
 	}
 	defer cleanup()
-	if cfg.sampleDelay > 0 {
-		gv = view.WithLatency(gv, cfg.sampleDelay)
+
+	// Budget and priority ride the raw cluster view, under every wrapper:
+	// the trainer's own calls stay interactive while the pipeline's batch
+	// builders are tagged as prefetch, so an overloaded server sheds the
+	// builders' traffic first. The prefetch twin shares the seed cursor, so
+	// determinism and checkpoint SamplePos are unaffected.
+	var prefetchBase view.GraphView
+	if cv, ok := gv.(*view.Cluster); ok {
+		if cfg.callBudget > 0 {
+			cv.SetCallBudget(cfg.callBudget)
+		}
+		prefetchBase = cv.Prefetch()
 	}
 
 	pm := &pipeline.Metrics{}
 	vm := &view.Metrics{}
 	cm := &checkpoint.Metrics{}
-	if cfg.viewRetries > 0 || cfg.degradeSampling {
-		rcfg := view.ResilientConfig{
-			Attempts:        cfg.viewRetries + 1,
-			DegradeSampling: cfg.degradeSampling,
-			Metrics:         vm,
+	vcm := &view.CallMetrics{}
+	wrapView := func(g view.GraphView) view.GraphView {
+		if cfg.sampleDelay > 0 {
+			g = view.WithLatency(g, cfg.sampleDelay)
 		}
-		if client != nil {
-			rcfg.Transient = cluster.Transient
+		if cfg.viewRetries > 0 || cfg.degradeSampling {
+			rcfg := view.ResilientConfig{
+				Attempts:        cfg.viewRetries + 1,
+				DegradeSampling: cfg.degradeSampling,
+				Metrics:         vm,
+			}
+			if client != nil {
+				rcfg.Transient = cluster.Transient
+			}
+			g = view.NewResilient(g, rcfg)
 		}
-		gv = view.NewResilient(gv, rcfg)
+		if cfg.metricsAddr != "" {
+			// Per-call view latency sits outermost so it measures what the
+			// trainer experiences, retries included.
+			g = view.Instrument(g, vcm)
+		}
+		return g
+	}
+	gv = wrapView(gv)
+	var prefetchGV view.GraphView
+	if prefetchBase != nil {
+		prefetchGV = wrapView(prefetchBase)
 	}
 	if cfg.metricsAddr != "" {
-		// Per-call view latency sits outermost so it measures what the
-		// trainer experiences, retries included.
-		vcm := &view.CallMetrics{}
-		gv = view.Instrument(gv, vcm)
 		reg := obs.NewRegistry()
 		pm.Register(reg)
 		vm.Register(reg)
@@ -321,6 +348,15 @@ func run(cfg config, out io.Writer) error {
 	rng := rand.New(rand.NewSource(cfg.seed + 2))
 	model := gnn.NewModel(cfg.dim, cfg.hidden, cfg.classes, rng)
 	tr := gnn.NewTrainer(model, gv, 0, cfg.f1, cfg.f2, cfg.lr)
+	// The pipeline's batch builders load through the prefetch-class view when
+	// one exists; SampleBatch only reads the trainer, so the twin may share
+	// its model and optimizer.
+	loadBatch := tr.SampleBatch
+	if prefetchGV != nil {
+		ltr := *tr
+		ltr.View = prefetchGV
+		loadBatch = ltr.SampleBatch
+	}
 	split := cfg.nodes * 4 / 5
 	train, test := nodes[:split], nodes[split:]
 
@@ -386,7 +422,7 @@ func run(cfg config, out io.Writer) error {
 	signal.Notify(sigCh, syscall.SIGTERM, os.Interrupt)
 	defer signal.Stop(sigCh)
 
-	pcfg := pipeline.Config{Depth: cfg.depth, Workers: cfg.workers, Retries: cfg.batchRetries, Metrics: pm}
+	pcfg := pipeline.Config{Depth: cfg.depth, Workers: cfg.workers, Retries: cfg.batchRetries, BatchBudget: cfg.batchBudget, Metrics: pm}
 	start := time.Now()
 	for e := startEpoch; e < cfg.epochs; e++ {
 		batches := pipeline.SeedBatches(train, cfg.batch, epochRNG(cfg.seed, e))
@@ -397,7 +433,7 @@ func run(cfg config, out io.Writer) error {
 			}
 			fmt.Fprintf(out, "epoch %d: skipping %d already-trained batches\n", e, skip)
 		}
-		p := pipeline.Run(batches[skip:], tr.SampleBatch, pcfg)
+		p := pipeline.Run(batches[skip:], loadBatch, pcfg)
 		totalLoss, done := 0.0, 0
 		interrupted := false
 		pmBefore := pm.Snapshot()

@@ -7,10 +7,14 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"net"
 	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"platod2gl/internal/cluster"
@@ -51,6 +55,7 @@ func RunPerf(cfg Config) PerfResult {
 	perfSamtree(cfg, res.Metrics)
 	perfEpoch(cfg, res.Metrics)
 	perfRPC(cfg, res.Metrics)
+	perfOverload(cfg, res.Metrics)
 	for k, v := range cluster.CodecBenchMetrics() {
 		res.Metrics[k] = v
 	}
@@ -182,6 +187,89 @@ func perfRPC(cfg Config, out map[string]float64) {
 	if gobPS > 0 {
 		out["rpc_wire_speedup"] = wirePS / gobPS
 	}
+}
+
+// perfOverload measures interactive goodput through the server-side
+// admission gate under deliberate over-subscription: one server with a
+// tight gate (1 slot, 2-deep queue) takes budget-bounded sampling calls
+// from 32 concurrent workers. Shed calls are retried within the caller's
+// budget, so the gated metric is goodput — seeds served per second after
+// shedding and retries — not raw offered load. overload_shed_share is
+// informational: it reports how hard the gate had to push back, which
+// moves with scheduler timing, while goodput should stay stable.
+func perfOverload(cfg Config, out map[string]float64) {
+	const (
+		overEdges  = 50_000
+		seedBatch  = 256
+		fanout     = 10
+		workers    = 32
+		totalCalls = 6000
+		budget     = 50 * time.Millisecond
+	)
+	store := storage.NewDynamicStore(storage.Options{
+		Tree: core.Options{Compress: true}, Workers: cfg.Workers})
+	spec := WeChatScaled(overEdges)
+	gen := dataset.NewGenerator(spec, dataset.BuildMix, cfg.Seed)
+	remaining := overEdges
+	for remaining > 0 {
+		b := cfg.BatchSize
+		if b > remaining {
+			b = remaining
+		}
+		store.ApplyBatch(gen.Next(b))
+		remaining -= b
+	}
+	srvM := &cluster.Metrics{}
+	svc := cluster.NewService(store, kvstore.New())
+	svc.SetMetrics(srvM)
+	srv := cluster.NewServer(svc)
+	srv.SetAdmission(cluster.AdmissionConfig{
+		MaxConcurrent: 1, MaxQueue: 2, MaxQueueWait: 2 * time.Millisecond})
+	dialer := cluster.Dialer(func() (net.Conn, error) {
+		cc, sc := net.Pipe()
+		go srv.ServeConn(sc)
+		return cc, nil
+	})
+	opts := cluster.DefaultOptions()
+	opts.MaxRetries = 2
+	opts.RetryBaseDelay = time.Millisecond
+	opts.RetryMaxDelay = 10 * time.Millisecond
+	opts.Seed = cfg.Seed
+	client := cluster.NewClientOptions(nil, []cluster.Dialer{dialer}, opts)
+	defer client.Close()
+
+	probe := dataset.NewGenerator(spec, dataset.BuildMix, cfg.Seed)
+	seeds := make([]graph.VertexID, seedBatch)
+	events := probe.Next(seedBatch)
+	for i := range seeds {
+		seeds[i] = events[i].Edge.Src
+	}
+
+	var next, good atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				r := next.Add(1)
+				if r > totalCalls {
+					return
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), budget)
+				_, err := client.SampleNeighborsCtx(ctx, seeds, 0, fanout, cfg.Seed+r)
+				cancel()
+				if err == nil {
+					good.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	out["overload_goodput_per_sec"] = rate(int(good.Load())*seedBatch, elapsed)
+	out["overload_shed_share"] = float64(srvM.RequestsShed.Sum()) / float64(totalCalls)
 }
 
 // perfSamtree measures single-edge insert/delete throughput, PALM batch

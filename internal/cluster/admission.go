@@ -1,0 +1,472 @@
+// Overload protection for the cluster tier: priority classes carried in the
+// protocol-v2 request envelope, a server-side admission gate with weighted
+// per-priority concurrency limits and bounded queues, typed shed errors that
+// clients treat as backpressure rather than failure, and a per-peer AIMD
+// concurrency limiter on the client transport pool. Together these keep
+// interactive sampling latency bounded when offered load exceeds capacity:
+// background traffic (migration copy, WAL catch-up, scrub) yields first,
+// then prefetch, and only then are interactive requests shed — with a
+// retry-after hint so the retrying client neither hammers the server nor
+// trips its circuit breaker on a peer that is healthy but busy.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/rpc"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Priority classifies a request for admission control. Lower value = more
+// latency-sensitive. On the wire the envelope carries priority+1 so that 0
+// can mean "use the method's default class".
+type Priority uint8
+
+const (
+	// PriorityInteractive is latency-sensitive read traffic: sampling,
+	// degrees, feature lookups — the requests a training step or an online
+	// inference blocks on.
+	PriorityInteractive Priority = 0
+	// PriorityPrefetch is training prefetch and bulk ingest: ApplyBatch,
+	// SetFeatures, and pipeline-tagged sampling that runs ahead of the
+	// consumer and can absorb delay.
+	PriorityPrefetch Priority = 1
+	// PriorityBackground is cluster maintenance: migration copies, WAL
+	// catch-up, scrub digests, shard control-plane operations.
+	PriorityBackground Priority = 2
+
+	numPriorities = 3
+)
+
+// String returns the stable label used in metrics and error messages.
+func (p Priority) String() string {
+	switch p {
+	case PriorityInteractive:
+		return "interactive"
+	case PriorityPrefetch:
+		return "prefetch"
+	case PriorityBackground:
+		return "background"
+	}
+	return "unknown"
+}
+
+// priorityNames is the label set used to pre-seed per-priority metric
+// families.
+var priorityNames = []string{"interactive", "prefetch", "background"}
+
+type priorityCtxKey struct{}
+
+// WithPriority tags ctx with an explicit priority class. Calls made under
+// the returned context carry the class in the request envelope instead of
+// the method's default — the prefetch pipeline uses this to demote its
+// sampling traffic below interactive callers of the very same RPCs.
+func WithPriority(ctx context.Context, p Priority) context.Context {
+	return context.WithValue(ctx, priorityCtxKey{}, p)
+}
+
+// PriorityFromContext extracts a priority set by WithPriority.
+func PriorityFromContext(ctx context.Context) (Priority, bool) {
+	p, ok := ctx.Value(priorityCtxKey{}).(Priority)
+	return p, ok
+}
+
+// overloadedPrefix is the stable prefix OverloadedError crosses the wire
+// with; like notReadyMsg, it survives the trip through rpc.ServerError so
+// both sides classify shed responses identically.
+const overloadedPrefix = "cluster: overloaded:"
+
+// OverloadedError is the server's admission gate shedding a request: the
+// server is healthy but saturated, and the client should back off for
+// RetryAfter before retrying — against this peer or a sibling replica. It
+// is deliberately distinct from transport failure so circuit breakers never
+// open on load.
+type OverloadedError struct {
+	Method     string
+	Priority   Priority
+	RetryAfter time.Duration
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("%s %s (%s): retry after %dms",
+		overloadedPrefix, e.Method, e.Priority, e.RetryAfter.Milliseconds())
+}
+
+// IsOverloaded reports whether err is a shed response — typed locally or
+// carried across either transport as an rpc.ServerError string.
+func IsOverloaded(err error) bool {
+	if err == nil {
+		return false
+	}
+	var oe *OverloadedError
+	if errors.As(err, &oe) {
+		return true
+	}
+	var se rpc.ServerError
+	return errors.As(err, &se) && strings.Contains(string(se), overloadedPrefix)
+}
+
+// OverloadRetryAfter extracts the server's retry-after hint from a shed
+// response, or 0 when err is not one (or carries no parseable hint).
+func OverloadRetryAfter(err error) time.Duration {
+	if err == nil {
+		return 0
+	}
+	var oe *OverloadedError
+	if errors.As(err, &oe) {
+		return oe.RetryAfter
+	}
+	var se rpc.ServerError
+	if !errors.As(err, &se) {
+		return 0
+	}
+	s := string(se)
+	const marker = "retry after "
+	i := strings.LastIndex(s, marker)
+	if i < 0 {
+		return 0
+	}
+	ms := strings.TrimSuffix(s[i+len(marker):], "ms")
+	n, perr := strconv.ParseInt(ms, 10, 64)
+	if perr != nil || n < 0 {
+		return 0
+	}
+	return time.Duration(n) * time.Millisecond
+}
+
+// budgetExpiredPrefix marks fast-rejects: the request's propagated budget
+// was already below the observed service time, so running it would only
+// produce a response nobody is waiting for.
+const budgetExpiredPrefix = "cluster: deadline:"
+
+// BudgetExpiredError is the admission gate's fast-reject of a request whose
+// remaining deadline budget cannot cover the method's observed service
+// time. Unlike OverloadedError it is not worth retrying — the caller's
+// deadline is effectively spent.
+type BudgetExpiredError struct {
+	Method   string
+	Budget   time.Duration
+	Expected time.Duration
+}
+
+func (e *BudgetExpiredError) Error() string {
+	return fmt.Sprintf("%s %s budget %dms below observed service time %dms",
+		budgetExpiredPrefix, e.Method, e.Budget.Milliseconds(), e.Expected.Milliseconds())
+}
+
+// IsBudgetExpired reports whether err is a server fast-reject for an
+// exhausted deadline budget.
+func IsBudgetExpired(err error) bool {
+	if err == nil {
+		return false
+	}
+	var be *BudgetExpiredError
+	if errors.As(err, &be) {
+		return true
+	}
+	var se rpc.ServerError
+	return errors.As(err, &se) && strings.Contains(string(se), budgetExpiredPrefix)
+}
+
+// AdmissionConfig tunes the server-side admission gate.
+type AdmissionConfig struct {
+	// MaxConcurrent is the total number of in-flight handler slots.
+	// Interactive requests may use all of them; prefetch is capped at 3/4
+	// and background at 1/4, so maintenance traffic yields as soon as the
+	// server is a quarter busy. <= 0 disables the gate entirely.
+	MaxConcurrent int
+	// MaxQueue bounds each priority class's admission queue; a request
+	// arriving at a full queue is shed immediately. <= 0 defaults to
+	// 2*MaxConcurrent.
+	MaxQueue int
+	// MaxQueueWait bounds how long a request may wait for a slot before
+	// being shed (further capped by the request's own remaining budget).
+	// <= 0 defaults to 100ms.
+	MaxQueueWait time.Duration
+}
+
+// DefaultAdmission is the gate every NewServer starts with: generous enough
+// that lightly loaded servers never queue, tight enough that a storm cannot
+// run the handler count unbounded.
+func DefaultAdmission() AdmissionConfig {
+	return AdmissionConfig{MaxConcurrent: 256, MaxQueue: 512, MaxQueueWait: 100 * time.Millisecond}
+}
+
+const (
+	minRetryAfter = 5 * time.Millisecond
+	maxRetryAfter = time.Second
+)
+
+// admitWaiter is one queued request parked until a slot frees or its wait
+// budget expires.
+type admitWaiter struct {
+	enqueued time.Time
+	done     chan struct{} // closed when admitted
+	admitted bool          // guarded by the gate mutex
+}
+
+// admissionGate is the server's per-priority admission controller. All
+// state is under one short-held mutex: admission decisions are a few
+// comparisons, and the queues are bounded.
+type admissionGate struct {
+	cfg      AdmissionConfig
+	caps     [numPriorities]int
+	maxQueue int
+	maxWait  time.Duration
+	m        *Metrics
+
+	mu       sync.Mutex
+	inflight int
+	queues   [numPriorities][]*admitWaiter
+	svcTime  map[string]time.Duration // per-method EWMA of handler time
+}
+
+// newAdmissionGate builds a gate, or returns nil (gate disabled) when
+// MaxConcurrent <= 0.
+func newAdmissionGate(cfg AdmissionConfig, m *Metrics) *admissionGate {
+	if cfg.MaxConcurrent <= 0 {
+		return nil
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 2 * cfg.MaxConcurrent
+	}
+	if cfg.MaxQueueWait <= 0 {
+		cfg.MaxQueueWait = 100 * time.Millisecond
+	}
+	g := &admissionGate{cfg: cfg, maxQueue: cfg.MaxQueue, maxWait: cfg.MaxQueueWait,
+		m: m, svcTime: make(map[string]time.Duration)}
+	n := cfg.MaxConcurrent
+	g.caps[PriorityInteractive] = n
+	g.caps[PriorityPrefetch] = max(1, n*3/4)
+	g.caps[PriorityBackground] = max(1, n/4)
+	return g
+}
+
+// acquire admits, queues, fast-rejects, or sheds one request. A nil error
+// means the request holds a handler slot and must release() it.
+func (g *admissionGate) acquire(method string, pri Priority, budget time.Duration) error {
+	if g == nil {
+		return nil
+	}
+	if pri >= numPriorities {
+		pri = PriorityBackground
+	}
+	g.mu.Lock()
+	// Fast-reject: if the caller's remaining budget is already below this
+	// method's observed service time, the reply would arrive after the
+	// caller gave up — shed now, before burning a slot on dead work.
+	if budget > 0 {
+		if est := g.svcTime[method]; est > 0 && budget < est {
+			g.mu.Unlock()
+			g.m.incDeadlineExpired()
+			return &BudgetExpiredError{Method: method, Budget: budget, Expected: est}
+		}
+	}
+	// Immediate admission: a free slot under this class's cap and nobody of
+	// the same class already waiting (FIFO within a class; strict priority
+	// across classes is enforced at release time).
+	if g.inflight < g.caps[pri] && len(g.queues[pri]) == 0 {
+		g.inflight++
+		g.mu.Unlock()
+		g.m.observeAdmissionWait(pri, 0)
+		return nil
+	}
+	if len(g.queues[pri]) >= g.maxQueue {
+		ra := g.retryAfterLocked(method)
+		g.mu.Unlock()
+		g.m.incShed(method, pri)
+		return &OverloadedError{Method: method, Priority: pri, RetryAfter: ra}
+	}
+	w := &admitWaiter{enqueued: time.Now(), done: make(chan struct{})}
+	g.queues[pri] = append(g.queues[pri], w)
+	g.m.setQueueDepth(pri, int64(len(g.queues[pri])))
+	g.mu.Unlock()
+
+	wait := g.maxWait
+	if budget > 0 && budget < wait {
+		wait = budget
+	}
+	tm := time.NewTimer(wait)
+	defer tm.Stop()
+	select {
+	case <-w.done:
+		g.m.observeAdmissionWait(pri, time.Since(w.enqueued))
+		return nil
+	case <-tm.C:
+		g.mu.Lock()
+		if w.admitted {
+			// Lost the race: a release admitted us as the timer fired. Keep
+			// the slot rather than leak it.
+			g.mu.Unlock()
+			g.m.observeAdmissionWait(pri, time.Since(w.enqueued))
+			return nil
+		}
+		q := g.queues[pri]
+		for i, qw := range q {
+			if qw == w {
+				g.queues[pri] = append(q[:i], q[i+1:]...)
+				break
+			}
+		}
+		g.m.setQueueDepth(pri, int64(len(g.queues[pri])))
+		ra := g.retryAfterLocked(method)
+		g.mu.Unlock()
+		g.m.incShed(method, pri)
+		return &OverloadedError{Method: method, Priority: pri, RetryAfter: ra}
+	}
+}
+
+// release returns a slot, folds the observed service time into the
+// per-method EWMA, and promotes queued waiters in strict priority order.
+func (g *admissionGate) release(method string, start time.Time) {
+	if g == nil {
+		return
+	}
+	elapsed := time.Since(start)
+	g.mu.Lock()
+	if old := g.svcTime[method]; old == 0 {
+		g.svcTime[method] = elapsed
+	} else {
+		// EWMA with alpha 1/4: responsive to load shifts, stable under noise.
+		g.svcTime[method] = old + (elapsed-old)/4
+	}
+	g.inflight--
+	for pri := Priority(0); pri < numPriorities; pri++ {
+		for len(g.queues[pri]) > 0 && g.inflight < g.caps[pri] {
+			w := g.queues[pri][0]
+			g.queues[pri] = g.queues[pri][1:]
+			g.inflight++
+			w.admitted = true
+			close(w.done)
+		}
+		g.m.setQueueDepth(pri, int64(len(g.queues[pri])))
+	}
+	g.mu.Unlock()
+}
+
+// retryAfterLocked scales the hint with queue pressure: roughly "how long
+// until the backlog ahead of you drains at the observed service rate",
+// clamped to keep clients neither hammering nor stalling.
+func (g *admissionGate) retryAfterLocked(method string) time.Duration {
+	base := g.svcTime[method]
+	if base <= 0 {
+		base = minRetryAfter
+	}
+	queued := 0
+	for i := range g.queues {
+		queued += len(g.queues[i])
+	}
+	ra := time.Duration(float64(base) * float64(g.inflight+queued+1) / float64(g.cfg.MaxConcurrent))
+	if ra < minRetryAfter {
+		ra = minRetryAfter
+	}
+	if ra > maxRetryAfter {
+		ra = maxRetryAfter
+	}
+	return ra
+}
+
+// errClientSaturated is returned by the client transport when a call could
+// not acquire a slot under the peer's adaptive concurrency limit within its
+// budget. It is self-inflicted backpressure: the retry loop backs off and
+// retries without feeding the circuit breaker or tearing down connections.
+var errClientSaturated = errors.New("cluster: client concurrency limit saturated")
+
+const (
+	aimdMinLimit = 1.0
+	aimdMaxLimit = 64.0
+	aimdBackoff  = 0.7
+)
+
+// aimdLimiter is the per-peer adaptive concurrency limiter: additive
+// increase (+1/limit per success, so one full limit's worth of successes
+// grows it by ~1), multiplicative decrease (×0.7 on timeout or shed).
+// It converges on the concurrency the peer can actually absorb, which
+// keeps a saturated server's queues short enough that its retry-after
+// hints stay honest.
+type aimdLimiter struct {
+	m *Metrics
+
+	mu       sync.Mutex
+	limit    float64
+	inflight int
+	waiters  []chan struct{}
+}
+
+func newAIMDLimiter(m *Metrics) *aimdLimiter {
+	return &aimdLimiter{m: m, limit: aimdMaxLimit}
+}
+
+// acquire claims a concurrency slot, waiting up to maxWait for one.
+func (l *aimdLimiter) acquire(maxWait time.Duration) error {
+	l.mu.Lock()
+	if l.inflight < int(l.limit) {
+		l.inflight++
+		l.mu.Unlock()
+		return nil
+	}
+	ch := make(chan struct{}, 1)
+	l.waiters = append(l.waiters, ch)
+	l.mu.Unlock()
+	if maxWait <= 0 {
+		maxWait = time.Second
+	}
+	tm := time.NewTimer(maxWait)
+	defer tm.Stop()
+	select {
+	case <-ch:
+		return nil // slot transferred by a releaser
+	case <-tm.C:
+		l.mu.Lock()
+		for i, w := range l.waiters {
+			if w == ch {
+				l.waiters = append(l.waiters[:i], l.waiters[i+1:]...)
+				l.mu.Unlock()
+				l.m.incClientSaturation()
+				return errClientSaturated
+			}
+		}
+		// Already granted between timer fire and lock: keep the slot.
+		l.mu.Unlock()
+		return nil
+	}
+}
+
+// release returns the slot; degrade is true when the call ended in a
+// timeout or a shed response (the peer signalled overload).
+func (l *aimdLimiter) release(degrade bool) {
+	l.mu.Lock()
+	if degrade {
+		l.limit *= aimdBackoff
+		if l.limit < aimdMinLimit {
+			l.limit = aimdMinLimit
+		}
+	} else {
+		l.limit += 1 / l.limit
+		if l.limit > aimdMaxLimit {
+			l.limit = aimdMaxLimit
+		}
+	}
+	if len(l.waiters) > 0 && l.inflight <= int(l.limit) {
+		// Hand the slot to the oldest waiter instead of releasing it.
+		ch := l.waiters[0]
+		l.waiters = l.waiters[1:]
+		ch <- struct{}{}
+	} else {
+		l.inflight--
+	}
+	lim := l.limit
+	l.mu.Unlock()
+	l.m.setAdaptiveLimit(lim)
+}
+
+// current returns the present limit, for summaries and tests.
+func (l *aimdLimiter) current() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.limit
+}

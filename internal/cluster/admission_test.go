@@ -1,0 +1,415 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/rpc"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"platod2gl/internal/wire"
+)
+
+// TestWireMethodPriorityTableComplete pins the priority table to the method
+// table: a new wire method without an admission class would silently default
+// to interactive (the zero Priority), quietly letting bulk traffic starve
+// real interactive work. Force the author to choose.
+func TestWireMethodPriorityTableComplete(t *testing.T) {
+	names := make(map[string]bool, len(wireMethods))
+	for _, m := range wireMethods {
+		names[m.name] = true
+		if _, ok := wireMethodPriorities[m.name]; !ok {
+			t.Errorf("wire method %s has no entry in wireMethodPriorities", m.name)
+		}
+	}
+	for name := range wireMethodPriorities {
+		if !names[name] {
+			t.Errorf("wireMethodPriorities lists %s, which is not a wire method", name)
+		}
+	}
+}
+
+func TestPriorityStringAndContext(t *testing.T) {
+	for pri, want := range map[Priority]string{
+		PriorityInteractive: "interactive",
+		PriorityPrefetch:    "prefetch",
+		PriorityBackground:  "background",
+		Priority(9):         "unknown",
+	} {
+		if got := pri.String(); got != want {
+			t.Errorf("Priority(%d).String() = %q, want %q", pri, got, want)
+		}
+	}
+	if _, ok := PriorityFromContext(context.Background()); ok {
+		t.Error("PriorityFromContext reported a priority on a bare context")
+	}
+	ctx := WithPriority(context.Background(), PriorityBackground)
+	if p, ok := PriorityFromContext(ctx); !ok || p != PriorityBackground {
+		t.Errorf("PriorityFromContext = (%v, %v), want (background, true)", p, ok)
+	}
+}
+
+// TestOverloadedErrorRoundTrip: the typed error and its rpc.ServerError wire
+// form must classify identically and both carry the retry-after hint —
+// that is what keeps a shed from tripping breakers on either transport.
+func TestOverloadedErrorRoundTrip(t *testing.T) {
+	oe := &OverloadedError{Method: "SampleNeighbors", Priority: PriorityPrefetch, RetryAfter: 42 * time.Millisecond}
+	if !IsOverloaded(oe) {
+		t.Error("IsOverloaded(typed) = false")
+	}
+	if !IsOverloaded(fmt.Errorf("fan-out: %w", oe)) {
+		t.Error("IsOverloaded(wrapped typed) = false")
+	}
+	if got := OverloadRetryAfter(oe); got != 42*time.Millisecond {
+		t.Errorf("OverloadRetryAfter(typed) = %v, want 42ms", got)
+	}
+	// The form the error takes after crossing either transport.
+	se := rpc.ServerError(oe.Error())
+	if !IsOverloaded(se) {
+		t.Errorf("IsOverloaded(rpc.ServerError %q) = false", se)
+	}
+	if got := OverloadRetryAfter(se); got != 42*time.Millisecond {
+		t.Errorf("OverloadRetryAfter(rpc.ServerError) = %v, want 42ms", got)
+	}
+	if IsOverloaded(errors.New("cluster: something else")) {
+		t.Error("IsOverloaded matched an unrelated error")
+	}
+	if got := OverloadRetryAfter(rpc.ServerError("no hint here")); got != 0 {
+		t.Errorf("OverloadRetryAfter(no hint) = %v, want 0", got)
+	}
+}
+
+func TestBudgetExpiredErrorRoundTrip(t *testing.T) {
+	be := &BudgetExpiredError{Method: "Features", Budget: 3 * time.Millisecond, Expected: 20 * time.Millisecond}
+	if !IsBudgetExpired(be) {
+		t.Error("IsBudgetExpired(typed) = false")
+	}
+	se := rpc.ServerError(be.Error())
+	if !IsBudgetExpired(se) {
+		t.Errorf("IsBudgetExpired(rpc.ServerError %q) = false", se)
+	}
+	if IsBudgetExpired(errors.New("cluster: overloaded: x")) {
+		t.Error("IsBudgetExpired matched an overload error")
+	}
+	if IsOverloaded(se) {
+		t.Error("IsOverloaded matched a budget-expired error")
+	}
+}
+
+// TestAdmissionGateDisabled: a nil gate (MaxConcurrent <= 0) admits
+// everything and all methods are nil-safe.
+func TestAdmissionGateDisabled(t *testing.T) {
+	g := newAdmissionGate(AdmissionConfig{MaxConcurrent: 0}, nil)
+	if g != nil {
+		t.Fatal("MaxConcurrent 0 built a live gate")
+	}
+	if err := g.acquire("X", PriorityInteractive, 0); err != nil {
+		t.Fatalf("nil gate acquire: %v", err)
+	}
+	g.release("X", time.Now()) // must not panic
+}
+
+func TestAdmissionImmediateAdmit(t *testing.T) {
+	g := newAdmissionGate(AdmissionConfig{MaxConcurrent: 2}, nil)
+	for i := 0; i < 2; i++ {
+		if err := g.acquire("X", PriorityInteractive, 0); err != nil {
+			t.Fatalf("acquire %d under capacity: %v", i, err)
+		}
+	}
+	g.release("X", time.Now())
+	g.release("X", time.Now())
+}
+
+// TestAdmissionQueueFullShed: with one slot held and the queue full, the
+// next arrival is shed immediately with a retry-after hint.
+func TestAdmissionQueueFullShed(t *testing.T) {
+	g := newAdmissionGate(AdmissionConfig{MaxConcurrent: 1, MaxQueue: 1, MaxQueueWait: 30 * time.Second}, nil)
+	if err := g.acquire("X", PriorityInteractive, 0); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	queued := make(chan error, 1)
+	go func() { queued <- g.acquire("X", PriorityInteractive, 0) }()
+	// Wait for the second request to actually enter the queue.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		g.mu.Lock()
+		n := len(g.queues[PriorityInteractive])
+		g.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("second request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	err := g.acquire("X", PriorityInteractive, 0)
+	var oe *OverloadedError
+	if !errors.As(err, &oe) {
+		t.Fatalf("queue-full acquire = %v, want OverloadedError", err)
+	}
+	if oe.RetryAfter < minRetryAfter {
+		t.Errorf("RetryAfter = %v, want >= %v", oe.RetryAfter, minRetryAfter)
+	}
+	// Releasing the held slot must admit the queued waiter.
+	g.release("X", time.Now())
+	select {
+	case werr := <-queued:
+		if werr != nil {
+			t.Fatalf("queued waiter got %v, want admission", werr)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued waiter never admitted after release")
+	}
+	g.release("X", time.Now())
+}
+
+// TestAdmissionQueueWaitShed: a waiter that outlives MaxQueueWait is shed
+// as overloaded rather than parked forever.
+func TestAdmissionQueueWaitShed(t *testing.T) {
+	g := newAdmissionGate(AdmissionConfig{MaxConcurrent: 1, MaxQueue: 4, MaxQueueWait: 20 * time.Millisecond}, nil)
+	if err := g.acquire("X", PriorityInteractive, 0); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	start := time.Now()
+	err := g.acquire("X", PriorityInteractive, 0)
+	if !IsOverloaded(err) {
+		t.Fatalf("queued acquire = %v, want overloaded after wait cap", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("queue-wait shed took %v", time.Since(start))
+	}
+	// The timed-out waiter must have left the queue.
+	g.mu.Lock()
+	n := len(g.queues[PriorityInteractive])
+	g.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("queue holds %d waiters after timeout shed, want 0", n)
+	}
+	g.release("X", time.Now())
+}
+
+// TestAdmissionBackgroundYieldsFirst: with MaxConcurrent 4 the background
+// cap is 1, so a single busy slot already starves further background work
+// while interactive requests still sail through — the brownout ordering.
+func TestAdmissionBackgroundYieldsFirst(t *testing.T) {
+	g := newAdmissionGate(AdmissionConfig{MaxConcurrent: 4, MaxQueue: 4, MaxQueueWait: 15 * time.Millisecond}, nil)
+	if err := g.acquire("Scrub", PriorityBackground, 0); err != nil {
+		t.Fatalf("first background acquire: %v", err)
+	}
+	if err := g.acquire("Scrub", PriorityBackground, 0); !IsOverloaded(err) {
+		t.Fatalf("second background acquire = %v, want shed at background cap", err)
+	}
+	if err := g.acquire("SampleNeighbors", PriorityInteractive, 0); err != nil {
+		t.Fatalf("interactive acquire while background capped: %v", err)
+	}
+	g.release("SampleNeighbors", time.Now())
+	g.release("Scrub", time.Now())
+}
+
+// TestAdmissionFastReject: once a method's observed service time exceeds a
+// request's remaining budget, the gate sheds it before it burns a slot.
+func TestAdmissionFastReject(t *testing.T) {
+	g := newAdmissionGate(AdmissionConfig{MaxConcurrent: 4}, nil)
+	// Seed the EWMA: one release observing ~50ms of service time.
+	if err := g.acquire("Slow", PriorityInteractive, 0); err != nil {
+		t.Fatalf("seed acquire: %v", err)
+	}
+	g.release("Slow", time.Now().Add(-50*time.Millisecond))
+	err := g.acquire("Slow", PriorityInteractive, 5*time.Millisecond)
+	var be *BudgetExpiredError
+	if !errors.As(err, &be) {
+		t.Fatalf("acquire with 5ms budget against 50ms service time = %v, want BudgetExpiredError", err)
+	}
+	// No budget means no fast-reject, regardless of service time.
+	if err := g.acquire("Slow", PriorityInteractive, 0); err != nil {
+		t.Fatalf("acquire without budget: %v", err)
+	}
+	g.release("Slow", time.Now())
+	// A generous budget admits too.
+	if err := g.acquire("Slow", PriorityInteractive, time.Second); err != nil {
+		t.Fatalf("acquire with ample budget: %v", err)
+	}
+	g.release("Slow", time.Now())
+}
+
+// TestAIMDLimiterSaturation: past the limit, acquire parks and then fails
+// with errClientSaturated — the client's own backpressure signal.
+func TestAIMDLimiterSaturation(t *testing.T) {
+	l := newAIMDLimiter(nil)
+	for i := 0; i < int(aimdMaxLimit); i++ {
+		if err := l.acquire(time.Millisecond); err != nil {
+			t.Fatalf("acquire %d under the limit: %v", i, err)
+		}
+	}
+	if err := l.acquire(10 * time.Millisecond); !errors.Is(err, errClientSaturated) {
+		t.Fatalf("acquire past the limit = %v, want errClientSaturated", err)
+	}
+	for i := 0; i < int(aimdMaxLimit); i++ {
+		l.release(false)
+	}
+}
+
+// TestAIMDLimiterAdaptation: multiplicative decrease on degrade, additive
+// increase on success, clamped to [aimdMinLimit, aimdMaxLimit].
+func TestAIMDLimiterAdaptation(t *testing.T) {
+	l := newAIMDLimiter(nil)
+	if got := l.current(); got != aimdMaxLimit {
+		t.Fatalf("initial limit = %v, want %v", got, aimdMaxLimit)
+	}
+	if err := l.acquire(time.Second); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	l.release(true)
+	if got := l.current(); got >= aimdMaxLimit || got < aimdMaxLimit*aimdBackoff-0.01 {
+		t.Fatalf("limit after one degrade = %v, want ~%v", got, aimdMaxLimit*aimdBackoff)
+	}
+	// Hammer degrades: the limit must floor at aimdMinLimit, never below.
+	for i := 0; i < 50; i++ {
+		if err := l.acquire(time.Second); err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+		l.release(true)
+	}
+	if got := l.current(); got != aimdMinLimit {
+		t.Fatalf("limit after degrade storm = %v, want floor %v", got, aimdMinLimit)
+	}
+	// Successes grow it back (additive, so just check direction).
+	if err := l.acquire(time.Second); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	l.release(false)
+	if got := l.current(); got <= aimdMinLimit {
+		t.Fatalf("limit after success = %v, want > %v", got, aimdMinLimit)
+	}
+}
+
+// TestAIMDLimiterHandoff: a release hands its slot to the oldest parked
+// waiter instead of dropping inflight — no thundering herd, no lost slot.
+func TestAIMDLimiterHandoff(t *testing.T) {
+	l := &aimdLimiter{limit: 1}
+	if err := l.acquire(time.Second); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	got := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		got <- l.acquire(30 * time.Second)
+	}()
+	// Wait until the goroutine is parked in the waiter list.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		l.mu.Lock()
+		n := len(l.waiters)
+		l.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("second acquire never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	l.release(false)
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("parked waiter got %v, want handed-off slot", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked waiter never received the released slot")
+	}
+	wg.Wait()
+	l.release(false)
+}
+
+// TestAdmissionControlPlaneExempt: with the gate fully saturated, control
+// RPCs like Routing must still serve. Shedding them turns overload into an
+// unrecoverable state — the priority inversion the brownout drill caught,
+// where shedding ReleaseShard left writers parked and slots pinned.
+func TestAdmissionControlPlaneExempt(t *testing.T) {
+	for name := range admissionExempt {
+		if _, ok := wireMethodPriorities[name]; !ok {
+			t.Errorf("admissionExempt lists %s, which is not a wire method", name)
+		}
+	}
+	s := NewServer(newTestService(t))
+	s.SetAdmission(AdmissionConfig{MaxConcurrent: 1, MaxQueue: 1, MaxQueueWait: 5 * time.Millisecond})
+	if err := s.admit.acquire("Stats", PriorityInteractive, 0); err != nil {
+		t.Fatalf("hold slot: %v", err)
+	}
+	id, ok := wireMethodID[ServiceName+".Routing"]
+	if !ok {
+		t.Fatal("Routing has no wire method id")
+	}
+	frame := []byte{wire.KindRequest, byte(id)}
+	resp, method := s.handleWireFrame(frame, 2)
+	if method != "Routing" {
+		t.Errorf("method = %q, want Routing", method)
+	}
+	if len(resp) == 0 || resp[0] != wire.KindResponse {
+		t.Fatalf("saturated gate shed an exempt control RPC: frame %q", resp)
+	}
+	s.admit.release("Stats", time.Now())
+}
+
+// TestHandleWireFrameEnvelopeOnV1: a negotiated-v1 connection must reject
+// envelope frames — the negotiation said they would not be sent.
+func TestHandleWireFrameEnvelopeOnV1(t *testing.T) {
+	s := NewServer(newTestService(t))
+	frame := []byte{wire.KindRequestEnv, 0x01, 0x00, 0x00} // pri=interactive, no budget, method 0
+	resp, method := s.handleWireFrame(frame, 1)
+	if method != "" {
+		t.Errorf("method = %q, want empty for a rejected frame", method)
+	}
+	if len(resp) == 0 || resp[0] != wire.KindError {
+		t.Fatalf("response kind = %v, want KindError", resp)
+	}
+	if !strings.Contains(string(resp), "envelope frame on a version-1 connection") {
+		t.Errorf("error frame %q does not name the version violation", resp)
+	}
+}
+
+// TestHandleWireFrameUnknownPriority: a priority byte past the known classes
+// is a protocol error, not a silent default.
+func TestHandleWireFrameUnknownPriority(t *testing.T) {
+	s := NewServer(newTestService(t))
+	frame := []byte{wire.KindRequestEnv, numPriorities + 1, 0x00, 0x00}
+	resp, _ := s.handleWireFrame(frame, 2)
+	if len(resp) == 0 || resp[0] != wire.KindError {
+		t.Fatalf("response kind = %v, want KindError", resp)
+	}
+	if !strings.Contains(string(resp), "unknown priority class") {
+		t.Errorf("error frame %q does not name the unknown priority", resp)
+	}
+}
+
+// TestHandleWireFrameShedCrossesAsError: with a zero-capacity-equivalent
+// gate (one slot held), a wire request frame comes back as an error frame
+// whose text the client-side classifiers recognize as a shed.
+func TestHandleWireFrameShedCrossesAsError(t *testing.T) {
+	s := NewServer(newTestService(t))
+	s.SetAdmission(AdmissionConfig{MaxConcurrent: 1, MaxQueue: 1, MaxQueueWait: 10 * time.Millisecond})
+	// Hold the only slot: the frame's request queues, outlives the 10ms wait
+	// cap, and sheds.
+	if err := s.admit.acquire("Stats", PriorityInteractive, 0); err != nil {
+		t.Fatalf("hold slot: %v", err)
+	}
+	frame := []byte{wire.KindRequest, 0x00} // method id 0 — sheds before arg decode
+	resp, _ := s.handleWireFrame(frame, 2)
+	if len(resp) == 0 || resp[0] != wire.KindError {
+		t.Fatalf("response kind = %v, want KindError", resp)
+	}
+	if !strings.Contains(string(resp), overloadedPrefix) {
+		t.Errorf("shed frame %q does not carry the overloaded prefix", resp)
+	}
+	if !strings.Contains(string(resp), "retry after ") {
+		t.Errorf("shed frame %q carries no retry-after hint", resp)
+	}
+	s.admit.release("Stats", time.Now())
+}

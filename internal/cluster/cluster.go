@@ -28,6 +28,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -42,6 +43,7 @@ import (
 	"platod2gl/internal/graph"
 	"platod2gl/internal/kvstore"
 	"platod2gl/internal/storage"
+	"platod2gl/internal/wire"
 )
 
 // ServiceName is the registered RPC receiver name.
@@ -459,19 +461,81 @@ func (s *Service) Stats(_ *StatsArgs, reply *StatsReply) (err error) {
 
 // Server serves the RPC service over accepted connections, speaking either
 // the binary wire protocol or legacy net/rpc gob per connection — the codec
-// is sniffed from the first bytes (see dispatch.go).
+// is sniffed from the first bytes (see dispatch.go). Wire connections pass
+// through the admission gate (see admission.go); gob connections bypass it —
+// a legacy peer negotiated down to exactly today's behavior.
 type Server struct {
 	rpcServer *rpc.Server
 	svc       *Service
+	admit     *admissionGate
+	limits    ServerLimits
+	maxWire   atomic.Uint32 // negotiation cap; 0 = wire.Version
+	conns     atomic.Int64  // live sniffed-or-serving connections
+	hsSem     chan struct{} // in-flight handshake tokens; nil = unlimited
 }
 
-// NewServer registers the service.
+// ServerLimits bounds the server's accept-side resources. Connections past
+// MaxConns, and connections that cannot get a handshake token when
+// MaxHandshakes are already sniffing/negotiating, are closed immediately —
+// a clean refusal the client sees as a dial/handshake failure — instead of
+// each occupying a goroutine forever. The zero value disables all caps
+// (in-process pipe clusters want that).
+type ServerLimits struct {
+	// MaxConns caps concurrently served connections. <= 0: unlimited.
+	MaxConns int
+	// MaxHandshakes caps connections simultaneously inside the
+	// sniff/handshake phase. <= 0: unlimited.
+	MaxHandshakes int
+	// HandshakeTimeout bounds the sniff + version negotiation of one fresh
+	// connection, so a peer that connects and goes silent cannot pin a
+	// handshake token. <= 0: no deadline.
+	HandshakeTimeout time.Duration
+}
+
+// DefaultServerLimits is the production starting point for TCP servers.
+func DefaultServerLimits() ServerLimits {
+	return ServerLimits{MaxConns: 1024, MaxHandshakes: 128, HandshakeTimeout: 5 * time.Second}
+}
+
+// NewServer registers the service. The admission gate starts at
+// DefaultAdmission; accept-side limits start disabled (SetLimits).
 func NewServer(svc *Service) *Server {
 	rs := rpc.NewServer()
 	if err := rs.RegisterName(ServiceName, svc); err != nil {
 		panic(fmt.Sprintf("cluster: register: %v", err))
 	}
-	return &Server{rpcServer: rs, svc: svc}
+	s := &Server{rpcServer: rs, svc: svc}
+	s.admit = newAdmissionGate(DefaultAdmission(), svc.metrics)
+	return s
+}
+
+// SetAdmission replaces the admission gate's configuration.
+// cfg.MaxConcurrent <= 0 disables admission control entirely. Call before
+// Serve; the gate is swapped without synchronization.
+func (s *Server) SetAdmission(cfg AdmissionConfig) {
+	s.admit = newAdmissionGate(cfg, s.svc.metrics)
+}
+
+// SetLimits installs accept-side resource caps. Call before Serve.
+func (s *Server) SetLimits(l ServerLimits) {
+	s.limits = l
+	if l.MaxHandshakes > 0 {
+		s.hsSem = make(chan struct{}, l.MaxHandshakes)
+	} else {
+		s.hsSem = nil
+	}
+}
+
+// SetMaxWireVersion caps the protocol version the server negotiates —
+// a rollback hook, and the lever interop tests use to stand up a "v1
+// server" from current code. 0 restores the default (wire.Version).
+func (s *Server) SetMaxWireVersion(v byte) { s.maxWire.Store(uint32(v)) }
+
+func (s *Server) maxWireVersion() byte {
+	if v := s.maxWire.Load(); v != 0 {
+		return byte(v)
+	}
+	return wire.Version
 }
 
 // acceptBackoffMax caps the accept-loop retry delay.
@@ -497,7 +561,16 @@ func (s *Server) Serve(lis net.Listener) {
 			continue
 		}
 		delay = 0
-		go s.serveConn(conn)
+		if maxC := s.limits.MaxConns; maxC > 0 && s.conns.Load() >= int64(maxC) {
+			s.svc.metrics.incConnRejected()
+			conn.Close()
+			continue
+		}
+		s.conns.Add(1)
+		go func(conn net.Conn) {
+			defer s.conns.Add(-1)
+			s.serveConn(conn)
+		}(conn)
 	}
 }
 
@@ -668,7 +741,7 @@ func Dial(addrs []string, opts Options) (*Client, error) {
 	dialers := make([]Dialer, len(addrs))
 	for i, addr := range addrs {
 		dialers[i] = TCPDialer(addr, opts.CallTimeout)
-		t, err := dialTransport(dialers[i], opts.Protocol, opts.CallTimeout, opts.Metrics)
+		t, err := dialTransport(dialers[i], opts.Protocol, opts.CallTimeout, opts.Metrics, opts.MaxWireVersion)
 		if err != nil {
 			if r == 1 {
 				return fail(transports, fmt.Errorf("cluster: dial %s: %w", addr, err))
@@ -777,6 +850,14 @@ func (c *Client) shardFor(src graph.VertexID) int {
 // acknowledges it; replicas that missed it are marked stale and repaired by
 // catch-up.
 func (c *Client) ApplyBatch(events []graph.Event) error {
+	return c.ApplyBatchCtx(context.Background(), events)
+}
+
+// ApplyBatchCtx is ApplyBatch with a caller-supplied context: the deadline
+// (when set) propagates to every server as the request's remaining budget and
+// bounds the retry loop end to end, and a WithPriority annotation overrides
+// the method's default admission class.
+func (c *Client) ApplyBatchCtx(ctx context.Context, events []graph.Event) error {
 	shards := c.numShards()
 	parts := make([][]graph.Event, shards)
 	for _, ev := range events {
@@ -794,9 +875,9 @@ func (c *Client) ApplyBatch(events []graph.Event) error {
 			return nil
 		}
 		args := &BatchArgs{Events: parts[s], ClientID: c.clientID, Seq: seqs[s], Sum: checksumEvents(parts[s])}
-		return c.writeShard(s, args, func(pe *peer, maxRetries int) error {
+		return c.writeShard(ctx, s, args, func(ctx context.Context, pe *peer, maxRetries int) error {
 			var reply BatchReply
-			return c.callPe(pe, ServiceName+".ApplyBatch", args, &reply, maxRetries)
+			return c.callPeCtx(ctx, pe, ServiceName+".ApplyBatch", args, &reply, maxRetries)
 		})
 	})
 }
@@ -807,7 +888,13 @@ func (c *Client) ApplyBatch(events []graph.Event) error {
 // fallbacks instead of failing the batch; use SampleNeighborsDegraded to
 // also receive the per-shard error report.
 func (c *Client) SampleNeighbors(seeds []graph.VertexID, et graph.EdgeType, fanout int, seed int64) ([]graph.VertexID, error) {
-	out, report, err := c.sampleNeighbors(seeds, et, fanout, seed, c.opts.Degraded)
+	return c.SampleNeighborsCtx(context.Background(), seeds, et, fanout, seed)
+}
+
+// SampleNeighborsCtx is SampleNeighbors with a caller-supplied context whose
+// deadline propagates cluster-wide as the request budget.
+func (c *Client) SampleNeighborsCtx(ctx context.Context, seeds []graph.VertexID, et graph.EdgeType, fanout int, seed int64) ([]graph.VertexID, error) {
+	out, report, err := c.sampleNeighbors(ctx, seeds, et, fanout, seed, c.opts.Degraded)
 	if err != nil {
 		return nil, err
 	}
@@ -820,10 +907,10 @@ func (c *Client) SampleNeighbors(seeds []graph.VertexID, et graph.EdgeType, fano
 // the seed itself, exactly the protocol's existing convention for unknown
 // vertices — plus a report of which shards failed and why.
 func (c *Client) SampleNeighborsDegraded(seeds []graph.VertexID, et graph.EdgeType, fanout int, seed int64) ([]graph.VertexID, *FanoutReport, error) {
-	return c.sampleNeighbors(seeds, et, fanout, seed, true)
+	return c.sampleNeighbors(context.Background(), seeds, et, fanout, seed, true)
 }
 
-func (c *Client) sampleNeighbors(seeds []graph.VertexID, et graph.EdgeType, fanout int, seed int64, degraded bool) ([]graph.VertexID, *FanoutReport, error) {
+func (c *Client) sampleNeighbors(ctx context.Context, seeds []graph.VertexID, et graph.EdgeType, fanout int, seed int64, degraded bool) ([]graph.VertexID, *FanoutReport, error) {
 	if fanout < 0 {
 		return nil, nil, fmt.Errorf("cluster: negative fanout %d", fanout)
 	}
@@ -866,7 +953,7 @@ func (c *Client) sampleNeighbors(seeds []graph.VertexID, et graph.EdgeType, fano
 		}
 		args := &SampleArgs{Seeds: partSeeds[p], Type: et, Fanout: fanout, Seed: seed + int64(p)}
 		var reply SampleReply
-		if err := c.readShard(p, ServiceName+".SampleNeighbors", args, &reply); err != nil {
+		if err := c.readShard(ctx, p, ServiceName+".SampleNeighbors", args, &reply); err != nil {
 			return err
 		}
 		if len(reply.Neighbors) != len(partSeeds[p])*fanout {
@@ -909,13 +996,19 @@ func (c *Client) sampleNeighbors(seeds []graph.VertexID, et graph.EdgeType, fano
 // SampleSubgraph expands seeds along a meta-path hop by hop across the
 // cluster.
 func (c *Client) SampleSubgraph(seeds []graph.VertexID, path graph.MetaPath, fanouts []int, seed int64) ([][]graph.VertexID, error) {
+	return c.SampleSubgraphCtx(context.Background(), seeds, path, fanouts, seed)
+}
+
+// SampleSubgraphCtx is SampleSubgraph with a caller-supplied context whose
+// deadline bounds the whole multi-hop expansion, not just one hop.
+func (c *Client) SampleSubgraphCtx(ctx context.Context, seeds []graph.VertexID, path graph.MetaPath, fanouts []int, seed int64) ([][]graph.VertexID, error) {
 	if len(path) != len(fanouts) {
 		return nil, fmt.Errorf("cluster: meta-path length %d != fanouts %d", len(path), len(fanouts))
 	}
 	layers := make([][]graph.VertexID, len(path))
 	frontier := seeds
 	for hop, et := range path {
-		next, err := c.SampleNeighbors(frontier, et, fanouts[hop], seed+int64(hop)*7919)
+		next, err := c.SampleNeighborsCtx(ctx, frontier, et, fanouts[hop], seed+int64(hop)*7919)
 		if err != nil {
 			return nil, err
 		}
@@ -928,6 +1021,12 @@ func (c *Client) SampleSubgraph(seeds []graph.VertexID, path graph.MetaPath, fan
 // Degree queries out-degrees across the cluster, reading one live replica
 // per shard.
 func (c *Client) Degree(nodes []graph.VertexID, et graph.EdgeType) ([]int, error) {
+	return c.DegreeCtx(context.Background(), nodes, et)
+}
+
+// DegreeCtx is Degree with a caller-supplied context whose deadline
+// propagates cluster-wide as the request budget.
+func (c *Client) DegreeCtx(ctx context.Context, nodes []graph.VertexID, et graph.EdgeType) ([]int, error) {
 	out := make([]int, len(nodes))
 	shards := c.numShards()
 	scratch := getFanoutScratch(shards)
@@ -940,7 +1039,7 @@ func (c *Client) Degree(nodes []graph.VertexID, et graph.EdgeType) ([]int, error
 			return nil
 		}
 		var reply DegreeReply
-		if err := c.readShard(p, ServiceName+".Degree", &DegreeArgs{Nodes: partNodes[p], Type: et}, &reply); err != nil {
+		if err := c.readShard(ctx, p, ServiceName+".Degree", &DegreeArgs{Nodes: partNodes[p], Type: et}, &reply); err != nil {
 			return err
 		}
 		for j, origIdx := range partIdx[p] {
@@ -956,6 +1055,12 @@ func (c *Client) Degree(nodes []graph.VertexID, et graph.EdgeType) ([]int, error
 // each node under hash-by-source partitioning. Feature writes are absolute
 // (last write wins), so retries are safe without dedup.
 func (c *Client) SetFeatures(nodes []graph.VertexID, dim int, data []float32, labels []int32) error {
+	return c.SetFeaturesCtx(context.Background(), nodes, dim, data, labels)
+}
+
+// SetFeaturesCtx is SetFeatures with a caller-supplied context whose
+// deadline propagates cluster-wide as the request budget.
+func (c *Client) SetFeaturesCtx(ctx context.Context, nodes []graph.VertexID, dim int, data []float32, labels []int32) error {
 	if len(data) != len(nodes)*dim {
 		return fmt.Errorf("cluster: feature payload %d != %d nodes x %d dim", len(data), len(nodes), dim)
 	}
@@ -979,9 +1084,9 @@ func (c *Client) SetFeatures(nodes []graph.VertexID, dim int, data []float32, la
 			return nil
 		}
 		args := &SetFeaturesArgs{Nodes: parts[s].nodes, Dim: dim, Data: parts[s].data, Labels: parts[s].labels}
-		return c.writeShard(s, args, func(pe *peer, maxRetries int) error {
+		return c.writeShard(ctx, s, args, func(ctx context.Context, pe *peer, maxRetries int) error {
 			var reply SetFeaturesReply
-			return c.callPe(pe, ServiceName+".SetFeatures", args, &reply, maxRetries)
+			return c.callPeCtx(ctx, pe, ServiceName+".SetFeatures", args, &reply, maxRetries)
 		})
 	})
 }
@@ -990,7 +1095,14 @@ func (c *Client) SetFeatures(nodes []graph.VertexID, dim int, data []float32, la
 // dense row-major (len(nodes) x dim) matrix, reading one live replica per
 // shard.
 func (c *Client) Features(nodes []graph.VertexID, dim int) ([]float32, error) {
-	data, _, err := c.featuresLabels(nodes, dim, false)
+	data, _, err := c.featuresLabels(context.Background(), nodes, dim, false)
+	return data, err
+}
+
+// FeaturesCtx is Features with a caller-supplied context whose deadline
+// propagates cluster-wide as the request budget.
+func (c *Client) FeaturesCtx(ctx context.Context, nodes []graph.VertexID, dim int) ([]float32, error) {
+	data, _, err := c.featuresLabels(ctx, nodes, dim, false)
 	return data, err
 }
 
@@ -998,16 +1110,22 @@ func (c *Client) Features(nodes []graph.VertexID, dim int) ([]float32, error) {
 // the read half of SetFeatures' (features, labels) push, which supervised
 // training needs back out. Unlabeled nodes get label 0.
 func (c *Client) FeaturesLabels(nodes []graph.VertexID, dim int) ([]float32, []int32, error) {
-	return c.featuresLabels(nodes, dim, true)
+	return c.featuresLabels(context.Background(), nodes, dim, true)
+}
+
+// FeaturesLabelsCtx is FeaturesLabels with a caller-supplied context whose
+// deadline propagates cluster-wide as the request budget.
+func (c *Client) FeaturesLabelsCtx(ctx context.Context, nodes []graph.VertexID, dim int) ([]float32, []int32, error) {
+	return c.featuresLabels(ctx, nodes, dim, true)
 }
 
 // Labels gathers only class labels (one fan-out, no feature payload).
 func (c *Client) Labels(nodes []graph.VertexID) ([]int32, error) {
-	_, labels, err := c.featuresLabels(nodes, 0, true)
+	_, labels, err := c.featuresLabels(context.Background(), nodes, 0, true)
 	return labels, err
 }
 
-func (c *Client) featuresLabels(nodes []graph.VertexID, dim int, withLabels bool) ([]float32, []int32, error) {
+func (c *Client) featuresLabels(ctx context.Context, nodes []graph.VertexID, dim int, withLabels bool) ([]float32, []int32, error) {
 	out := make([]float32, len(nodes)*dim)
 	var labels []int32
 	if withLabels {
@@ -1025,7 +1143,7 @@ func (c *Client) featuresLabels(nodes []graph.VertexID, dim int, withLabels bool
 		}
 		var reply FeatureReply
 		args := &FeatureArgs{Nodes: partNodes[p], Dim: dim, WithLabels: withLabels}
-		if err := c.readShard(p, ServiceName+".Features", args, &reply); err != nil {
+		if err := c.readShard(ctx, p, ServiceName+".Features", args, &reply); err != nil {
 			return err
 		}
 		if len(reply.Data) != len(partNodes[p])*dim {
@@ -1053,11 +1171,17 @@ func (c *Client) featuresLabels(nodes []graph.VertexID, dim int, withLabels bool
 // hash slice, so a server owning several shards is asked once per shard and
 // never double-reports, and migration-staged copies stay invisible.
 func (c *Client) Sources(et graph.EdgeType) ([]graph.VertexID, error) {
+	return c.SourcesCtx(context.Background(), et)
+}
+
+// SourcesCtx is Sources with a caller-supplied context whose deadline
+// propagates cluster-wide as the request budget.
+func (c *Client) SourcesCtx(ctx context.Context, et graph.EdgeType) ([]graph.VertexID, error) {
 	var mu sync.Mutex
 	var all []graph.VertexID
 	err := c.fanOut(c.numShards(), func(p int) error {
 		var reply SourcesReply
-		if err := c.readShard(p, ServiceName+".Sources", &SourcesArgs{Type: et}, &reply); err != nil {
+		if err := c.readShard(ctx, p, ServiceName+".Sources", &SourcesArgs{Type: et}, &reply); err != nil {
 			return err
 		}
 		mu.Lock()
@@ -1078,6 +1202,12 @@ func (c *Client) Sources(et graph.EdgeType) ([]graph.VertexID, error) {
 // staged on the destination is transiently counted too — Stats is a
 // capacity view, not a topology oracle.
 func (c *Client) Stats() (StatsReply, error) {
+	return c.StatsCtx(context.Background())
+}
+
+// StatsCtx is Stats with a caller-supplied context whose deadline propagates
+// cluster-wide as the request budget.
+func (c *Client) StatsCtx(ctx context.Context) (StatsReply, error) {
 	var mu sync.Mutex
 	var agg StatsReply
 	collect := func(reply *StatsReply) {
@@ -1095,7 +1225,7 @@ func (c *Client) Stats() (StatsReply, error) {
 			go func(g int) {
 				defer wg.Done()
 				var reply StatsReply
-				if err := c.readGroup(g, rt.groups[g], &rt.rr[g], ServiceName+".Stats", &StatsArgs{}, &reply); err != nil {
+				if err := c.readGroup(ctx, g, rt.groups[g], &rt.rr[g], ServiceName+".Stats", &StatsArgs{}, &reply); err != nil {
 					errs[g] = err
 					return
 				}
@@ -1112,7 +1242,7 @@ func (c *Client) Stats() (StatsReply, error) {
 	}
 	err := c.fanOut(c.shards, func(p int) error {
 		var reply StatsReply
-		if err := c.readShard(p, ServiceName+".Stats", &StatsArgs{}, &reply); err != nil {
+		if err := c.readShard(ctx, p, ServiceName+".Stats", &StatsArgs{}, &reply); err != nil {
 			return err
 		}
 		collect(&reply)

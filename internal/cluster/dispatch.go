@@ -34,6 +34,53 @@ type wireMethod struct {
 	invoke   func(s *Service, args, reply wireMessage) error
 }
 
+// wireMethodPriorities assigns each method its default admission class.
+// Latency-sensitive reads a training step or online lookup blocks on are
+// interactive; bulk ingest and feature writes are prefetch; replication,
+// migration, scrub, and control-plane traffic is background. Kept as a
+// separate table (rather than widening every literal below) so the
+// classification is reviewable at a glance.
+var wireMethodPriorities = map[string]Priority{
+	"ApplyBatch":         PriorityPrefetch,
+	"SampleNeighbors":    PriorityInteractive,
+	"Degree":             PriorityInteractive,
+	"Features":           PriorityInteractive,
+	"SetFeatures":        PriorityPrefetch,
+	"Sources":            PriorityInteractive,
+	"Stats":              PriorityInteractive,
+	"FetchSnapshot":      PriorityBackground,
+	"FetchWALTail":       PriorityBackground,
+	"SyncState":          PriorityBackground,
+	"Routing":            PriorityInteractive,
+	"UpdateRouting":      PriorityBackground,
+	"FetchShardSnapshot": PriorityBackground,
+	"FetchShardFeatures": PriorityBackground,
+	"ParkShard":          PriorityBackground,
+	"ReleaseShard":       PriorityBackground,
+	"DropShard":          PriorityBackground,
+	"PullShard":          PriorityBackground,
+	"ShardDigest":        PriorityBackground,
+	"Scrub":              PriorityBackground,
+	"FetchAttrs":         PriorityBackground,
+}
+
+// admissionExempt lists the control-plane methods that bypass the admission
+// gate. They are tiny, rare, and — critically — the very RPCs that relieve
+// a saturated or mid-migration server: shedding them turns transient
+// overload into a self-sustaining outage. The concrete inversion the chaos
+// drill caught: writers parked on a migrating shard pin their handler slots,
+// the pinned slots starve the background class, and the background class
+// then sheds the ReleaseShard that would unpark the writers — a deadlock
+// only the park TTL escapes. The data-moving migration RPCs (snapshots, WAL
+// tails, pulls) stay gated; only the control plane is exempt.
+var admissionExempt = map[string]bool{
+	"Routing":       true,
+	"UpdateRouting": true,
+	"ParkShard":     true,
+	"ReleaseShard":  true,
+	"SyncState":     true,
+}
+
 // wireMethods assigns each method its frame id (the slice index). Append
 // only; ids are wire-protocol surface.
 var wireMethods = []wireMethod{
@@ -153,26 +200,60 @@ var wireMethods = []wireMethod{
 // form every call site already uses) to its frame id.
 var wireMethodID = make(map[string]int, len(wireMethods))
 
+// wireMethodPri is the per-id default admission class, resolved from
+// wireMethodPriorities at init — used when a request carries no envelope
+// (bare v1 frames, or an envelope whose priority byte is the "method
+// default" sentinel 0).
+var wireMethodPri = make([]Priority, len(wireMethods))
+
+// wireMethodExempt is admissionExempt resolved to frame ids.
+var wireMethodExempt = make([]bool, len(wireMethods))
+
 func init() {
 	for i, m := range wireMethods {
 		wireMethodID[ServiceName+"."+m.name] = i
+		wireMethodPri[i] = wireMethodPriorities[m.name]
+		wireMethodExempt[i] = admissionExempt[m.name]
 	}
 }
 
 // serveConn sniffs the codec from the first bytes of a fresh connection and
 // serves it to completion: wire magic opens a binary-protocol session,
 // anything else (in practice a gob length prefix, which can never start with
-// the 0x00 magic byte) replays into a legacy net/rpc session.
+// the 0x00 magic byte) replays into a legacy net/rpc session. The sniff +
+// negotiation phase runs under a handshake token and read deadline when
+// ServerLimits configures them, so silent or slow-connecting peers cannot
+// pin unbounded accept-side resources.
 func (s *Server) serveConn(conn net.Conn) {
+	hsDone := func() {}
+	if s.hsSem != nil {
+		select {
+		case s.hsSem <- struct{}{}:
+			var once sync.Once
+			hsDone = func() { once.Do(func() { <-s.hsSem }) }
+		default:
+			s.svc.metrics.incConnRejected()
+			conn.Close()
+			return
+		}
+	}
+	defer hsDone()
+	if to := s.limits.HandshakeTimeout; to > 0 {
+		conn.SetReadDeadline(time.Now().Add(to))
+	}
 	var prefix [4]byte
 	if _, err := io.ReadFull(conn, prefix[:]); err != nil {
 		conn.Close()
 		return
 	}
 	if prefix == wire.Magic {
-		s.serveWire(conn)
+		s.serveWire(conn, hsDone)
 		return
 	}
+	if s.limits.HandshakeTimeout > 0 {
+		conn.SetReadDeadline(time.Time{})
+	}
+	hsDone()
 	s.svc.metrics.incGobFallback()
 	rwc := &replayConn{Reader: io.MultiReader(bytes.NewReader(prefix[:]), conn), conn: conn}
 	s.rpcServer.ServeCodec(newCountingGobCodec(rwc, s.svc.metrics))
@@ -180,8 +261,9 @@ func (s *Server) serveConn(conn net.Conn) {
 
 // serveWire completes the handshake (the magic is already consumed) and then
 // serves request frames until the connection dies. One frame at a time per
-// connection; concurrency comes from the client's connection pool.
-func (s *Server) serveWire(conn net.Conn) {
+// connection; concurrency comes from the client's connection pool. hsDone
+// releases the handshake token once negotiation finishes (either way).
+func (s *Server) serveWire(conn net.Conn, hsDone func()) {
 	defer conn.Close()
 	hsStart := time.Now()
 	var hello [8]byte
@@ -193,13 +275,17 @@ func (s *Server) serveWire(conn net.Conn) {
 	if err != nil {
 		return
 	}
-	ver := wire.Negotiate(minVer, maxVer)
+	ver := wire.NegotiateCapped(minVer, maxVer, s.maxWireVersion())
 	ack := wire.Ack(ver)
 	if _, err := conn.Write(ack[:]); err != nil || ver == 0 {
 		// ver == 0: no overlapping version range (a future-only client);
 		// the ack tells it so before we hang up.
 		return
 	}
+	if s.limits.HandshakeTimeout > 0 {
+		conn.SetReadDeadline(time.Time{})
+	}
+	hsDone()
 	m := s.svc.metrics
 	m.incWireHandshake()
 	m.observeServed("Handshake", hsStart)
@@ -210,7 +296,7 @@ func (s *Server) serveWire(conn net.Conn) {
 			return
 		}
 		reqBytes := int64(len(req)) + 4
-		resp, method := s.handleWireFrame(req)
+		resp, method := s.handleWireFrame(req, ver)
 		wire.PutBuf(req)
 		err = wire.WriteFrame(conn, resp)
 		respBytes := int64(len(resp)) + 4
@@ -224,12 +310,16 @@ func (s *Server) serveWire(conn net.Conn) {
 	}
 }
 
-// handleWireFrame decodes one request frame, runs the handler, and encodes
-// the response (or error) frame. It never panics: corrupt frames fail the
-// bounds-checked reader, and a recover backstop converts anything that slips
-// through into an error frame so one bad request cannot kill the connection
-// loop with a half-written frame.
-func (s *Server) handleWireFrame(req []byte) (resp []byte, method string) {
+// handleWireFrame decodes one request frame, runs it through the admission
+// gate, invokes the handler, and encodes the response (or error) frame. ver
+// is the connection's negotiated protocol version: envelope frames
+// (KindRequestEnv) are only legal on v2+ connections, so a version-1 peer
+// can never smuggle priority or budget metadata the negotiation said it
+// would not send. It never panics: corrupt frames fail the bounds-checked
+// reader, and a recover backstop converts anything that slips through into
+// an error frame so one bad request cannot kill the connection loop with a
+// half-written frame.
+func (s *Server) handleWireFrame(req []byte, ver byte) (resp []byte, method string) {
 	fail := func(msg string) []byte {
 		b := wire.GetBuf(0)
 		b = append(b, wire.KindError)
@@ -240,16 +330,51 @@ func (s *Server) handleWireFrame(req []byte) (resp []byte, method string) {
 			resp = fail(fmt.Sprintf("cluster: %s: internal error: %v", method, p))
 		}
 	}()
-	if len(req) == 0 || req[0] != wire.KindRequest {
+	if len(req) == 0 {
 		return fail("cluster: malformed request frame"), ""
 	}
 	r := wire.NewReader(req[1:])
+	var pri Priority
+	var hasPri bool
+	var budget time.Duration
+	switch req[0] {
+	case wire.KindRequest:
+	case wire.KindRequestEnv:
+		if ver < 2 {
+			return fail("cluster: envelope frame on a version-1 connection"), ""
+		}
+		pb := r.Byte()
+		budget = time.Duration(r.Uvarint()) * time.Millisecond
+		if r.Err() != nil {
+			return fail("cluster: malformed request envelope"), ""
+		}
+		if pb > 0 {
+			if pb > numPriorities {
+				return fail("cluster: unknown priority class"), ""
+			}
+			pri = Priority(pb - 1)
+			hasPri = true
+		}
+	default:
+		return fail("cluster: malformed request frame"), ""
+	}
 	id := r.Uvarint()
 	if r.Err() != nil || id >= uint64(len(wireMethods)) {
 		return fail("cluster: unknown wire method id"), ""
 	}
 	wm := wireMethods[id]
 	method = wm.name
+	if !hasPri {
+		pri = wireMethodPri[id]
+	}
+	if !wireMethodExempt[id] {
+		if err := s.admit.acquire(wm.name, pri, budget); err != nil {
+			// Shed or fast-rejected: the error frame carries the typed message
+			// (retry-after hint included) back to the client's classifiers.
+			return fail(err.Error()), method
+		}
+		defer s.admit.release(wm.name, time.Now())
+	}
 	args := wm.newArgs()
 	args.decodeWire(r)
 	if err := r.Done(); err != nil {

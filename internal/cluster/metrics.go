@@ -79,6 +79,21 @@ type Metrics struct {
 	GobFallbacks       obs.Counter // server connections sniffed as legacy gob
 	WireNegotiateDowns obs.Counter // client dials downgraded to gob after a refused hello
 
+	// Overload protection (see admission.go). Server side: shed requests by
+	// method and priority, budget fast-rejects, refused connections, queue
+	// depth and wait per priority class. Client side: shed responses seen,
+	// adaptive-limit saturations, calls fast-failed on an exhausted budget,
+	// and the current AIMD limit (most recent peer to change it).
+	RequestsShed        obs.CounterVec   // key "method|priority"
+	DeadlineExpired     obs.Counter      // requests fast-rejected: budget < observed service time
+	ConnectionsRejected obs.Counter      // connections refused at the accept-side caps
+	AdmissionQueueDepth [3]obs.Gauge     // queued requests, indexed by Priority
+	AdmissionWait       obs.HistogramVec // admission queue wait, ns, label = priority
+	ShedSeen            obs.Counter      // shed responses observed by the client
+	ClientSaturations   obs.Counter      // calls that hit the client-side adaptive limit
+	BudgetExhausted     obs.Counter      // calls fast-failed client-side, deadline spent
+	AdaptiveLimitMilli  obs.Gauge        // current per-peer AIMD limit ×1000
+
 	// Per-method histograms. Client latency covers one network attempt
 	// (dial + call, excluding backoff sleeps); server latency covers one
 	// handler execution; payload bytes are the exact framed request+reply
@@ -132,6 +147,12 @@ type MetricsSnapshot struct {
 	WireHandshakes     int64
 	GobFallbacks       int64
 	WireNegotiateDowns int64
+	RequestsShed       int64
+	DeadlineExpired    int64
+	ConnsRejected      int64
+	ShedSeen           int64
+	ClientSaturations  int64
+	BudgetExhausted    int64
 }
 
 // Snapshot copies the current counter values.
@@ -169,6 +190,12 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		WireHandshakes:     m.WireHandshakes.Load(),
 		GobFallbacks:       m.GobFallbacks.Load(),
 		WireNegotiateDowns: m.WireNegotiateDowns.Load(),
+		RequestsShed:       m.RequestsShed.Sum(),
+		DeadlineExpired:    m.DeadlineExpired.Load(),
+		ConnsRejected:      m.ConnectionsRejected.Load(),
+		ShedSeen:           m.ShedSeen.Load(),
+		ClientSaturations:  m.ClientSaturations.Load(),
+		BudgetExhausted:    m.BudgetExhausted.Load(),
 	}
 }
 
@@ -178,7 +205,8 @@ func (s MetricsSnapshot) String() string {
 		"attempts=%d timeouts=%d retries=%d breaker_opens=%d failovers=%d stale_marks=%d coalesced_seeds=%d coalesced_bytes=%d catchups=%d catchup_bytes=%d catchup_batches=%d "+
 			"reroutes=%d routing_refreshes=%d not_owner_rejects=%d shards_migrated=%d migration_bytes=%d migration_batches=%d migration_aborts=%d cutover_ms=%d "+
 			"scrub_rounds=%d digest_mismatches=%d corruption_detected=%d repairs_triggered=%d repair_bytes=%d "+
-			"wire_handshakes=%d gob_fallbacks=%d wire_negotiate_downs=%d",
+			"wire_handshakes=%d gob_fallbacks=%d wire_negotiate_downs=%d "+
+			"shed=%d deadline_expired=%d conns_rejected=%d shed_seen=%d client_saturations=%d budget_exhausted=%d",
 		s.RPCAttempts, s.RPCTimeouts, s.RPCRetries, s.BreakerOpens,
 		s.ReadFailovers, s.StaleMarks, s.CoalescedSeeds, s.CoalescedBytes,
 		s.CatchUps, s.CatchUpBytes, s.CatchUpBatches,
@@ -187,7 +215,9 @@ func (s MetricsSnapshot) String() string {
 		s.CutoverNanos/int64(time.Millisecond),
 		s.ScrubRounds, s.DigestMismatches, s.CorruptionDetected,
 		s.RepairsTriggered, s.RepairBytes,
-		s.WireHandshakes, s.GobFallbacks, s.WireNegotiateDowns)
+		s.WireHandshakes, s.GobFallbacks, s.WireNegotiateDowns,
+		s.RequestsShed, s.DeadlineExpired, s.ConnsRejected,
+		s.ShedSeen, s.ClientSaturations, s.BudgetExhausted)
 }
 
 // Expvar returns an expvar.Var rendering the counters as a JSON object, for
@@ -238,6 +268,11 @@ func (m *Metrics) Register(r *obs.Registry) {
 		{"platod2gl_cluster_wire_handshakes_total", "Successful binary wire-protocol handshakes.", &m.WireHandshakes},
 		{"platod2gl_cluster_gob_fallbacks_total", "Server connections served as legacy net/rpc gob.", &m.GobFallbacks},
 		{"platod2gl_cluster_wire_negotiate_downs_total", "Client dials downgraded from wire to gob.", &m.WireNegotiateDowns},
+		{"platod2gl_cluster_deadline_expired_total", "Requests fast-rejected because the propagated budget was below observed service time.", &m.DeadlineExpired},
+		{"platod2gl_cluster_connections_rejected_total", "Connections refused at the server's accept-side caps.", &m.ConnectionsRejected},
+		{"platod2gl_cluster_shed_seen_total", "Shed responses observed by the client.", &m.ShedSeen},
+		{"platod2gl_cluster_client_saturations_total", "Calls that hit the client-side adaptive concurrency limit.", &m.ClientSaturations},
+		{"platod2gl_cluster_budget_exhausted_total", "Calls fast-failed client-side because the caller's deadline budget was spent.", &m.BudgetExhausted},
 	} {
 		r.RegisterCounter(c.name, c.help, nil, c.c)
 	}
@@ -245,7 +280,24 @@ func (m *Metrics) Register(r *obs.Registry) {
 		m.ClientLatency.With(meth)
 		m.ServerLatency.With(meth)
 		m.PayloadBytes.With(meth)
+		for _, pri := range priorityNames {
+			m.RequestsShed.With(meth + "|" + pri)
+		}
 	}
+	for _, pri := range priorityNames {
+		m.AdmissionWait.With(pri)
+	}
+	r.RegisterCounterVec2("platod2gl_cluster_requests_shed_total",
+		"Requests shed by the server's admission gate.", "method", "priority", &m.RequestsShed)
+	r.RegisterHistogramVec("platod2gl_cluster_admission_wait_seconds",
+		"Time requests spent queued at the admission gate.", "priority", 1e-9, &m.AdmissionWait)
+	for i, pri := range priorityNames {
+		r.RegisterGauge("platod2gl_cluster_admission_queue_depth",
+			"Requests queued at the admission gate.", obs.Labels{"priority": pri}, &m.AdmissionQueueDepth[i])
+	}
+	r.GaugeFunc("platod2gl_cluster_adaptive_limit",
+		"Client-side AIMD concurrency limit (most recent peer to change it).", nil,
+		func() float64 { return float64(m.AdaptiveLimitMilli.Load()) / 1000 })
 	r.RegisterHistogramVec("platod2gl_cluster_rpc_client_latency_seconds",
 		"Per-attempt client-side RPC latency.", "method", 1e-9, &m.ClientLatency)
 	r.RegisterHistogramVec("platod2gl_cluster_rpc_server_latency_seconds",
@@ -457,6 +509,60 @@ func (m *Metrics) incGobFallback() {
 func (m *Metrics) incNegotiateDown() {
 	if m != nil {
 		m.WireNegotiateDowns.Add(1)
+	}
+}
+
+func (m *Metrics) incShed(method string, pri Priority) {
+	if m != nil {
+		m.RequestsShed.With(method + "|" + pri.String()).Add(1)
+	}
+}
+
+func (m *Metrics) incDeadlineExpired() {
+	if m != nil {
+		m.DeadlineExpired.Add(1)
+	}
+}
+
+func (m *Metrics) incConnRejected() {
+	if m != nil {
+		m.ConnectionsRejected.Add(1)
+	}
+}
+
+func (m *Metrics) setQueueDepth(pri Priority, n int64) {
+	if m != nil && int(pri) < len(m.AdmissionQueueDepth) {
+		m.AdmissionQueueDepth[pri].Set(n)
+	}
+}
+
+func (m *Metrics) observeAdmissionWait(pri Priority, d time.Duration) {
+	if m != nil {
+		m.AdmissionWait.With(pri.String()).Observe(int64(d))
+	}
+}
+
+func (m *Metrics) incShedSeen() {
+	if m != nil {
+		m.ShedSeen.Add(1)
+	}
+}
+
+func (m *Metrics) incClientSaturation() {
+	if m != nil {
+		m.ClientSaturations.Add(1)
+	}
+}
+
+func (m *Metrics) incBudgetExhausted() {
+	if m != nil {
+		m.BudgetExhausted.Add(1)
+	}
+}
+
+func (m *Metrics) setAdaptiveLimit(limit float64) {
+	if m != nil {
+		m.AdaptiveLimitMilli.Set(int64(limit * 1000))
 	}
 }
 

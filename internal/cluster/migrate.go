@@ -450,7 +450,7 @@ func (s *Service) PullShard(args *PullShardArgs, reply *PullShardReply) (err err
 		return err
 	}
 	timeout := time.Duration(args.CallTimeoutMillis) * time.Millisecond
-	tc, err := dialTransport(dial, ProtoAuto, timeout, s.metrics)
+	tc, err := dialTransport(dial, ProtoAuto, timeout, s.metrics, 0)
 	if err != nil {
 		return fmt.Errorf("cluster: migration dial %s: %w", args.Source, err)
 	}

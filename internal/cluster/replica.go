@@ -11,6 +11,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/rpc"
@@ -68,7 +69,7 @@ func isNotReady(err error) bool {
 // negative fanout) are deterministic — every replica would reject them — so
 // they surface immediately.
 func failoverWorthy(err error) bool {
-	return retryable(err) || isNotReady(err)
+	return retryable(err) || isNotReady(err) || IsOverloaded(err)
 }
 
 // shardTarget resolves logical shard s to the peers that serve it right
@@ -88,12 +89,12 @@ func (c *Client) shardTarget(s int) (group []*peer, rrc *atomic.Uint64, epoch ui
 // rejection with a newer routing epoch triggers a map refresh and a re-route
 // to the new owner, bounded by maxReroutes hops, so a mid-read cutover
 // costs a transparent retry instead of a failed operation.
-func (c *Client) readShard(s int, method string, args, reply any) error {
+func (c *Client) readShard(ctx context.Context, s int, method string, args, reply any) error {
 	var lastErr error
 	for hop := 0; ; hop++ {
 		group, rrc, epoch := c.shardTarget(s)
 		stampRoute(args, s, epoch)
-		err := c.readGroup(s, group, rrc, method, args, reply)
+		err := c.readGroup(ctx, s, group, rrc, method, args, reply)
 		if err == nil {
 			return nil
 		}
@@ -118,7 +119,7 @@ func (c *Client) readShard(s int, method string, args, reply any) error {
 // re-synced. Returns the first success, a deterministic application error
 // as soon as any replica reports one, or — when every replica failed — the
 // last failover-worthy error.
-func (c *Client) readGroup(s int, group []*peer, rrc *atomic.Uint64, method string, args, reply any) error {
+func (c *Client) readGroup(ctx context.Context, s int, group []*peer, rrc *atomic.Uint64, method string, args, reply any) error {
 	start := int(rrc.Add(1)-1) % len(group)
 	var lastErr error
 	for k := 0; k < len(group); k++ {
@@ -127,7 +128,7 @@ func (c *Client) readGroup(s int, group []*peer, rrc *atomic.Uint64, method stri
 			lastErr = fmt.Errorf("cluster: replica %d (shard %d) is stale", pe.idx, pe.shard)
 			continue
 		}
-		err := c.callPe(pe, method, args, reply, c.opts.MaxRetries)
+		err := c.callPeCtx(ctx, pe, method, args, reply, c.opts.MaxRetries)
 		if err == nil {
 			return nil
 		}
@@ -150,12 +151,12 @@ func (c *Client) readGroup(s int, group []*peer, rrc *atomic.Uint64, method stri
 // every hop, and the server-side (ClientID, Seq) dedup makes the repeated
 // delivery at-most-once even when the first attempt did apply before the
 // reply was lost.
-func (c *Client) writeShard(s int, args any, call func(pe *peer, maxRetries int) error) error {
+func (c *Client) writeShard(ctx context.Context, s int, args any, call func(ctx context.Context, pe *peer, maxRetries int) error) error {
 	var lastErr error
 	for hop := 0; ; hop++ {
 		group, _, epoch := c.shardTarget(s)
 		stampRoute(args, s, epoch)
-		err := c.writeGroup(s, group, call)
+		err := c.writeGroup(ctx, s, group, call)
 		if err == nil {
 			return nil
 		}
@@ -182,7 +183,7 @@ func (c *Client) writeShard(s int, args any, call func(pe *peer, maxRetries int)
 // call is invoked with the replica peer and that peer's retry budget;
 // already-stale replicas get a single attempt so a down replica does not
 // tax every batch with a full retry cycle.
-func (c *Client) writeGroup(s int, group []*peer, call func(pe *peer, maxRetries int) error) error {
+func (c *Client) writeGroup(ctx context.Context, s int, group []*peer, call func(ctx context.Context, pe *peer, maxRetries int) error) error {
 	errs := make([]error, len(group))
 	var wg sync.WaitGroup
 	for r, pe := range group {
@@ -193,7 +194,7 @@ func (c *Client) writeGroup(s int, group []*peer, call func(pe *peer, maxRetries
 			if pe.stale.Load() {
 				budget = 0
 			}
-			errs[r] = call(pe, budget)
+			errs[r] = call(ctx, pe, budget)
 		}(r, pe)
 	}
 	wg.Wait()

@@ -8,6 +8,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -91,6 +92,11 @@ type Options struct {
 	// probes the binary wire protocol and falls back to gob per peer,
 	// ProtoWire requires it, ProtoGob forces legacy gob. See transport.go.
 	Protocol Protocol
+	// MaxWireVersion caps the wire-protocol version advertised in the
+	// handshake — a rollback hook (pin a cluster to v1 if a v2 feature
+	// misbehaves) and the lever interop tests use to stand up a v1 client
+	// from current code. 0 advertises the newest version.
+	MaxWireVersion byte
 	// Metrics, if set, receives fault-tolerance counters (attempts,
 	// timeouts, retries, breaker opens, failovers, catch-up traffic). May
 	// be shared with a Service and published via expvar.
@@ -152,7 +158,7 @@ func (c *Client) transportFor(p *peer) (Transport, error) {
 	if p.dial == nil {
 		return nil, fmt.Errorf("cluster: peer %d: connection closed and no dialer configured", p.idx)
 	}
-	t, err := dialTransport(p.dial, c.opts.Protocol, c.opts.CallTimeout, c.metrics)
+	t, err := dialTransport(p.dial, c.opts.Protocol, c.opts.CallTimeout, c.metrics, c.opts.MaxWireVersion)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: redial peer %d: %w", p.idx, err)
 	}
@@ -248,15 +254,60 @@ func (c *Client) callPeerBudget(p int, method string, args, reply any, maxRetrie
 // callPe is callPeerBudget addressed by peer object — the form routing-aware
 // call sites use, since a shard map resolves to peers, not indices.
 func (c *Client) callPe(pe *peer, method string, args, reply any, maxRetries int) error {
+	return c.callPeCtx(context.Background(), pe, method, args, reply, maxRetries)
+}
+
+// callPeCtx is the fault-tolerant call loop with end-to-end deadline and
+// priority propagation. The caller's context bounds the *total* elapsed
+// time — per-attempt timeouts are clipped to the remaining budget, backoff
+// sleeps never overrun the deadline, and an attempt whose budget is already
+// spent fails fast before dialing — so a 500ms caller can never be held for
+// MaxRetries × CallTimeout. Two outcomes are backpressure, not failure, and
+// never feed the circuit breaker: a server shed (OverloadedError — the
+// retry delay honors its retry-after hint) and the client's own adaptive
+// concurrency limit (errClientSaturated).
+func (c *Client) callPeCtx(ctx context.Context, pe *peer, method string, args, reply any, maxRetries int) error {
+	pri, hasPri := PriorityFromContext(ctx)
+	deadline, hasDL := ctx.Deadline()
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
 			if attempt > maxRetries {
 				return lastErr
 			}
+			delay := c.backoff(attempt)
+			if ra := OverloadRetryAfter(lastErr); ra > 0 {
+				// The server told us when to come back; our jittered backoff
+				// would either hammer it early or waste budget.
+				delay = ra
+			}
+			if hasDL && time.Until(deadline) <= delay {
+				c.metrics.incBudgetExhausted()
+				return fmt.Errorf("cluster: %s: %w (budget spent after %d attempts, last: %v)",
+					method, context.DeadlineExceeded, attempt, lastErr)
+			}
 			c.metrics.incRetry()
-			t := time.NewTimer(c.backoff(attempt))
-			<-t.C
+			t := time.NewTimer(delay)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				c.metrics.incBudgetExhausted()
+				return fmt.Errorf("cluster: %s: %w (last: %v)", method, ctx.Err(), lastErr)
+			}
+		}
+		// Fast-fail before dialing when the budget is already exhausted: a
+		// reply we cannot wait for is not worth a connection.
+		var budget time.Duration
+		if hasDL {
+			budget = time.Until(deadline)
+			if budget <= 0 {
+				c.metrics.incBudgetExhausted()
+				if lastErr != nil {
+					return fmt.Errorf("cluster: %s: %w (last: %v)", method, context.DeadlineExceeded, lastErr)
+				}
+				return fmt.Errorf("cluster: %s: %w", method, context.DeadlineExceeded)
+			}
 		}
 		if err := pe.br.allow(time.Now()); err != nil {
 			lastErr = err
@@ -273,7 +324,15 @@ func (c *Client) callPe(pe *peer, method string, args, reply any, maxRetries int
 			lastErr = err
 			continue
 		}
-		err = tc.Call(method, args, reply, c.opts.CallTimeout)
+		timeout := c.opts.CallTimeout
+		if budget > 0 && (timeout <= 0 || budget < timeout) {
+			timeout = budget
+		}
+		if et, ok := tc.(envTransport); ok && (hasPri || budget > 0) {
+			err = et.CallEnv(method, args, reply, timeout, callEnv{pri: pri, hasPri: hasPri, budget: budget})
+		} else {
+			err = tc.Call(method, args, reply, timeout)
+		}
 		c.metrics.observeClientCall(method, attemptStart)
 		if err == nil {
 			pe.br.success()
@@ -282,6 +341,19 @@ func (c *Client) callPe(pe *peer, method string, args, reply any, maxRetries int
 		lastErr = err
 		if errors.Is(err, ErrCallTimeout) {
 			c.metrics.incTimeout()
+		}
+		if errors.Is(err, errClientSaturated) {
+			// Our own adaptive limit, not the peer: back off and retry
+			// without touching the connection or the breaker.
+			continue
+		}
+		if IsOverloaded(err) {
+			// Server shed: the transport and the peer are healthy, the
+			// server is just full. Count it as a breaker success so load
+			// can never cascade into breaker trips.
+			c.metrics.incShedSeen()
+			pe.br.success()
+			continue
 		}
 		if !retryable(err) {
 			pe.br.success() // the transport worked; the request was rejected

@@ -781,7 +781,7 @@ func (c *Client) handshake(addrs []string) error {
 // codec is auto-negotiated per dial, so these control paths work against
 // both upgraded and legacy servers.
 func roundTrip(dial Dialer, method string, args, reply any, timeout time.Duration) error {
-	tc, err := dialTransport(dial, ProtoAuto, timeout, nil)
+	tc, err := dialTransport(dial, ProtoAuto, timeout, nil, 0)
 	if err != nil {
 		return err
 	}

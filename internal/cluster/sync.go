@@ -314,7 +314,7 @@ func SyncFromPeer(svc *Service, dial Dialer, opts SyncOptions) error {
 func SyncFromPeerStats(svc *Service, dial Dialer, opts SyncOptions) (SyncStats, error) {
 	var stats SyncStats
 	svc.BeginCatchUp()
-	tc, err := dialTransport(dial, ProtoAuto, opts.CallTimeout, opts.Metrics)
+	tc, err := dialTransport(dial, ProtoAuto, opts.CallTimeout, opts.Metrics, 0)
 	if err != nil {
 		return stats, fmt.Errorf("cluster: sync dial: %w", err)
 	}

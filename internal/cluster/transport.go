@@ -51,6 +51,23 @@ type Transport interface {
 	Close() error
 }
 
+// callEnv is the admission envelope a call may carry: an explicit priority
+// class and the caller's remaining deadline budget. The zero value means
+// "no envelope" — the server applies the method's default class.
+type callEnv struct {
+	pri    Priority
+	hasPri bool
+	budget time.Duration
+}
+
+// envTransport is the optional extension a Transport implements when it can
+// carry the protocol-v2 admission envelope. The gob transport does not (a
+// legacy peer has no admission gate to read it); call sites type-assert and
+// fall back to plain Call.
+type envTransport interface {
+	CallEnv(serviceMethod string, args, reply any, timeout time.Duration, env callEnv) error
+}
+
 // gobTransport is the legacy codec: a multiplexing net/rpc client.
 type gobTransport struct {
 	rc *rpc.Client
@@ -102,8 +119,10 @@ type wireConn struct {
 type wireTransport struct {
 	dial    Dialer
 	version byte
+	maxVer  byte // handshake cap (Options.MaxWireVersion); 0 = wire.Version
 	m       *Metrics
 	hsTO    time.Duration
+	lim     *aimdLimiter // per-peer adaptive concurrency; nil = unlimited
 
 	mu     sync.Mutex
 	idle   []*wireConn
@@ -134,7 +153,7 @@ func (t *wireTransport) get() (*wireConn, error) {
 	if err != nil {
 		return nil, err
 	}
-	ver, err := clientHandshake(conn, t.hsTO)
+	ver, err := clientHandshake(conn, t.hsTO, t.maxVer)
 	if err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("cluster: wire handshake: %w", err)
@@ -172,6 +191,31 @@ func (t *wireTransport) Close() error {
 // attempt decodes into a private value that is discarded (so callers may
 // retry into the same reply struct without racing an abandoned decoder).
 func (t *wireTransport) Call(method string, args, reply any, d time.Duration) error {
+	return t.CallEnv(method, args, reply, d, callEnv{})
+}
+
+// CallEnv is Call carrying the admission envelope. The call first claims a
+// slot under the peer's adaptive concurrency limit — waiting at most the
+// smaller of the call timeout and the remaining budget — so a client facing
+// a saturated peer queues locally (cheap) instead of remotely (a held
+// connection and an admission-queue seat).
+func (t *wireTransport) CallEnv(method string, args, reply any, d time.Duration, env callEnv) error {
+	if t.lim != nil {
+		maxWait := d
+		if env.budget > 0 && env.budget < maxWait {
+			maxWait = env.budget
+		}
+		if err := t.lim.acquire(maxWait); err != nil {
+			return err
+		}
+		err := t.callEnv(method, args, reply, d, env)
+		t.lim.release(errors.Is(err, ErrCallTimeout) || IsOverloaded(err))
+		return err
+	}
+	return t.callEnv(method, args, reply, d, env)
+}
+
+func (t *wireTransport) callEnv(method string, args, reply any, d time.Duration, env callEnv) error {
 	wa, ok := args.(wireMessage)
 	if !ok {
 		return fmt.Errorf("cluster: %T does not implement the wire codec", args)
@@ -187,8 +231,25 @@ func (t *wireTransport) Call(method string, args, reply any, d time.Duration) er
 	if err != nil {
 		return err
 	}
+	// The envelope kind exists only in protocol v2; on a v1-negotiated
+	// connection the call degrades to a bare request — exactly the
+	// "negotiate down to today's behavior" contract.
 	frame := wire.GetBuf(0)
-	frame = append(frame, wire.KindRequest)
+	if wc.version >= 2 && (env.hasPri || env.budget > 0) {
+		frame = append(frame, wire.KindRequestEnv)
+		if env.hasPri {
+			frame = append(frame, byte(env.pri)+1)
+		} else {
+			frame = append(frame, 0) // method-default sentinel
+		}
+		ms := uint64(env.budget / time.Millisecond)
+		if ms == 0 && env.budget > 0 {
+			ms = 1
+		}
+		frame = wire.AppendUvarint(frame, ms)
+	} else {
+		frame = append(frame, wire.KindRequest)
+	}
 	frame = wire.AppendUvarint(frame, uint64(id))
 	frame = wa.appendWire(frame)
 
@@ -277,9 +338,14 @@ func roundTripWire(wc *wireConn, frame []byte, reply wireMessage) error {
 
 // clientHandshake negotiates the wire protocol on a fresh connection,
 // bounded by timeout via close-on-timer (deadline-free for wrapped conns).
-func clientHandshake(conn net.Conn, timeout time.Duration) (byte, error) {
+// maxVer caps the advertised range (Options.MaxWireVersion); 0 means the
+// newest we speak.
+func clientHandshake(conn net.Conn, timeout time.Duration, maxVer byte) (byte, error) {
+	if maxVer == 0 || maxVer > wire.Version {
+		maxVer = wire.Version
+	}
 	exchange := func() (byte, error) {
-		h := wire.Hello(1, wire.Version)
+		h := wire.Hello(1, maxVer)
 		if _, err := conn.Write(h[:]); err != nil {
 			return 0, err
 		}
@@ -292,7 +358,7 @@ func clientHandshake(conn net.Conn, timeout time.Duration) (byte, error) {
 			return 0, err
 		}
 		if ver == 0 {
-			return 0, fmt.Errorf("%w: server rejected versions [1,%d]", wire.ErrBadHandshake, wire.Version)
+			return 0, fmt.Errorf("%w: server rejected versions [1,%d]", wire.ErrBadHandshake, maxVer)
 		}
 		return ver, nil
 	}
@@ -334,7 +400,8 @@ func peerClosedDuringHandshake(err error) bool {
 // signature says "old gob server" triggers a negotiate-down: redial and
 // speak legacy gob (counted in WireNegotiateDowns). The next redial probes
 // wire again, so a peer upgraded mid-rolling-restart is picked back up.
-func dialTransport(dial Dialer, proto Protocol, hsTimeout time.Duration, m *Metrics) (Transport, error) {
+// maxVer caps the advertised protocol range (0 = newest).
+func dialTransport(dial Dialer, proto Protocol, hsTimeout time.Duration, m *Metrics, maxVer byte) (Transport, error) {
 	if proto == ProtoGob {
 		conn, err := dial()
 		if err != nil {
@@ -347,7 +414,7 @@ func dialTransport(dial Dialer, proto Protocol, hsTimeout time.Duration, m *Metr
 		return nil, err
 	}
 	start := time.Now()
-	ver, err := clientHandshake(conn, hsTimeout)
+	ver, err := clientHandshake(conn, hsTimeout, maxVer)
 	if err != nil {
 		conn.Close()
 		if proto == ProtoAuto && peerClosedDuringHandshake(err) {
@@ -362,7 +429,8 @@ func dialTransport(dial Dialer, proto Protocol, hsTimeout time.Duration, m *Metr
 	}
 	m.observeClientCall("Handshake", start)
 	m.incWireHandshake()
-	t := &wireTransport{dial: dial, version: ver, m: m, hsTO: hsTimeout}
+	t := &wireTransport{dial: dial, version: ver, maxVer: maxVer, m: m, hsTO: hsTimeout,
+		lim: newAIMDLimiter(m)}
 	t.idle = append(t.idle, &wireConn{conn: conn, version: ver})
 	return t, nil
 }

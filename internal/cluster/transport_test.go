@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"net"
 	"net/rpc"
 	"testing"
@@ -13,6 +14,13 @@ import (
 // TCP listener and returns its address plus the service's metrics.
 func startWireServer(t *testing.T) (addr string, m *Metrics, svc *Service) {
 	t.Helper()
+	return startConfiguredWireServer(t, nil)
+}
+
+// startConfiguredWireServer is startWireServer with a hook to tune the
+// Server (version cap, admission gate, accept limits) before it serves.
+func startConfiguredWireServer(t *testing.T, configure func(*Server)) (addr string, m *Metrics, svc *Service) {
+	t.Helper()
 	svc = newTestService(t)
 	m = &Metrics{}
 	svc.SetMetrics(m)
@@ -21,6 +29,9 @@ func startWireServer(t *testing.T) (addr string, m *Metrics, svc *Service) {
 		t.Fatalf("listen: %v", err)
 	}
 	srv := NewServer(svc)
+	if configure != nil {
+		configure(srv)
+	}
 	go srv.Serve(lis)
 	t.Cleanup(func() { lis.Close() })
 	return lis.Addr().String(), m, svc
@@ -194,6 +205,139 @@ func TestInteropWireOnlyClientLegacyServer(t *testing.T) {
 	if c, err := Dial([]string{addr}, opts); err == nil {
 		c.Close()
 		t.Fatal("ProtoWire dial of a gob-only server succeeded")
+	}
+}
+
+// exerciseClientWithEnvelope drives the calls that would carry a v2 request
+// envelope — a deadline-bearing context and an explicit priority tag — and
+// requires them to succeed. Against a v1 peer the envelope must be
+// suppressed, not sent-and-rejected.
+func exerciseClientWithEnvelope(t *testing.T, c *Client) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := c.ApplyBatchCtx(WithPriority(ctx, PriorityPrefetch), testEvents(100)); err != nil {
+		t.Fatalf("ApplyBatchCtx with budget+priority: %v", err)
+	}
+	if _, err := c.SampleNeighborsCtx(ctx, []graph.VertexID{1, 2}, 0, 4, 7); err != nil {
+		t.Fatalf("SampleNeighborsCtx with budget: %v", err)
+	}
+	bg := WithPriority(context.Background(), PriorityBackground)
+	if _, err := c.StatsCtx(bg); err != nil {
+		t.Fatalf("StatsCtx with background priority: %v", err)
+	}
+}
+
+// TestInteropV2ClientV1Server: a current client against a server pinned to
+// protocol version 1 (the rollback lever) negotiates down to v1 and must
+// suppress the request envelope — deadline- and priority-tagged calls still
+// succeed, with the metadata simply not propagated.
+func TestInteropV2ClientV1Server(t *testing.T) {
+	addr, sm, _ := startConfiguredWireServer(t, func(s *Server) { s.SetMaxWireVersion(1) })
+	cm := &Metrics{}
+	opts := DefaultOptions()
+	opts.CallTimeout = 5 * time.Second
+	opts.Metrics = cm
+	c, err := Dial([]string{addr}, opts)
+	if err != nil {
+		t.Fatalf("dial v1-capped server: %v", err)
+	}
+	defer c.Close()
+	exerciseClient(t, c)
+	exerciseClientWithEnvelope(t, c)
+	if n := sm.WireHandshakes.Load(); n == 0 {
+		t.Fatal("server recorded no wire handshakes")
+	}
+	if n := sm.GobFallbacks.Load(); n != 0 {
+		t.Fatalf("server sniffed %d gob conns — version cap must not force gob", n)
+	}
+}
+
+// TestInteropV1ClientV2Server: a client capped at version 1 (an old binary)
+// against a current server — the other rolling-upgrade direction. The
+// client never emits envelope frames; the server classifies by method
+// default and serves identically.
+func TestInteropV1ClientV2Server(t *testing.T) {
+	addr, sm, _ := startWireServer(t)
+	cm := &Metrics{}
+	opts := DefaultOptions()
+	opts.CallTimeout = 5 * time.Second
+	opts.MaxWireVersion = 1
+	opts.Metrics = cm
+	c, err := Dial([]string{addr}, opts)
+	if err != nil {
+		t.Fatalf("v1-capped dial: %v", err)
+	}
+	defer c.Close()
+	exerciseClient(t, c)
+	exerciseClientWithEnvelope(t, c)
+	if n := sm.WireHandshakes.Load(); n == 0 {
+		t.Fatal("server recorded no wire handshakes")
+	}
+}
+
+// TestServerMaxConns: connections past ServerLimits.MaxConns are refused
+// immediately — the accept loop must not spawn a goroutine per flood conn.
+func TestServerMaxConns(t *testing.T) {
+	addr, sm, _ := startConfiguredWireServer(t, func(s *Server) {
+		s.SetLimits(ServerLimits{MaxConns: 1})
+	})
+	opts := DefaultOptions()
+	opts.CallTimeout = 5 * time.Second
+	c, err := Dial([]string{addr}, opts)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	// Pin the one allowed connection with real traffic.
+	if err := c.ApplyBatch(testEvents(10)); err != nil {
+		t.Fatalf("ApplyBatch: %v", err)
+	}
+	// A second raw connection must be closed by the server without service.
+	deadline := time.Now().Add(10 * time.Second)
+	rejected := false
+	for time.Now().Before(deadline) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			rejected = true
+			break
+		}
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		buf := make([]byte, 1)
+		if _, rerr := conn.Read(buf); rerr != nil {
+			// Immediate EOF/reset: the server refused us before any protocol.
+			conn.Close()
+			rejected = true
+			break
+		}
+		conn.Close()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !rejected {
+		t.Fatal("second connection was served despite MaxConns=1")
+	}
+	if n := sm.ConnectionsRejected.Load(); n == 0 {
+		t.Fatal("ConnectionsRejected counter never incremented")
+	}
+}
+
+// TestServerHandshakeTimeout: a connection that opens and goes silent is
+// closed once HandshakeTimeout elapses instead of pinning a handshake token
+// forever.
+func TestServerHandshakeTimeout(t *testing.T) {
+	addr, _, _ := startConfiguredWireServer(t, func(s *Server) {
+		s.SetLimits(ServerLimits{HandshakeTimeout: 50 * time.Millisecond})
+	})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	// Send nothing. The server must hang up on us.
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("silent connection was served past the handshake timeout")
 	}
 }
 

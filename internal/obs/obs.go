@@ -94,3 +94,56 @@ func (v *HistogramVec) Labels() []string {
 	}
 	return out
 }
+
+// CounterVec is a lazily populated family of counters sharing one metric name
+// and distinguished by a single label value. The zero value is ready to use.
+// As with HistogramVec, children are never removed, so hot paths can cache
+// the *Counter returned by With.
+type CounterVec struct {
+	mu sync.RWMutex
+	m  map[string]*Counter
+}
+
+// With returns the counter for the given label value, creating it on first
+// use.
+func (v *CounterVec) With(label string) *Counter {
+	v.mu.RLock()
+	c := v.m[label]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.m == nil {
+		v.m = make(map[string]*Counter)
+	}
+	if c = v.m[label]; c == nil {
+		c = &Counter{}
+		v.m[label] = c
+	}
+	return c
+}
+
+// Labels returns the label values present, in unspecified order.
+func (v *CounterVec) Labels() []string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make([]string, 0, len(v.m))
+	for l := range v.m {
+		out = append(out, l)
+	}
+	return out
+}
+
+// Sum returns the total across all children — the "family total" a summary
+// line wants without re-walking labels.
+func (v *CounterVec) Sum() int64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	var n int64
+	for _, c := range v.m {
+		n += c.Load()
+	}
+	return n
+}

@@ -112,8 +112,14 @@ func (r *Registry) RegisterCounter(name, help string, labels Labels, c *Counter)
 // Gauge registers and returns a new gauge series.
 func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
 	g := &Gauge{}
-	r.register(&metric{name: name, help: help, labels: labels, kind: kindGauge, gauge: g})
+	r.RegisterGauge(name, help, labels, g)
 	return g
+}
+
+// RegisterGauge attaches an existing gauge (typically a field of a
+// per-package Metrics struct) to the registry under name.
+func (r *Registry) RegisterGauge(name, help string, labels Labels, g *Gauge) {
+	r.register(&metric{name: name, help: help, labels: labels, kind: kindGauge, gauge: g})
 }
 
 // GaugeFunc registers a gauge whose value is computed at scrape time (edge
@@ -150,6 +156,24 @@ func (r *Registry) RegisterHistogramVec(name, help, labelKey string, scale float
 	sort.Strings(labels)
 	for _, lv := range labels {
 		r.RegisterHistogram(name, help, Labels{labelKey: lv}, scale, v.With(lv))
+	}
+}
+
+// RegisterCounterVec2 attaches every child of a CounterVec under one metric
+// name with two labels. Child keys are composite "v1|v2" strings (the hot
+// path increments one flat map entry); this splits them back into proper
+// two-label series at registration. As with RegisterHistogramVec, children
+// are bound at call time — pre-seed the vec with every expected combination
+// before registering.
+func (r *Registry) RegisterCounterVec2(name, help, key1, key2 string, v *CounterVec) {
+	labels := v.Labels()
+	sort.Strings(labels)
+	for _, lv := range labels {
+		v1, v2, ok := strings.Cut(lv, "|")
+		if !ok {
+			v2 = ""
+		}
+		r.RegisterCounter(name, help, Labels{key1: v1, key2: v2}, v.With(lv))
 	}
 }
 

@@ -1,7 +1,9 @@
 package view
 
 import (
+	"context"
 	"sync/atomic"
+	"time"
 
 	"platod2gl/internal/cluster"
 	"platod2gl/internal/graph"
@@ -14,10 +16,20 @@ import (
 // Sampling RPCs carry an explicit RNG seed; Cluster derives a fresh one per
 // call from the base seed, so repeated calls draw fresh samples while a
 // single-threaded run stays reproducible end to end.
+//
+// Every call can carry an end-to-end budget (SetCallBudget): the deadline
+// propagates through the client's retry loop and onto the wire as the
+// request's remaining budget, so an overloaded server can shed the call
+// instead of servicing it after the trainer has given up. Prefetch returns a
+// twin view whose requests ride the lower prefetch admission class.
 type Cluster struct {
 	client *cluster.Client
 	seed   int64
-	seq    atomic.Int64
+	seq    *atomic.Int64
+
+	budget time.Duration
+	pri    cluster.Priority
+	hasPri bool
 }
 
 var _ GraphView = (*Cluster)(nil)
@@ -25,7 +37,37 @@ var _ GraphView = (*Cluster)(nil)
 // NewCluster wraps client. seed makes the per-call sampling seed sequence
 // reproducible for single-threaded (deterministic-mode) runs.
 func NewCluster(client *cluster.Client, seed int64) *Cluster {
-	return &Cluster{client: client, seed: seed}
+	return &Cluster{client: client, seed: seed, seq: new(atomic.Int64)}
+}
+
+// SetCallBudget sets the end-to-end deadline attached to every subsequent
+// call through this view (and views derived from it afterwards). Zero
+// disables the deadline (the default).
+func (v *Cluster) SetCallBudget(d time.Duration) { v.budget = d }
+
+// Prefetch returns a view over the same client, seed sequence, and budget
+// whose requests are tagged with the prefetch admission class: under
+// overload, servers shed them before interactive sampling traffic. Use it as
+// the pipeline's loader view so background batch building yields to
+// foreground work.
+func (v *Cluster) Prefetch() *Cluster {
+	w := *v
+	w.pri = cluster.PriorityPrefetch
+	w.hasPri = true
+	return &w
+}
+
+// ctx derives the per-call context: the view's priority class (when set) and
+// call budget (when set) become the request's admission envelope.
+func (v *Cluster) ctx() (context.Context, context.CancelFunc) {
+	ctx := context.Background()
+	if v.hasPri {
+		ctx = cluster.WithPriority(ctx, v.pri)
+	}
+	if v.budget > 0 {
+		return context.WithTimeout(ctx, v.budget)
+	}
+	return ctx, func() {}
 }
 
 // nextSeed spreads consecutive calls across the server-side RNG seed space.
@@ -44,30 +86,43 @@ func (v *Cluster) SetSamplePos(pos int64) { v.seq.Store(pos) }
 
 // SampleNeighbors implements GraphView.
 func (v *Cluster) SampleNeighbors(seeds []graph.VertexID, et graph.EdgeType, fanout int) ([]graph.VertexID, error) {
-	return v.client.SampleNeighbors(seeds, et, fanout, v.nextSeed())
+	ctx, cancel := v.ctx()
+	defer cancel()
+	return v.client.SampleNeighborsCtx(ctx, seeds, et, fanout, v.nextSeed())
 }
 
 // SampleSubgraph implements GraphView.
 func (v *Cluster) SampleSubgraph(seeds []graph.VertexID, path graph.MetaPath, fanouts []int) ([][]graph.VertexID, error) {
-	return v.client.SampleSubgraph(seeds, path, fanouts, v.nextSeed())
+	ctx, cancel := v.ctx()
+	defer cancel()
+	return v.client.SampleSubgraphCtx(ctx, seeds, path, fanouts, v.nextSeed())
 }
 
 // Degrees implements GraphView.
 func (v *Cluster) Degrees(nodes []graph.VertexID, et graph.EdgeType) ([]int, error) {
-	return v.client.Degree(nodes, et)
+	ctx, cancel := v.ctx()
+	defer cancel()
+	return v.client.DegreeCtx(ctx, nodes, et)
 }
 
 // Features implements GraphView.
 func (v *Cluster) Features(nodes []graph.VertexID, dim int) ([]float32, error) {
-	return v.client.Features(nodes, dim)
+	ctx, cancel := v.ctx()
+	defer cancel()
+	return v.client.FeaturesCtx(ctx, nodes, dim)
 }
 
 // Labels implements GraphView.
 func (v *Cluster) Labels(nodes []graph.VertexID) ([]int32, error) {
-	return v.client.Labels(nodes)
+	ctx, cancel := v.ctx()
+	defer cancel()
+	_, labels, err := v.client.FeaturesLabelsCtx(ctx, nodes, 0)
+	return labels, err
 }
 
 // Sources implements GraphView.
 func (v *Cluster) Sources(et graph.EdgeType) ([]graph.VertexID, error) {
-	return v.client.Sources(et)
+	ctx, cancel := v.ctx()
+	defer cancel()
+	return v.client.SourcesCtx(ctx, et)
 }

@@ -47,9 +47,13 @@ import (
 )
 
 // Version is the newest protocol version this build speaks. Version 1 is
-// the initial binary framing; the handshake lets old and new builds agree
-// on the highest version both sides support.
-const Version = 1
+// the initial binary framing; version 2 adds the request envelope
+// (KindRequestEnv) carrying the caller's remaining deadline budget and
+// priority class for server-side admission control. The handshake lets old
+// and new builds agree on the highest version both sides support, so a v2
+// client on a v1-negotiated connection simply keeps sending bare
+// KindRequest frames.
+const Version = 2
 
 // Magic is the first hello byte sequence. The leading 0x00 is deliberate:
 // a gob message starts with its uvarint byte length, which is never zero,
@@ -62,6 +66,12 @@ const (
 	KindRequest  = 0x01
 	KindResponse = 0x02 // successful reply payload
 	KindError    = 0x03 // application error string
+	// KindRequestEnv (protocol >= 2) is a request with an admission
+	// envelope: `byte priority | uvarint budget-millis | uvarint method-id |
+	// args`. priority 0 means "use the method's default class"; budget 0
+	// means "no deadline propagated". Only valid on connections that
+	// negotiated version >= 2.
+	KindRequestEnv = 0x04
 )
 
 // MaxFrame caps a single frame's payload. Snapshots of large shards are the
@@ -123,11 +133,22 @@ func ParseAck(a [helloSize]byte) (version byte, err error) {
 // hello with: the highest version both sides speak, or 0 when the ranges
 // are disjoint.
 func Negotiate(minVer, maxVer byte) byte {
-	if minVer > Version {
+	return NegotiateCapped(minVer, maxVer, Version)
+}
+
+// NegotiateCapped is Negotiate with the local side's maximum pinned below
+// the build's Version — the rollback escape hatch (and test hook) for
+// serving as an older protocol generation without recompiling. localMax 0
+// or above Version means Version.
+func NegotiateCapped(minVer, maxVer, localMax byte) byte {
+	if localMax == 0 || localMax > Version {
+		localMax = Version
+	}
+	if minVer > localMax {
 		return 0
 	}
-	if maxVer > Version {
-		return Version
+	if maxVer > localMax {
+		return localMax
 	}
 	return maxVer
 }
@@ -147,24 +168,51 @@ func WriteFrame(w io.Writer, payload []byte) error {
 	return err
 }
 
+// frameChunk is the largest frame payload ReadFrame allocates up-front on
+// the length prefix alone. Larger frames grow geometrically as bytes
+// actually arrive, so a forged header claiming a near-MaxFrame length
+// costs one chunk of memory, not the claimed gigabyte.
+const frameChunk = 1 << 20
+
 // ReadFrame reads one frame's payload into a buffer from GetBuf (return it
 // with PutBuf). A length prefix beyond MaxFrame is rejected without
-// allocating.
+// allocating, and memory for a large frame is committed only as its bytes
+// stream in.
 func ReadFrame(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[:])
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
 	if n > MaxFrame {
 		return nil, ErrFrameTooLarge
 	}
-	buf := GetBuf(int(n))
-	if _, err := io.ReadFull(r, buf); err != nil {
-		PutBuf(buf)
-		return nil, err
+	if n <= frameChunk {
+		buf := GetBuf(n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			PutBuf(buf)
+			return nil, err
+		}
+		return buf, nil
 	}
-	return buf, nil
+	buf := make([]byte, frameChunk)
+	filled := 0
+	for {
+		if _, err := io.ReadFull(r, buf[filled:]); err != nil {
+			return nil, err
+		}
+		filled = len(buf)
+		if filled == n {
+			return buf, nil
+		}
+		grow := filled * 2
+		if grow > n {
+			grow = n
+		}
+		next := make([]byte, grow)
+		copy(next, buf)
+		buf = next
+	}
 }
 
 // Buffer pool for frame scratch on both sides of every call. Buffers above

@@ -2,10 +2,12 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"io"
 	"math"
 	"reflect"
+	"runtime"
 	"testing"
 )
 
@@ -64,6 +66,24 @@ func TestNegotiate(t *testing.T) {
 	}
 }
 
+func TestNegotiateCapped(t *testing.T) {
+	cases := []struct {
+		min, max, localMax, want byte
+	}{
+		{1, Version, 1, 1}, // server capped at v1: v2 client lands on v1
+		{1, Version, Version, Version},
+		{1, 1, Version, 1},                 // old client against uncapped server
+		{2, Version, 1, 0},                 // client requires >= 2, server capped at 1
+		{1, Version, 0, Version},           // zero cap means "no cap"
+		{1, Version, Version + 9, Version}, // cap above our max clamps to Version
+	}
+	for _, c := range cases {
+		if got := NegotiateCapped(c.min, c.max, c.localMax); got != c.want {
+			t.Errorf("NegotiateCapped(%d,%d,%d) = %d, want %d", c.min, c.max, c.localMax, got, c.want)
+		}
+	}
+}
+
 func TestFrameRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	payload := []byte{KindRequest, 1, 2, 3, 4, 5}
@@ -100,6 +120,46 @@ func TestReadFrameTruncated(t *testing.T) {
 	}
 	if _, err := ReadFrame(bytes.NewReader([]byte{4, 0})); !errors.Is(err, io.ErrUnexpectedEOF) {
 		t.Fatalf("ReadFrame(truncated header) = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestReadFrameLargeRoundTrip(t *testing.T) {
+	// A frame bigger than frameChunk exercises the incremental-growth read
+	// path and must still round-trip byte-exact.
+	payload := make([]byte, 3*frameChunk+17)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	payload[0] = KindResponse
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, payload); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("large frame round trip mismatch: %d vs %d bytes", len(got), len(payload))
+	}
+}
+
+func TestReadFrameForgedLengthBounded(t *testing.T) {
+	// A header claiming a near-MaxFrame payload followed by almost no data
+	// must fail on the missing bytes without committing the claimed memory:
+	// the read path may only allocate for bytes that actually arrived (one
+	// chunk here), not the advertised gigabyte.
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], MaxFrame)
+	stream := append(hdr[:], make([]byte, 10)...)
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	if _, err := ReadFrame(bytes.NewReader(stream)); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("ReadFrame(forged length) = %v, want ErrUnexpectedEOF", err)
+	}
+	runtime.ReadMemStats(&after)
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 8*frameChunk {
+		t.Fatalf("forged 1GiB length prefix allocated %d bytes; want ≤ %d", grew, 8*frameChunk)
 	}
 }
 
@@ -259,6 +319,12 @@ func FuzzReader(f *testing.F) {
 // feeds arbitrary bytes to ReadFrame directly.
 func FuzzFrame(f *testing.F) {
 	f.Add([]byte{KindRequest, 1, 2, 3})
+	// Envelope request: priority 1, budget 250ms, method 3, two arg bytes.
+	env := []byte{KindRequestEnv, 1}
+	env = AppendUvarint(env, 250)
+	env = AppendUvarint(env, 3)
+	f.Add(append(env, 0xaa, 0xbb))
+	f.Add([]byte{KindRequestEnv})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Interpretation 1: data is a payload. Must round-trip exactly.
