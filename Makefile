@@ -1,7 +1,7 @@
 GO ?= go
 REV := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: build test vet lint race chaos chaos-smoke migration-chaos migration-chaos-smoke integrity-chaos integrity-chaos-smoke overload-chaos overload-chaos-smoke tier1 bench bench-json bench-regress bench-codec fuzz-smoke train-smoke train-chaos
+.PHONY: build test vet lint race chaos chaos-smoke migration-chaos migration-chaos-smoke integrity-chaos integrity-chaos-smoke overload-chaos overload-chaos-smoke tier1 bench bench-json bench-regress bench-codec fuzz-smoke train-smoke train-chaos serve-smoke serve-chaos serve-chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -19,10 +19,11 @@ lint:
 # Race leg of the tier-1 loop: the concurrent retry/redial/breaker paths in
 # the cluster client, the storage engine the chaos tests hammer, the WAL the
 # replica catch-up tails, the fault-injection transport, the
-# trainer/prefetch-pipeline concurrency, the checkpoint store, and the
-# metrics registry every hot path writes into.
+# trainer/prefetch-pipeline concurrency, the checkpoint store, the metrics
+# registry every hot path writes into, and the serving tier's engine pool +
+# HNSW index (concurrent insert/search/delete).
 race: vet
-	$(GO) test -race ./internal/cluster/... ./internal/storage/... ./internal/eventlog/... ./internal/faultinject/... ./internal/gnn/... ./internal/pipeline/... ./internal/view/... ./internal/checkpoint/... ./internal/obs/...
+	$(GO) test -race ./internal/cluster/... ./internal/storage/... ./internal/eventlog/... ./internal/faultinject/... ./internal/gnn/... ./internal/pipeline/... ./internal/view/... ./internal/checkpoint/... ./internal/obs/... ./internal/serve/... ./internal/ann/...
 
 # Replication chaos drill: replica kill + failover + WAL-shipped rejoin,
 # twice, under the race detector.
@@ -110,3 +111,21 @@ train-smoke: build
 # race detector.
 train-chaos: build
 	$(GO) test -race -count=1 -run 'TestTrainChaosKillShardAndResume|TestGracefulSigterm' ./cmd/platod2gl-train/
+
+# End-to-end serving smoke: train a tiny checkpoint, boot platod2gl-serve
+# against a 2-shard live-TCP cluster (and once in -local mode), query
+# /embed + /knn against the true graph, and stop cleanly with no leaked
+# goroutines — under the race detector.
+serve-smoke: build
+	$(GO) test -race -count=1 -run 'TestServeSmokeCluster|TestServeLocalMode' ./cmd/platod2gl-serve/
+
+# Serving-under-churn drill: edge updates stream into the live cluster at a
+# fixed qps while a closed-loop /knn driver hammers the API. Asserts no 5xx
+# under load, bounded serve_refresh_lag_seconds, and post-churn recall
+# recovery. Full variant (longer churn, more load) for nightly; one short
+# pass for PR CI.
+serve-chaos: build
+	SERVE_CHURN_FULL=1 $(GO) test -race -count=2 -run 'TestServingUnderChurn' ./cmd/platod2gl-serve/
+
+serve-chaos-smoke: build
+	$(GO) test -race -count=1 -run 'TestServingUnderChurn' ./cmd/platod2gl-serve/

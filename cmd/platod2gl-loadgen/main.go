@@ -7,6 +7,13 @@
 //	platod2gl-loadgen -dataset wechat -edges 100000                  # dry run, print stats
 //	platod2gl-loadgen -dataset ogbn -edges 100000 -servers :7090,:7091
 //	platod2gl-loadgen -edges 100000 -servers :7090,:7091,:7092,:7093 -replicas 2
+//	platod2gl-loadgen -edges 100000 -servers :7090,:7091 \
+//	    -knn-url http://localhost:8080 -knn-qps 50                   # churn + queries
+//
+// With -knn-url and -knn-qps, a paced /knn query driver runs against a
+// platod2gl-serve instance while the edges stream — a hand-driven
+// serving-under-churn drill. The summary reports the status-class tally
+// (ok / shed / failed).
 //
 // With -replicas R, consecutive runs of R addresses form one replica group:
 // writes fan out to every replica of the owning shard and reads fail over
@@ -18,7 +25,10 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"math/rand"
+	"net/http"
 	"os"
 	"strings"
 	"sync"
@@ -30,6 +40,102 @@ import (
 	"platod2gl/internal/graph"
 	"platod2gl/internal/stats"
 )
+
+// knnDriver issues paced /knn queries against a platod2gl-serve instance
+// while the write workload streams — the CLI shape of the nightly
+// serving-under-churn drill. Query targets come from a reservoir of source
+// vertices seen in the generated events, so every query hits a vertex that
+// exists.
+type knnDriver struct {
+	base string
+	k    int
+	hc   *http.Client
+
+	mu  sync.Mutex
+	ids []graph.VertexID
+	rng *rand.Rand
+
+	sent, ok, shed, fail atomic.Int64
+	done                 chan struct{}
+	wg                   sync.WaitGroup
+}
+
+const knnReservoir = 4096
+
+func newKnnDriver(base string, k, qps int, seed int64) *knnDriver {
+	d := &knnDriver{
+		base: strings.TrimRight(base, "/"), k: k,
+		hc:   &http.Client{Timeout: 10 * time.Second},
+		rng:  rand.New(rand.NewSource(seed)),
+		done: make(chan struct{}),
+	}
+	d.wg.Add(1)
+	go d.run(qps)
+	return d
+}
+
+// offer feeds a candidate query target, reservoir-sampled so the query mix
+// tracks the whole generated ID space, not just the newest batch.
+func (d *knnDriver) offer(id graph.VertexID) {
+	d.mu.Lock()
+	if len(d.ids) < knnReservoir {
+		d.ids = append(d.ids, id)
+	} else {
+		d.ids[d.rng.Intn(knnReservoir)] = id
+	}
+	d.mu.Unlock()
+}
+
+func (d *knnDriver) pick() (graph.VertexID, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.ids) == 0 {
+		return 0, false
+	}
+	return d.ids[d.rng.Intn(len(d.ids))], true
+}
+
+func (d *knnDriver) run(qps int) {
+	defer d.wg.Done()
+	tick := time.NewTicker(time.Second / time.Duration(qps))
+	defer tick.Stop()
+	for {
+		select {
+		case <-d.done:
+			return
+		case <-tick.C:
+		}
+		id, ok := d.pick()
+		if !ok {
+			continue
+		}
+		d.sent.Add(1)
+		resp, err := d.hc.Get(fmt.Sprintf("%s/knn?id=%d&k=%d", d.base, uint64(id), d.k))
+		if err != nil {
+			d.fail.Add(1)
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			d.ok.Add(1)
+		case resp.StatusCode == http.StatusTooManyRequests:
+			d.shed.Add(1)
+		default:
+			d.fail.Add(1)
+		}
+	}
+}
+
+// stop halts the pacer and prints the tally.
+func (d *knnDriver) stop(elapsed time.Duration) {
+	close(d.done)
+	d.wg.Wait()
+	sent := d.sent.Load()
+	fmt.Printf("knn: %d queries (%.0f/s), %d ok, %d shed (429), %d failed\n",
+		sent, float64(sent)/elapsed.Seconds(), d.ok.Load(), d.shed.Load(), d.fail.Load())
+}
 
 func specByName(name string) (*dataset.Spec, error) {
 	switch strings.ToLower(name) {
@@ -60,6 +166,9 @@ func main() {
 		qps      = flag.Int("qps", 0, "open-loop offered load in batches/sec, not waiting for completions (0 = closed loop)")
 		budget   = flag.Duration("call-budget", 0, "end-to-end deadline per batch, propagated to servers as remaining budget (0 = none)")
 		inflight = flag.Int("max-outstanding", 256, "open-loop cap on concurrently in-flight batches; beyond it offered batches are dropped client-side")
+		knnURL   = flag.String("knn-url", "", "base URL of a platod2gl-serve instance to query while edges stream (e.g. http://localhost:8080)")
+		knnQPS   = flag.Int("knn-qps", 0, "k-NN queries per second against -knn-url (0 = off)")
+		knnK     = flag.Int("knn-k", 10, "neighbors per k-NN query")
 	)
 	flag.Parse()
 
@@ -114,6 +223,11 @@ func main() {
 		return context.Background(), func() {}
 	}
 
+	var knn *knnDriver
+	if *knnURL != "" && *knnQPS > 0 {
+		knn = newKnnDriver(*knnURL, *knnK, *knnQPS, *seed)
+	}
+
 	start := time.Now()
 	var sent int64
 	var kinds [3]int64
@@ -141,6 +255,9 @@ func main() {
 			kinds[ev.Kind]++
 			if *degrees && ev.Kind == graph.AddEdge && ev.Edge.Type < dataset.ReverseOffset {
 				degreeOf[ev.Edge.Src]++
+			}
+			if knn != nil && ev.Kind == graph.AddEdge && ev.Edge.Type < dataset.ReverseOffset {
+				knn.offer(ev.Edge.Src)
 			}
 		}
 		switch {
@@ -180,6 +297,9 @@ func main() {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	if knn != nil {
+		knn.stop(elapsed)
+	}
 	fmt.Printf("dataset %s: %d events (%d add, %d delete, %d update) in %v (%.0f ev/s)\n",
 		spec.Name, sent, kinds[graph.AddEdge], kinds[graph.DeleteEdge], kinds[graph.UpdateWeight],
 		elapsed.Round(time.Millisecond), float64(sent)/elapsed.Seconds())

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"platod2gl/internal/graph"
+)
+
+// churnShape is the drill's dial: the smoke variant runs on every PR, the
+// full variant (SERVE_CHURN_FULL=1) is the nightly serving-under-churn drill.
+type churnShape struct {
+	duration time.Duration
+	qps      int
+	queriers int
+	lagBound time.Duration
+}
+
+func churnShapeFromEnv() churnShape {
+	if os.Getenv("SERVE_CHURN_FULL") != "" {
+		return churnShape{duration: 8 * time.Second, qps: 200, queriers: 4, lagBound: 10 * time.Second}
+	}
+	return churnShape{duration: 1500 * time.Millisecond, qps: 60, queriers: 2, lagBound: 10 * time.Second}
+}
+
+// TestServingUnderChurn is the dynamic-loop drill: edge updates stream into
+// the live cluster while a closed-loop /knn driver hammers the API. The
+// serving tier must answer without 5xx throughout, the refresher must keep
+// the staleness lag bounded, and recall quality must recover after churn.
+func TestServingUnderChurn(t *testing.T) {
+	shape := churnShapeFromEnv()
+	w := newWorld(t, 400, 4, 8, 6, 21)
+	addrs, loader := w.startTCPCluster(t, 2)
+
+	h := startServe(t, config{
+		servers: strings.Join(addrs, ","), addr: "127.0.0.1:0", metricsAddr: "127.0.0.1:0",
+		checkpointDir: w.ckpt, seed: 21, f1: 4, f2: 3,
+		workers: 4, requestTimeout: 30 * time.Second, warmBatch: 128,
+		refreshInterval: 150 * time.Millisecond, refreshBatch: 256,
+	})
+	defer h.shutdown(t)
+	hc := noKeepAliveClient()
+	base := "http://" + h.ready.addr
+
+	// Churn writer: same-class edge additions at the target qps, so the
+	// homophilous structure (and hence recall) is reinforced, not destroyed.
+	byClass := make(map[int32][]graph.VertexID)
+	for _, id := range w.nodes {
+		byClass[w.labels[id]] = append(byClass[w.labels[id]], id)
+	}
+	churnDone := make(chan struct{})
+	var churned atomic.Int64
+	go func() {
+		defer close(churnDone)
+		rng := rand.New(rand.NewSource(99))
+		tick := time.NewTicker(time.Second / time.Duration(shape.qps))
+		defer tick.Stop()
+		stopAt := time.Now().Add(shape.duration)
+		for time.Now().Before(stopAt) {
+			<-tick.C
+			src := w.nodes[rng.Intn(len(w.nodes))]
+			peers := byClass[w.labels[src]]
+			dst := peers[rng.Intn(len(peers))]
+			ev := []graph.Event{{Kind: graph.AddEdge, Edge: graph.Edge{Src: src, Dst: dst, Weight: 1}}}
+			if err := loader.ApplyBatch(ev); err != nil {
+				t.Errorf("churn apply: %v", err)
+				return
+			}
+			churned.Add(1)
+		}
+	}()
+
+	// Closed-loop query drivers: issue /knn back to back until churn ends,
+	// tallying status classes. 429 (shed under load) is acceptable; any 5xx
+	// fails the drill.
+	var ok200, shed429, server5xx, other atomic.Int64
+	queryDone := make(chan struct{}, shape.queriers)
+	for q := 0; q < shape.queriers; q++ {
+		go func(seed int64) {
+			defer func() { queryDone <- struct{}{} }()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-churnDone:
+					return
+				default:
+				}
+				id := w.nodes[rng.Intn(len(w.nodes))]
+				resp, err := hc.Get(fmt.Sprintf("%s/knn?id=%d&k=10", base, uint64(id)))
+				if err != nil {
+					t.Errorf("knn during churn: %v", err)
+					return
+				}
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					ok200.Add(1)
+				case resp.StatusCode == http.StatusTooManyRequests:
+					shed429.Add(1)
+				case resp.StatusCode >= 500:
+					server5xx.Add(1)
+				default:
+					other.Add(1)
+				}
+			}
+		}(int64(q) + 7)
+	}
+	<-churnDone
+	for q := 0; q < shape.queriers; q++ {
+		<-queryDone
+	}
+
+	if n := server5xx.Load(); n != 0 {
+		t.Fatalf("%d 5xx responses during churn (ok=%d shed=%d)", n, ok200.Load(), shed429.Load())
+	}
+	if n := other.Load(); n != 0 {
+		t.Fatalf("%d unexpected non-200/429 responses during churn", n)
+	}
+	if ok200.Load() == 0 {
+		t.Fatal("no successful queries completed during churn")
+	}
+	t.Logf("churn: %d edges applied, %d ok, %d shed", churned.Load(), ok200.Load(), shed429.Load())
+
+	// The refresher must have seen the churn and drained the dirty set.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		s := h.ready.metrics.Snapshot()
+		if s.Refreshed > 0 && s.EmbeddingsStale == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("refresher never converged: refreshed=%d stale=%d errors=%d",
+				s.Refreshed, s.EmbeddingsStale, s.RefreshErrors)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	s := h.ready.metrics.Snapshot()
+	if lag := time.Duration(s.RefreshLagP99Ns); lag > shape.lagBound {
+		t.Fatalf("serve_refresh_lag_seconds p99 = %s, bound %s", lag, shape.lagBound)
+	}
+	t.Logf("refresh: %d vertices re-embedded, lag p99 %s", s.Refreshed, time.Duration(s.RefreshLagP99Ns))
+
+	// Post-churn recall recovery: the same-class edges reinforced structure,
+	// so top-k must still be class-dominated after the index caught up.
+	same, total := 0, 0
+	for i := 0; i < 20; i++ {
+		q := w.nodes[(i*17)%len(w.nodes)]
+		var res knnResponse
+		if code := getJSON(t, hc, fmt.Sprintf("%s/knn?id=%d&k=10", base, uint64(q)), &res); code != http.StatusOK {
+			t.Fatalf("post-churn /knn = %d", code)
+		}
+		for _, hit := range res.Neighbors {
+			if w.labels[graph.VertexID(hit.ID)] == w.labels[q] {
+				same++
+			}
+			total++
+		}
+	}
+	if share := float64(same) / float64(total); share < 0.5 {
+		t.Fatalf("post-churn same-class share %.3f, want >= 0.5", share)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"platod2gl/internal/checkpoint"
 	"platod2gl/internal/cluster"
 	"platod2gl/internal/core"
 	"platod2gl/internal/dataset"
@@ -25,14 +26,15 @@ import (
 	"platod2gl/internal/kvstore"
 	"platod2gl/internal/pipeline"
 	"platod2gl/internal/sampler"
+	"platod2gl/internal/serve"
 	"platod2gl/internal/storage"
 	"platod2gl/internal/view"
 )
 
 // PerfResult is one benchmark run's machine-readable report. Metric names
 // carry their regression direction in the suffix (see regress.DirectionOf):
-// *_per_sec is higher-better, *_ns / *_ms / *_bytes are lower-better,
-// anything else is informational.
+// *_per_sec is higher-better, *_ns / *_nanos / *_ms / *_bytes are
+// lower-better, anything else is informational.
 type PerfResult struct {
 	Rev     string             `json:"rev"`
 	Go      string             `json:"go"`
@@ -54,6 +56,7 @@ func RunPerf(cfg Config) PerfResult {
 	}
 	perfSamtree(cfg, res.Metrics)
 	perfEpoch(cfg, res.Metrics)
+	perfServe(cfg, res.Metrics)
 	perfRPC(cfg, res.Metrics)
 	perfOverload(cfg, res.Metrics)
 	for k, v := range cluster.CodecBenchMetrics() {
@@ -270,6 +273,150 @@ func perfOverload(cfg Config, out map[string]float64) {
 	elapsed := time.Since(start)
 	out["overload_goodput_per_sec"] = rate(int(good.Load())*seedBatch, elapsed)
 	out["overload_shed_share"] = float64(srvM.RequestsShed.Sum()) / float64(totalCalls)
+}
+
+// perfServe measures the online inference tier at a pinned size: embedding
+// throughput through the bounded worker pool (serve_embed_per_sec, gated),
+// end-to-end k-NN latency — a fresh forward pass plus an HNSW search per
+// call (serve_knn_p99_nanos, gated) — and the index's recall@10 against a
+// brute-force oracle over the indexed vectors (serve_index_recall_at_10,
+// informational: it moves with the HNSW seed rather than with code speed).
+func perfServe(cfg Config, out map[string]float64) {
+	const (
+		n          = 2000
+		classes    = 4
+		dim        = 16
+		f1, f2     = 8, 5
+		embedBatch = 64
+		knnWarm    = 100
+		knnCalls   = 2000
+		recallQ    = 100
+		k          = 10
+	)
+	store := storage.NewDynamicStore(storage.Options{
+		Tree: core.Options{Compress: true}, Workers: cfg.Workers})
+	attrs := kvstore.New()
+	dataset.AssignFeatures(attrs, 0, n, dim, classes, 2.0, cfg.Seed)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	byClass := make([][]graph.VertexID, classes)
+	ids := make([]graph.VertexID, n)
+	for i := 0; i < n; i++ {
+		id := graph.MakeVertexID(0, uint64(i))
+		ids[i] = id
+		l, _ := attrs.Label(id)
+		byClass[l] = append(byClass[l], id)
+	}
+	for _, id := range ids {
+		l, _ := attrs.Label(id)
+		peers := byClass[l]
+		for j := 0; j < 8; j++ {
+			store.AddEdge(graph.Edge{Src: id, Dst: peers[rng.Intn(len(peers))], Weight: 1})
+		}
+	}
+	gv := view.NewLocal(store, attrs, sampler.Options{Parallelism: cfg.Workers, Seed: cfg.Seed})
+	model := gnn.NewModel(dim, 32, classes, rng)
+	tr := gnn.NewTrainer(model, gv, 0, f1, f2, 0.02)
+	if _, err := tr.TrainEpoch(0, ids, 64, rng); err != nil {
+		panic(fmt.Sprintf("bench: perfServe training: %v", err))
+	}
+
+	m := &serve.Metrics{}
+	eng, err := serve.New(serve.Config{
+		View:  gv,
+		State: checkpoint.Capture(checkpoint.Manifest{Seed: cfg.Seed}, model.Params(), nil),
+		Rel:   0, F1: f1, F2: f2,
+		Workers: cfg.Workers, Timeout: time.Minute,
+		IndexSeed: cfg.Seed, Metrics: m,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("bench: perfServe engine: %v", err))
+	}
+	ctx := context.Background()
+	if _, err := eng.Warm(ctx, 256); err != nil {
+		panic(fmt.Sprintf("bench: perfServe warm: %v", err))
+	}
+
+	start := time.Now()
+	for lo := 0; lo < n; lo += embedBatch {
+		hi := lo + embedBatch
+		if hi > n {
+			hi = n
+		}
+		if _, err := eng.Embed(ctx, ids[lo:hi]); err != nil {
+			panic(fmt.Sprintf("bench: perfServe embed: %v", err))
+		}
+	}
+	out["serve_embed_per_sec"] = rate(n, time.Since(start))
+
+	// p99 from the exact sorted durations (not the log2-bucketed histogram,
+	// whose power-of-two edges would quantize the gate), after a warmup
+	// round so cold caches don't land in the tail.
+	durs := make([]time.Duration, 0, knnCalls)
+	for i := 0; i < knnWarm+knnCalls; i++ {
+		t0 := time.Now()
+		if _, _, err := eng.KNN(ctx, ids[(i*13)%n], k); err != nil {
+			panic(fmt.Sprintf("bench: perfServe knn: %v", err))
+		}
+		if i >= knnWarm {
+			durs = append(durs, time.Since(t0))
+		}
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	out["serve_knn_p99_nanos"] = float64(durs[len(durs)*99/100])
+
+	// Recall@10 against a brute-force oracle over the indexed vectors. Ties
+	// are counted by distance, not identity: a returned hit at (or within
+	// epsilon of) the oracle's k-th distance is correct even if the oracle
+	// broke the tie the other way.
+	type pt struct {
+		id  uint64
+		vec []float32
+	}
+	pts := make([]pt, 0, n)
+	eng.Index().ForEach(func(id uint64, vec []float32) bool {
+		pts = append(pts, pt{id, append([]float32(nil), vec...)})
+		return true
+	})
+	sqDist := func(a, b []float32) float64 {
+		var s float64
+		for i := range a {
+			d := float64(a[i]) - float64(b[i])
+			s += d * d
+		}
+		return s
+	}
+	hits, total := 0, 0
+	dists := make([]float64, 0, len(pts))
+	for qi := 0; qi < recallQ; qi++ {
+		q := pts[(qi*31)%len(pts)]
+		dists = dists[:0]
+		for _, p := range pts {
+			if p.id != q.id {
+				dists = append(dists, sqDist(q.vec, p.vec))
+			}
+		}
+		sort.Float64s(dists)
+		cutoff := dists[k-1] + 1e-9
+		got, err := eng.Index().Search(q.vec, k+1)
+		if err != nil {
+			panic(fmt.Sprintf("bench: perfServe recall search: %v", err))
+		}
+		found := 0
+		for _, h := range got {
+			if h.ID == q.id {
+				continue
+			}
+			if float64(h.Dist) <= cutoff {
+				found++
+			}
+			if found == k {
+				break
+			}
+		}
+		hits += found
+		total += k
+	}
+	out["serve_index_recall_at_10"] = float64(hits) / float64(total)
 }
 
 // perfSamtree measures single-edge insert/delete throughput, PALM batch

@@ -2,7 +2,7 @@
 // (bench.PerfResult JSON) and decides whether the newer one regressed. The
 // regression direction is carried by the metric-name suffix so the
 // comparator needs no out-of-band schema: *_per_sec is higher-better,
-// *_ns / *_ms / *_bytes are lower-better, anything else is informational
+// *_ns / *_nanos / *_ms / *_bytes are lower-better, anything else is informational
 // and never gates. CI runs it via cmd/bench-regress against the committed
 // bench/baseline.json.
 package regress
@@ -71,7 +71,8 @@ func DirectionOf(name string) Direction {
 	switch {
 	case strings.HasSuffix(name, "_per_sec"):
 		return HigherBetter
-	case strings.HasSuffix(name, "_ns"), strings.HasSuffix(name, "_ms"), strings.HasSuffix(name, "_bytes"):
+	case strings.HasSuffix(name, "_ns"), strings.HasSuffix(name, "_nanos"),
+		strings.HasSuffix(name, "_ms"), strings.HasSuffix(name, "_bytes"):
 		return LowerBetter
 	default:
 		return Informational

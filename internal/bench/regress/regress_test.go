@@ -108,11 +108,13 @@ func TestCompareInformationalNeverGates(t *testing.T) {
 
 func TestDirectionOf(t *testing.T) {
 	cases := map[string]Direction{
-		"x_per_sec":  HigherBetter,
-		"x_p99_ns":   LowerBetter,
-		"x_ms":       LowerBetter,
-		"x_bytes":    LowerBetter,
-		"x_hit_rate": Informational,
+		"x_per_sec":                HigherBetter,
+		"x_p99_ns":                 LowerBetter,
+		"serve_knn_p99_nanos":      LowerBetter,
+		"x_ms":                     LowerBetter,
+		"x_bytes":                  LowerBetter,
+		"x_hit_rate":               Informational,
+		"serve_index_recall_at_10": Informational,
 	}
 	for name, want := range cases {
 		if got := DirectionOf(name); got != want {

@@ -31,6 +31,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -150,6 +151,17 @@ func (s *Service) localDigest(shard, numShards int) (DigestReply, error) {
 	reply.SyncEpoch = s.syncEpoch.Load()
 	reply.Ready = s.ready.Load()
 	return reply, nil
+}
+
+// ShardDigestCtx fetches the digest of one logical shard through the fan-out
+// client, riding the same routing, failover, and admission machinery as data
+// reads. The serving tier's refresher polls it to detect shard-level change
+// without walking edges over the wire.
+func (c *Client) ShardDigestCtx(ctx context.Context, shard int) (DigestReply, error) {
+	var reply DigestReply
+	args := &DigestArgs{Shard: shard, NumShards: c.numShards()}
+	err := c.readShard(ctx, shard, ServiceName+".ShardDigest", args, &reply)
+	return reply, err
 }
 
 // ShardDigest serves this server's state digests. Served even while not

@@ -1,0 +1,217 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"sync/atomic"
+
+	"platod2gl/internal/graph"
+	"platod2gl/internal/view"
+)
+
+// countingSource is a hand-cranked ChangeSource: tests bump a shard's
+// digest to simulate churn. Atomic so a live Run loop can read while the
+// test writes.
+type countingSource struct {
+	digests []atomic.Uint64
+}
+
+func newCountingSource(shards int) *countingSource {
+	return &countingSource{digests: make([]atomic.Uint64, shards)}
+}
+
+func (c *countingSource) bump(shard int) { c.digests[shard].Add(1) }
+
+func (c *countingSource) Digests(context.Context) ([]uint64, error) {
+	out := make([]uint64, len(c.digests))
+	for i := range c.digests {
+		out[i] = c.digests[i].Load()
+	}
+	return out, nil
+}
+
+func newTestRefresher(t *testing.T, f *fixture, e *Engine, m *Metrics) (*Refresher, *countingSource) {
+	t.Helper()
+	src := newCountingSource(1)
+	r, err := NewRefresher(RefreshConfig{Engine: e, Source: src, Interval: time.Hour, Batch: 64, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, src
+}
+
+// TestRefresherReembedsOnChange drives the full dirty lifecycle by hand:
+// prime, mutate the graph, bump the digest, poll — every vertex of the
+// changed (only) shard must be re-embedded, the index must move to the new
+// embedding, and the stale gauge must return to zero.
+func TestRefresherReembedsOnChange(t *testing.T) {
+	f := newFixture(t, 200, 8, 2, 1, 11)
+	m := &Metrics{}
+	e := f.engine(t, m)
+	if _, err := e.Warm(context.Background(), 64); err != nil {
+		t.Fatal(err)
+	}
+	r, src := newTestRefresher(t, f, e, m)
+	ctx := context.Background()
+
+	r.poll(ctx) // primes the baseline, marks nothing
+	if got := m.EmbeddingsStale.Load(); got != 0 {
+		t.Fatalf("stale after prime = %d, want 0", got)
+	}
+
+	// Rewire one vertex's neighborhood to the other class and snapshot its
+	// current index vector.
+	victim := f.ids[0]
+	before, ok := e.Index().Vector(uint64(victim))
+	if !ok {
+		t.Fatalf("victim %v not indexed after warm", victim)
+	}
+	before = append([]float32(nil), before...)
+	vl, _ := f.attrs.Label(victim)
+	rewired := 0
+	for _, other := range f.ids {
+		if ol, _ := f.attrs.Label(other); ol != vl && rewired < 6 {
+			f.store.AddEdge(graph.Edge{Src: victim, Dst: other, Weight: 8})
+			rewired++
+		}
+	}
+
+	src.bump(0)
+	r.poll(ctx)
+
+	if got := m.Refreshed.Load(); got == 0 {
+		t.Fatal("refresher re-embedded nothing after a digest change")
+	}
+	if got := m.EmbeddingsStale.Load(); got != 0 {
+		t.Fatalf("stale after sweep = %d, want 0", got)
+	}
+	if m.RefreshLag.Count() == 0 {
+		t.Fatal("no refresh lag observations recorded")
+	}
+	after, ok := e.Index().Vector(uint64(victim))
+	if !ok {
+		t.Fatalf("victim %v evicted by refresh", victim)
+	}
+	changed := false
+	for i := range after {
+		if after[i] != before[i] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("victim's indexed embedding did not move after its neighborhood changed")
+	}
+
+	// A quiet poll (digest unchanged) must not mark anything dirty.
+	refreshed := m.Refreshed.Load()
+	r.poll(ctx)
+	if got := m.Refreshed.Load(); got != refreshed {
+		t.Fatalf("quiet poll re-embedded %d vertices", got-refreshed)
+	}
+}
+
+// sourceFilterView hides chosen vertices from the Sources listing — the
+// view-level shape of a vertex leaving the graph.
+type sourceFilterView struct {
+	view.GraphView
+	hide map[graph.VertexID]bool
+}
+
+func (v *sourceFilterView) Sources(et graph.EdgeType) ([]graph.VertexID, error) {
+	all, err := v.GraphView.Sources(et)
+	if err != nil {
+		return nil, err
+	}
+	kept := all[:0]
+	for _, id := range all {
+		if !v.hide[id] {
+			kept = append(kept, id)
+		}
+	}
+	return kept, nil
+}
+
+// TestRefresherRetiresGoneVertices removes a vertex from the source listing;
+// the next changed poll must drop it from the index.
+func TestRefresherRetiresGoneVertices(t *testing.T) {
+	f := newFixture(t, 120, 8, 2, 0, 13)
+	m := &Metrics{}
+	fv := &sourceFilterView{GraphView: f.view, hide: map[graph.VertexID]bool{}}
+	e, err := New(Config{View: fv, State: f.state, Rel: 0, F1: 4, F2: 3, IndexSeed: 5, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Warm(context.Background(), 64); err != nil {
+		t.Fatal(err)
+	}
+	r, src := newTestRefresher(t, f, e, m)
+	ctx := context.Background()
+	r.poll(ctx)
+
+	victim := f.ids[5]
+	if !e.Index().Contains(uint64(victim)) {
+		t.Fatalf("victim %v not indexed", victim)
+	}
+	fv.hide[victim] = true
+	src.bump(0)
+	r.poll(ctx)
+
+	if e.Index().Contains(uint64(victim)) {
+		t.Fatal("vertex with no remaining edges still indexed after refresh")
+	}
+	res, err := e.KNNVector(ctx, make([]float32, e.Dim()), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range res {
+		if h.ID == victim {
+			t.Fatal("retired vertex returned from search")
+		}
+	}
+}
+
+// TestRefresherRunLoop exercises the ticker path end to end with a real
+// clock: churn lands while the loop runs, and the index must converge
+// without any manual poll calls.
+func TestRefresherRunLoop(t *testing.T) {
+	f := newFixture(t, 150, 8, 2, 0, 17)
+	m := &Metrics{}
+	e := f.engine(t, m)
+	if _, err := e.Warm(context.Background(), 64); err != nil {
+		t.Fatal(err)
+	}
+	src := newCountingSource(1)
+	r, err := NewRefresher(RefreshConfig{Engine: e, Source: src, Interval: 10 * time.Millisecond, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); r.Run(ctx) }()
+
+	// Let the loop prime, then churn. The digest bump is racy with the
+	// ticker only in timing, not correctness: whichever tick sees it marks.
+	time.Sleep(30 * time.Millisecond)
+	f.store.AddEdge(graph.Edge{Src: f.ids[1], Dst: f.ids[2], Weight: 3})
+	src.bump(0)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Refreshed.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("run loop never refreshed after churn")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not exit on context cancellation")
+	}
+	if m.RefreshPolls.Load() < 2 {
+		t.Fatalf("RefreshPolls = %d, want >= 2", m.RefreshPolls.Load())
+	}
+}

@@ -57,6 +57,17 @@ func (v *Cluster) Prefetch() *Cluster {
 	return &w
 }
 
+// Background returns a view over the same client, seed sequence, and budget
+// whose requests ride the background admission class — below both
+// interactive and prefetch traffic. The serving tier's embedding refresher
+// uses it so index maintenance never competes with live queries.
+func (v *Cluster) Background() *Cluster {
+	w := *v
+	w.pri = cluster.PriorityBackground
+	w.hasPri = true
+	return &w
+}
+
 // ctx derives the per-call context: the view's priority class (when set) and
 // call budget (when set) become the request's admission envelope.
 func (v *Cluster) ctx() (context.Context, context.CancelFunc) {
